@@ -1,0 +1,265 @@
+// Package alex is a Go implementation of ALEX, the updatable adaptive
+// learned index of Ding et al. (SIGMOD 2020). An ALEX index replaces
+// B+Tree inner nodes with linear regression models (a Recursive Model
+// Index) and stores data in gapped arrays whose elements sit at the
+// positions the models predict, so lookups need only a short exponential
+// search from the prediction and inserts rarely shift more than a few
+// elements.
+//
+// Quick start:
+//
+//	idx, err := alex.Load(keys, payloads)       // bulk load
+//	v, ok := idx.Get(k)                          // point lookup
+//	idx.Insert(k, v)                             // dynamic insert
+//	idx.Scan(lo, func(k float64, v uint64) bool { // range scan
+//		return k < hi
+//	})
+//
+// The four variants the paper evaluates are expressed through options:
+// the data node layout (gapped array vs packed memory array), the model
+// hierarchy (adaptive vs static RMI), and node splitting on inserts.
+// Defaults follow the paper's read-write sweet spot, ALEX-GA-ARMI with
+// ~43% data space overhead.
+//
+// Keys are float64 and must be finite and unique; payloads are uint64
+// (store an offset or pointer-equivalent for larger values). The index
+// is not safe for concurrent mutation — like the system evaluated in
+// the paper, it is single-writer (§7 lists concurrency as future work).
+package alex
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gapped"
+	"repro/internal/leafbase"
+)
+
+// Layout selects the data node layout (§3.3 of the paper).
+type Layout = core.Layout
+
+// Available layouts.
+const (
+	// GappedArray optimizes search: model-based inserts keep elements at
+	// their predicted positions.
+	GappedArray = core.GappedArray
+	// PackedMemoryArray balances insert and search: density-bounded
+	// windows are rebalanced so no region becomes fully packed.
+	PackedMemoryArray = core.PackedMemoryArray
+)
+
+// Stats aggregates the index's work counters (shifts, expands, splits,
+// model retrains) and structural counts (leaves, inner nodes, height).
+type Stats = core.Stats
+
+// NodeStats is the per-data-node counter block inside Stats.
+type NodeStats = leafbase.Stats
+
+// Option configures an Index at construction.
+type Option func(*core.Config)
+
+// WithLayout selects the data node layout.
+func WithLayout(l Layout) Option {
+	return func(c *core.Config) { c.Layout = l }
+}
+
+// WithStaticRMI uses a fixed two-level RMI with numModels leaf models
+// (0 = auto), as the Learned Index does; the default is the adaptive
+// RMI of §3.4, which bounds leaf sizes and adapts depth to the data.
+func WithStaticRMI(numModels int) Option {
+	return func(c *core.Config) {
+		c.RMI = core.StaticRMI
+		c.NumLeafModels = numModels
+	}
+}
+
+// WithMaxKeysPerLeaf bounds data node size for the adaptive RMI
+// (default 4096).
+func WithMaxKeysPerLeaf(n int) Option {
+	return func(c *core.Config) { c.MaxKeysPerLeaf = n }
+}
+
+// WithSplitOnInsert enables node splitting on inserts (§3.4.2),
+// recommended when the key distribution shifts over time.
+func WithSplitOnInsert() Option {
+	return func(c *core.Config) { c.SplitOnInsert = true }
+}
+
+// WithInnerFanout sets the partitions per non-root inner node during
+// adaptive initialization (default 32).
+func WithInnerFanout(n int) Option {
+	return func(c *core.Config) { c.InnerFanout = n }
+}
+
+// WithSplitFanout sets the children created per node split (default 4).
+func WithSplitFanout(n int) Option {
+	return func(c *core.Config) { c.SplitFanout = n }
+}
+
+// WithDensity sets the gapped array's upper density limit d directly.
+func WithDensity(d float64) Option {
+	return func(c *core.Config) { c.Density = d }
+}
+
+// WithSpaceOverhead sets the gapped array density from a target data
+// space overhead (Fig 10): 0.43 reproduces the paper's default
+// (B+Tree-comparable), larger values trade memory for throughput.
+func WithSpaceOverhead(overhead float64) Option {
+	return func(c *core.Config) { c.Density = gapped.DensityForOverhead(overhead) }
+}
+
+// WithPayloadBytes sets the payload size used in data-size accounting
+// (default 8; the paper's YCSB dataset uses 80).
+func WithPayloadBytes(n int) Option {
+	return func(c *core.Config) { c.PayloadBytes = n }
+}
+
+// WithAdaptivePMA selects the PackedMemoryArray layout with Bender &
+// Hu's *adaptive* rebalancing, which §7 of the paper proposes against
+// sequential-insert pathologies: window rebalances give recently-hot
+// segments a larger share of the gaps.
+func WithAdaptivePMA() Option {
+	return func(c *core.Config) {
+		c.Layout = core.PackedMemoryArray
+		c.PMA.Adaptive = true
+	}
+}
+
+// Index is an updatable adaptive learned index from float64 keys to
+// uint64 payloads.
+type Index struct {
+	t *core.Tree
+}
+
+func buildConfig(opts []Option) core.Config {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// New returns an empty index (a "cold start": it grows by node
+// expansion and, with WithSplitOnInsert, node splitting).
+func New(opts ...Option) *Index {
+	return &Index{t: core.New(buildConfig(opts))}
+}
+
+// Load bulk loads an index. keys need not be sorted; duplicates are
+// rejected. payloads may be nil.
+func Load(keys []float64, payloads []uint64, opts ...Option) (*Index, error) {
+	t, err := core.BulkLoad(keys, payloads, buildConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{t: t}, nil
+}
+
+// LoadSorted bulk loads from keys that are already sorted and unique,
+// skipping the sort and the duplicate check.
+func LoadSorted(keys []float64, payloads []uint64, opts ...Option) *Index {
+	return &Index{t: core.BulkLoadSorted(keys, payloads, buildConfig(opts))}
+}
+
+// Get returns the payload stored for key.
+func (ix *Index) Get(key float64) (uint64, bool) { return ix.t.Get(key) }
+
+// Contains reports whether key is present.
+func (ix *Index) Contains(key float64) bool { return ix.t.Contains(key) }
+
+// Insert adds key with payload, reporting whether a new element was
+// added; inserting an existing key overwrites its payload and returns
+// false. Keys must be finite.
+func (ix *Index) Insert(key float64, payload uint64) bool { return ix.t.Insert(key, payload) }
+
+// Delete removes key, reporting whether it was present.
+func (ix *Index) Delete(key float64) bool { return ix.t.Delete(key) }
+
+// Update overwrites the payload of an existing key.
+func (ix *Index) Update(key float64, payload uint64) bool { return ix.t.Update(key, payload) }
+
+// Len returns the number of stored elements.
+func (ix *Index) Len() int { return ix.t.Len() }
+
+// Scan visits elements with key >= start in ascending key order until
+// visit returns false; it returns the number of elements visited.
+func (ix *Index) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	return ix.t.Scan(start, visit)
+}
+
+// ScanN collects up to max elements starting from the first key >= start.
+func (ix *Index) ScanN(start float64, max int) ([]float64, []uint64) {
+	return ix.t.ScanN(start, max)
+}
+
+// ScanRange visits all elements with start <= key < end in order.
+func (ix *Index) ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int {
+	n := 0
+	ix.t.Scan(start, func(k float64, v uint64) bool {
+		if k >= end {
+			return false
+		}
+		n++
+		return visit(k, v)
+	})
+	return n
+}
+
+// Iterator is a stateful cursor over the index in ascending key order.
+// Mutating the index invalidates outstanding iterators.
+type Iterator = core.Iterator
+
+// Iter returns a cursor positioned before the first element.
+func (ix *Index) Iter() *Iterator { return ix.t.Iter() }
+
+// IterFrom returns a cursor positioned before the first element whose
+// key is >= start.
+func (ix *Index) IterFrom(start float64) *Iterator { return ix.t.IterFrom(start) }
+
+// MinKey returns the smallest key.
+func (ix *Index) MinKey() (float64, bool) { return ix.t.MinKey() }
+
+// MaxKey returns the largest key.
+func (ix *Index) MaxKey() (float64, bool) { return ix.t.MaxKey() }
+
+// Height returns the number of tree levels (a lone data node is 1).
+func (ix *Index) Height() int { return ix.t.Height() }
+
+// IndexSizeBytes accounts the RMI structure: models, child pointers and
+// node metadata — the quantity Fig 4e-4h compares against B+Tree inner
+// nodes.
+func (ix *Index) IndexSizeBytes() int { return ix.t.IndexSizeBytes() }
+
+// DataSizeBytes accounts data node storage: key/payload arrays including
+// gaps, plus occupancy bitmaps.
+func (ix *Index) DataSizeBytes() int { return ix.t.DataSizeBytes() }
+
+// Stats returns aggregated work counters and structural counts.
+func (ix *Index) Stats() Stats { return ix.t.Stats() }
+
+// PredictionError returns the RMI's absolute position prediction error
+// for an existing key — the quantity of the paper's Fig 7.
+func (ix *Index) PredictionError(key float64) (int, bool) { return ix.t.PredictionError(key) }
+
+// LeafSizes returns the key count of every data node, left to right.
+func (ix *Index) LeafSizes() []int { return ix.t.LeafSizes() }
+
+// CheckInvariants verifies the structural invariants of the whole tree;
+// it is meant for tests and debugging and costs a full traversal.
+func (ix *Index) CheckInvariants() error { return ix.t.CheckInvariants() }
+
+// WriteTo serializes the index (configuration, tree shape, elements) to
+// w. Data nodes are re-bulk-loaded on read, so a round trip restores an
+// equivalent freshly-loaded index with identical contents.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.t.WriteTo(w) }
+
+// ReadFrom deserializes an index written with WriteTo. Corrupt or
+// truncated streams are rejected with an error wrapping
+// core.ErrBadFormat.
+func ReadFrom(r io.Reader) (*Index, error) {
+	t, err := core.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{t: t}, nil
+}

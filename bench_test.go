@@ -1,0 +1,230 @@
+package alex_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each benchmark invokes the corresponding experiment driver in
+// internal/bench at a laptop-friendly scale; `go run ./cmd/alexbench`
+// runs the same drivers with printed tables and configurable sizes.
+// Additional micro-benchmarks at the bottom measure the public API's
+// point operations per dataset, which the figure-level numbers decompose
+// into.
+
+import (
+	"io"
+	"testing"
+
+	alex "repro"
+	"repro/internal/bench"
+	"repro/internal/datasets"
+	"repro/internal/workload"
+)
+
+// benchOpts is deliberately modest so `go test -bench=.` finishes in
+// minutes; use cmd/alexbench for larger runs.
+func benchOpts() bench.Options {
+	return bench.Options{ReadOnlyInit: 100000, RWInit: 25000, Ops: 50000, Seed: 1}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig4ReadOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(io.Discard, benchOpts(), workload.ReadOnly)
+	}
+}
+
+func BenchmarkFig4ReadHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(io.Discard, benchOpts(), workload.ReadHeavy)
+	}
+}
+
+func BenchmarkFig4WriteHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(io.Discard, benchOpts(), workload.WriteHeavy)
+	}
+}
+
+func BenchmarkFig4RangeScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(io.Discard, benchOpts(), workload.RangeScan)
+	}
+}
+
+func BenchmarkFig5aScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5a(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig5bShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5b(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig5cSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5c(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig6Lifetime(b *testing.B) {
+	o := benchOpts()
+	o.ReadOnlyInit = 50000
+	for i := 0; i < b.N; i++ {
+		bench.Fig6(io.Discard, o)
+	}
+}
+
+func BenchmarkFig7PredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig8Shifts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig9Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig10Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig11Search(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig11(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkFig12LeafSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig12(io.Discard, benchOpts())
+	}
+}
+
+// --- Extension experiments (ablations + §7 future-work features) ---
+
+func BenchmarkAblationLeafBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationLeafBound(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkAblationInnerFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationInnerFanout(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkAblationSplitFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationSplitFanout(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkExtDeleteChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtDeleteChurn(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkExtTheory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtTheory(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkExtAdaptivePMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtAdaptivePMA(io.Discard, benchOpts())
+	}
+}
+
+func BenchmarkExtDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtDisk(io.Discard, benchOpts())
+	}
+}
+
+// --- Public-API micro-benchmarks, one per dataset ---
+
+func benchGet(b *testing.B, name datasets.Name) {
+	keys := datasets.Generate(name, 1<<17, 7)
+	idx, err := alex.Load(keys, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := idx.Get(keys[i&(len(keys)-1)])
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkGetLongitudes(b *testing.B) { benchGet(b, datasets.Longitudes) }
+func BenchmarkGetLongLat(b *testing.B)    { benchGet(b, datasets.LongLat) }
+func BenchmarkGetLognormal(b *testing.B)  { benchGet(b, datasets.Lognormal) }
+func BenchmarkGetYCSB(b *testing.B)       { benchGet(b, datasets.YCSB) }
+
+func benchInsert(b *testing.B, name datasets.Name) {
+	// Generate enough keys for the largest plausible b.N in one draw.
+	keys := datasets.Generate(name, 1<<17, 8)
+	idx, err := alex.Load(keys[:1<<15], nil, alex.WithSplitOnInsert())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := keys[1<<15:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Insert(stream[i%len(stream)], uint64(i))
+	}
+}
+
+func BenchmarkInsertLongitudes(b *testing.B) { benchInsert(b, datasets.Longitudes) }
+func BenchmarkInsertYCSB(b *testing.B)       { benchInsert(b, datasets.YCSB) }
+
+func BenchmarkScan100(b *testing.B) {
+	keys := datasets.GenYCSB(1<<17, 9)
+	idx, _ := alex.Load(keys, nil)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += idx.Scan(keys[i&(len(keys)-1)], counterVisitor(100))
+	}
+	_ = sink
+}
+
+// counterVisitor returns a visit func that stops after n elements.
+func counterVisitor(n int) func(float64, uint64) bool {
+	remaining := n
+	return func(float64, uint64) bool {
+		remaining--
+		return remaining > 0
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	keys := datasets.GenLongitudes(1<<17, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alex.Load(keys, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

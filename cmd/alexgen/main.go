@@ -1,0 +1,121 @@
+// Command alexgen generates and inspects the synthetic evaluation
+// datasets (Table 1 / Appendix C). It can describe a dataset's shape,
+// print CDF samples for plotting, or write raw keys to a file (one
+// per line) for use by external tooling.
+//
+// Usage:
+//
+//	alexgen [-n N] [-seed S] describe <dataset>
+//	alexgen [-n N] [-seed S] [-points P] cdf <dataset>
+//	alexgen [-n N] [-seed S] dump <dataset> <file>
+//
+// Datasets: longitudes, longlat, lognormal, ycsb.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "number of keys")
+	seed := flag.Int64("seed", 1, "generator seed")
+	points := flag.Int("points", 21, "CDF sample points")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() < 2 {
+		usage()
+		os.Exit(2)
+	}
+	verb, dsName := flag.Arg(0), datasets.Name(flag.Arg(1))
+	valid := false
+	for _, d := range datasets.All {
+		if d == dsName {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (want one of %v)\n", dsName, datasets.All)
+		os.Exit(2)
+	}
+	keys := datasets.Generate(dsName, *n, *seed)
+
+	switch verb {
+	case "describe":
+		describe(dsName, keys)
+	case "cdf":
+		cdf(keys, *points)
+	case "dump":
+		if flag.NArg() != 3 {
+			usage()
+			os.Exit(2)
+		}
+		if err := dump(keys, flag.Arg(2)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func describe(name datasets.Name, keys []float64) {
+	sorted := datasets.Sorted(keys)
+	t := stats.NewTable("property", "value")
+	t.AddRow("dataset", string(name))
+	t.AddRow("keys", strconv.Itoa(len(keys)))
+	t.AddRow("key type", name.KeyType())
+	t.AddRow("payload", fmt.Sprintf("%d bytes", name.PayloadBytes()))
+	t.AddRow("min", fmt.Sprintf("%.6g", sorted[0]))
+	t.AddRow("median", fmt.Sprintf("%.6g", sorted[len(sorted)/2]))
+	t.AddRow("max", fmt.Sprintf("%.6g", sorted[len(sorted)-1]))
+	t.AddRow("non-linearity(64)", fmt.Sprintf("%.4f", datasets.NonLinearity(keys, 64)))
+	fmt.Print(t.String())
+}
+
+func cdf(keys []float64, points int) {
+	t := stats.NewTable("frac", "key")
+	for _, p := range datasets.CDF(keys, points) {
+		t.AddRow(fmt.Sprintf("%.3f", p.Frac), fmt.Sprintf("%.8g", p.Key))
+	}
+	fmt.Print(t.String())
+}
+
+func dump(keys []float64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%.17g\n", k); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d keys to %s\n", len(keys), path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  alexgen [-n N] [-seed S] describe <dataset>
+  alexgen [-n N] [-seed S] [-points P] cdf <dataset>
+  alexgen [-n N] [-seed S] dump <dataset> <file>
+
+datasets: longitudes, longlat, lognormal, ycsb
+flags:
+`)
+	flag.PrintDefaults()
+}

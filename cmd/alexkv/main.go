@@ -1,0 +1,66 @@
+// Command alexkv serves an ALEX index over TCP with a line-oriented
+// text protocol, demonstrating the thread-safe wrapper (alex.SyncIndex)
+// under concurrent clients. One command per line, space-separated:
+//
+//	GET <key>            -> VALUE <v> | NOTFOUND
+//	SET <key> <value>    -> OK inserted|updated
+//	DEL <key>            -> OK | NOTFOUND
+//	SCAN <start> <n>     -> n lines "KEY <k> <v>", then END
+//	LEN                  -> LEN <n>
+//	STATS                -> STATS <leaves> <height> <indexBytes> <dataBytes>
+//	QUIT                 -> closes the connection
+//
+// Keys are decimal floats, values unsigned integers.
+//
+// Usage: alexkv [-addr host:port] [-load N]
+//
+// -load N preloads N synthetic YCSB keys so GET/SCAN have data to hit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	alex "repro"
+	"repro/internal/datasets"
+	"repro/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	load := flag.Int("load", 0, "preload this many synthetic keys")
+	flag.Parse()
+
+	var idx *alex.SyncIndex
+	if *load > 0 {
+		keys := datasets.GenYCSB(*load, 1)
+		payloads := make([]uint64, len(keys))
+		for i := range payloads {
+			payloads[i] = uint64(i)
+		}
+		var err error
+		idx, err = alex.LoadSync(keys, payloads, alex.WithSplitOnInsert())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("preloaded %d keys", *load)
+	} else {
+		idx = alex.NewSync(alex.WithSplitOnInsert())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("alexkv listening on %s", ln.Addr())
+	srv := server.New(idx)
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

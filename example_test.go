@@ -1,0 +1,73 @@
+package alex_test
+
+import (
+	"fmt"
+
+	alex "repro"
+)
+
+func ExampleLoad() {
+	keys := []float64{3, 1, 4, 1.5, 9, 2.6, 5}
+	payloads := []uint64{30, 10, 40, 15, 90, 26, 50}
+	idx, err := alex.Load(keys, payloads)
+	if err != nil {
+		panic(err)
+	}
+	v, ok := idx.Get(4)
+	fmt.Println(v, ok)
+	// Output: 40 true
+}
+
+func ExampleIndex_Scan() {
+	idx := alex.LoadSorted([]float64{10, 20, 30, 40, 50}, []uint64{1, 2, 3, 4, 5})
+	idx.Scan(15, func(k float64, v uint64) bool {
+		fmt.Printf("%g=%d ", k, v)
+		return k < 40
+	})
+	fmt.Println()
+	// Output: 20=2 30=3 40=4
+}
+
+func ExampleIndex_Iter() {
+	idx := alex.LoadSorted([]float64{1, 2, 3}, []uint64{10, 20, 30})
+	it := idx.IterFrom(2)
+	for it.Next() {
+		fmt.Println(it.Key(), it.Payload())
+	}
+	// Output:
+	// 2 20
+	// 3 30
+}
+
+func ExampleWithSpaceOverhead() {
+	keys := make([]float64, 10000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	// Trade memory for lookup speed (Fig 10 of the paper): a 2x space
+	// budget puts nearly every key at its model-predicted slot.
+	idx := alex.LoadSorted(keys, nil, alex.WithSpaceOverhead(2.0))
+	e, _ := idx.PredictionError(5000)
+	fmt.Println(e == 0)
+	// Output: true
+}
+
+func ExampleNewMulti() {
+	m := alex.NewMulti()
+	m.Add(7, 100)
+	m.Add(7, 200) // duplicate key: §7's unsupported case, handled here
+	fmt.Println(m.Get(7))
+	// Output: [100 200]
+}
+
+func ExampleIndex_Insert_coldStart() {
+	// An empty index grows by node expansion and splitting (§3.4.2's
+	// "cold start").
+	idx := alex.New(alex.WithSplitOnInsert())
+	for i := 0; i < 10; i++ {
+		idx.Insert(float64(i), uint64(i*i))
+	}
+	v, _ := idx.Get(7)
+	fmt.Println(v)
+	// Output: 49
+}

@@ -1,0 +1,59 @@
+// Quickstart: bulk load an ALEX index, look keys up, insert, delete,
+// range scan, and inspect the space accounting that motivates learned
+// indexes (index size orders of magnitude below a B+Tree's inner nodes).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	alex "repro"
+)
+
+func main() {
+	// A million synthetic order IDs with random payloads.
+	const n = 1_000_000
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]float64, n)
+	payloads := make([]uint64, n)
+	for i := range keys {
+		keys[i] = float64(i) * 10 // sorted, unique
+		payloads[i] = rng.Uint64()
+	}
+
+	// Bulk load. LoadSorted skips sorting when keys are already ordered.
+	idx := alex.LoadSorted(keys, payloads)
+	fmt.Printf("loaded %d keys, tree height %d\n", idx.Len(), idx.Height())
+	fmt.Printf("index size: %d bytes (%.4f bytes/key)\n",
+		idx.IndexSizeBytes(), float64(idx.IndexSizeBytes())/n)
+	fmt.Printf("data size:  %d bytes\n", idx.DataSizeBytes())
+
+	// Point lookups.
+	if v, ok := idx.Get(123450); ok {
+		fmt.Printf("Get(123450) = %d\n", v)
+	}
+
+	// Dynamic inserts go to the model-predicted position.
+	idx.Insert(123455, 7)
+	if v, ok := idx.Get(123455); ok {
+		fmt.Printf("after insert, Get(123455) = %d\n", v)
+	}
+
+	// Range scan: 5 elements from 123440 upward.
+	fmt.Print("scan from 123440:")
+	idx.Scan(123440, func(k float64, v uint64) bool {
+		fmt.Printf(" %g", k)
+		return k < 123480
+	})
+	fmt.Println()
+
+	// Updates and deletes.
+	idx.Update(123455, 8)
+	idx.Delete(123450)
+	fmt.Printf("after delete, contains(123450) = %v\n", idx.Contains(123450))
+
+	// The index observed its own workload; stats show the work done.
+	st := idx.Stats()
+	fmt.Printf("stats: %d leaves, %d inserts, %d shifts, %d expands\n",
+		st.NumLeaves, st.Inserts, st.Shifts, st.Expands)
+}

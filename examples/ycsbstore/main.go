@@ -1,0 +1,65 @@
+// ycsbstore: a user-ID keyed store driven by the paper's four YCSB-style
+// workloads (§5.1.2) — read-only, read-heavy, write-heavy, range scan —
+// reporting throughput per workload, like one row of Figure 4 as an
+// application you can point at your own parameters.
+package main
+
+import (
+	"fmt"
+
+	alex "repro"
+	"repro/internal/datasets"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const (
+	initKeys = 200_000
+	ops      = 200_000
+)
+
+// store adapts the public alex.Index to the workload runner.
+type store struct{ *alex.Index }
+
+func (s store) ScanCount(start float64, max int) int {
+	remaining := max
+	return s.Scan(start, func(float64, uint64) bool {
+		remaining--
+		return remaining > 0
+	})
+}
+
+func main() {
+	all := datasets.GenYCSB(initKeys+ops, 23)
+	init, stream := all[:initKeys], all[initKeys:]
+
+	t := stats.NewTable("workload", "throughput", "reads", "inserts", "scans", "index size")
+	for _, kind := range workload.Kinds {
+		// The paper uses GA-SRMI for read-only, GA-ARMI otherwise.
+		var idx *alex.Index
+		var err error
+		if kind == workload.ReadOnly {
+			idx, err = alex.Load(init, nil, alex.WithStaticRMI(0), alex.WithPayloadBytes(80))
+		} else {
+			idx, err = alex.Load(init, nil, alex.WithPayloadBytes(80))
+		}
+		if err != nil {
+			panic(err)
+		}
+		res := workload.Run(store{idx}, workload.Spec{
+			Kind:         kind,
+			InitKeys:     init,
+			InsertStream: stream,
+			Ops:          ops,
+			Seed:         99,
+		})
+		if res.Misses > 0 {
+			panic(fmt.Sprintf("%d lookup misses; zipfian key choice must always hit", res.Misses))
+		}
+		t.AddRow(kind.String(),
+			stats.FormatOps(res.Throughput),
+			fmt.Sprint(res.Reads), fmt.Sprint(res.Inserts), fmt.Sprint(res.Scans),
+			stats.FormatBytes(res.IndexBytes))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,168 @@
+// Package analysis implements §4 of the paper, "Analysis of Model-Based
+// Inserts": the relationship between the expansion factor c (allocated
+// slots per key) and the number of *direct hits* — keys stored exactly
+// at the slot their model predicts, which cost zero comparisons to find.
+//
+// With keys x₁ < x₂ < … < xₙ, the node's linear model before expansion
+// is y = a·x + b (the least-squares fit of keys to ranks), and after
+// allocating c·n slots the scaled model is y = c(a·x + b). Define
+// δᵢ = xᵢ₊₁ - xᵢ and Δᵢ = xᵢ₊₂ - xᵢ. The paper proves:
+//
+//   - Theorem 1: c ≥ 1/(a·min δᵢ) ⟹ every key lands at its predicted
+//     slot (n direct hits).
+//   - Theorem 2: direct hits ≤ 2 + |{i : Δᵢ > 1/(c·a)}|.
+//   - Theorem 3: direct hits ≥ l + 1, where l is the longest prefix
+//     with δᵢ ≥ 1/(c·a); and ≈ 1 + |{i : δᵢ ≥ 1/(c·a)}| if collision
+//     chains are ignored.
+//
+// SimulateDirectHits reproduces the placement process itself (sorted
+// model-based insertion with fall-forward on collision, the
+// ModelBasedInsert of Algorithm 3), so the theorems can be checked
+// against ground truth — the package's tests do exactly that.
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/linmodel"
+)
+
+// BaseModel returns the c=1 linear model of §4: the least-squares fit of
+// the sorted keys to their ranks. The slope is the "a" in the theorems.
+func BaseModel(keys []float64) linmodel.Model {
+	return linmodel.Train(keys)
+}
+
+// MinDelta returns min over i of keys[i+1]-keys[i]. It returns +Inf for
+// fewer than two keys.
+func MinDelta(keys []float64) float64 {
+	min := math.Inf(1)
+	for i := 0; i+1 < len(keys); i++ {
+		if d := keys[i+1] - keys[i]; d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// DirectHitExpansion returns the Theorem 1 threshold 1/(a·min δᵢ): any
+// expansion factor at or above it guarantees every key is a direct hit.
+// It returns +Inf when the model slope is non-positive or keys collide.
+func DirectHitExpansion(keys []float64) float64 {
+	a := BaseModel(keys).Slope
+	d := MinDelta(keys)
+	if a <= 0 || d <= 0 || math.IsInf(d, 1) {
+		return math.Inf(1)
+	}
+	return 1 / (a * d)
+}
+
+// UpperBoundDirectHits returns the Theorem 2 bound
+// 2 + |{1 ≤ i ≤ n-2 : Δᵢ > 1/(c·a)}| (capped at n).
+func UpperBoundDirectHits(keys []float64, c float64) int {
+	n := len(keys)
+	if n <= 2 {
+		return n
+	}
+	a := BaseModel(keys).Slope
+	if a <= 0 || c <= 0 {
+		return n
+	}
+	threshold := 1 / (c * a)
+	count := 2
+	for i := 0; i+2 < n; i++ {
+		if keys[i+2]-keys[i] > threshold {
+			count++
+		}
+	}
+	if count > n {
+		count = n
+	}
+	return count
+}
+
+// LowerBoundDirectHits returns the Theorem 3 bound l+1, where l is the
+// number of consecutive δᵢ from the beginning with δᵢ ≥ 1/(c·a).
+func LowerBoundDirectHits(keys []float64, c float64) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	a := BaseModel(keys).Slope
+	if a <= 0 || c <= 0 {
+		return 1
+	}
+	threshold := 1 / (c * a)
+	l := 0
+	for i := 0; i+1 < n; i++ {
+		if keys[i+1]-keys[i] >= threshold {
+			l++
+		} else {
+			break
+		}
+	}
+	return l + 1
+}
+
+// ApproxLowerBoundDirectHits returns the collision-chain-ignoring
+// approximation 1 + |{1 ≤ i ≤ n-1 : δᵢ ≥ 1/(c·a)}| discussed after
+// Theorem 3. It is not a guaranteed bound.
+func ApproxLowerBoundDirectHits(keys []float64, c float64) int {
+	n := len(keys)
+	if n <= 1 {
+		return n
+	}
+	a := BaseModel(keys).Slope
+	if a <= 0 || c <= 0 {
+		return 1
+	}
+	threshold := 1 / (c * a)
+	count := 1
+	for i := 0; i+1 < n; i++ {
+		if keys[i+1]-keys[i] >= threshold {
+			count++
+		}
+	}
+	return count
+}
+
+// SimulateDirectHits performs the §4 placement process exactly: keys are
+// inserted in sorted order at floor(c·(a·x+b)) when that slot is still
+// free and to the right of every earlier placement, otherwise at the
+// first free slot to the right (a collision, not a direct hit). It
+// returns the number of direct hits. The simulated array is unbounded
+// on the right, matching the theorems' idealization.
+func SimulateDirectHits(keys []float64, c float64) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	model := BaseModel(keys).Scale(c)
+	hits := 0
+	// The theorems idealize an array unbounded on both sides (the first
+	// key's prediction can round below zero and still count as a direct
+	// hit), so the occupancy frontier starts at -infinity.
+	last := math.MinInt32
+	for _, x := range keys {
+		pos := int(math.Floor(model.Predict(x)))
+		if pos > last {
+			hits++
+			last = pos
+		} else {
+			last++
+		}
+	}
+	return hits
+}
+
+// DirectHitFraction is SimulateDirectHits normalized by n — the quantity
+// one would plot against c to visualize the §4 space-time trade-off.
+func DirectHitFraction(keys []float64, c float64) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	return float64(SimulateDirectHits(keys, c)) / float64(len(keys))
+}

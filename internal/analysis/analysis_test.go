@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gapped"
+)
+
+func randomSortedKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := rng.Float64() * 1000
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func TestMinDelta(t *testing.T) {
+	if d := MinDelta([]float64{1, 3, 4, 10}); d != 1 {
+		t.Fatalf("MinDelta = %v", d)
+	}
+	if d := MinDelta([]float64{5}); !math.IsInf(d, 1) {
+		t.Fatalf("single-key MinDelta = %v", d)
+	}
+}
+
+func TestTheorem1UniformKeys(t *testing.T) {
+	// Perfectly uniform keys: a = 1/step, min δ = step, so the Theorem 1
+	// threshold is exactly 1 — no extra space needed for all direct hits.
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 7
+	}
+	c := DirectHitExpansion(keys)
+	if c < 0.99 || c > 1.01 {
+		t.Fatalf("uniform threshold = %v, want ~1", c)
+	}
+	if hits := SimulateDirectHits(keys, c*1.001); hits != len(keys) {
+		t.Fatalf("at threshold: %d/%d direct hits", hits, len(keys))
+	}
+}
+
+func TestTheorem1GuaranteesAllHits(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		keys := randomSortedKeys(200, seed)
+		c := DirectHitExpansion(keys)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		// Slightly above threshold to absorb float rounding at the edge.
+		if hits := SimulateDirectHits(keys, c*(1+1e-9)); hits != len(keys) {
+			t.Fatalf("seed %d: c=%v gave %d/%d hits", seed, c, hits, len(keys))
+		}
+	}
+}
+
+func TestTheorem2UpperBoundHolds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		keys := randomSortedKeys(300, seed)
+		for _, c := range []float64{0.5, 1, 1.5, 2, 4, 8, 32} {
+			hits := SimulateDirectHits(keys, c)
+			ub := UpperBoundDirectHits(keys, c)
+			if hits > ub {
+				t.Fatalf("seed %d c=%v: hits %d > upper bound %d", seed, c, hits, ub)
+			}
+		}
+	}
+}
+
+func TestTheorem3LowerBoundHolds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		keys := randomSortedKeys(300, seed)
+		for _, c := range []float64{0.5, 1, 1.5, 2, 4, 8, 32} {
+			hits := SimulateDirectHits(keys, c)
+			lb := LowerBoundDirectHits(keys, c)
+			if hits < lb {
+				t.Fatalf("seed %d c=%v: hits %d < lower bound %d", seed, c, hits, lb)
+			}
+		}
+	}
+}
+
+func TestBoundsCoincideAboveThreshold(t *testing.T) {
+	// §4: "When Theorem 1's condition is true, the exact and the
+	// approximate lower bound, and the exact upper bound all become
+	// equal" (= n).
+	keys := randomSortedKeys(150, 99)
+	c := DirectHitExpansion(keys) * (1 + 1e-9)
+	if math.IsInf(c, 1) {
+		t.Skip("degenerate threshold")
+	}
+	n := len(keys)
+	if ub := UpperBoundDirectHits(keys, c); ub != n {
+		t.Fatalf("upper bound %d != n %d above threshold", ub, n)
+	}
+	if lb := LowerBoundDirectHits(keys, c); lb != n {
+		t.Fatalf("lower bound %d != n %d above threshold", lb, n)
+	}
+	if al := ApproxLowerBoundDirectHits(keys, c); al != n {
+		t.Fatalf("approx lower bound %d != n %d above threshold", al, n)
+	}
+}
+
+func TestDirectHitsMonotoneInC(t *testing.T) {
+	// More space can only help: the positive correlation §4 derives.
+	keys := randomSortedKeys(500, 7)
+	prev := -1
+	for _, c := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 64} {
+		hits := SimulateDirectHits(keys, c)
+		if hits < prev {
+			t.Fatalf("hits decreased from %d to %d at c=%v", prev, hits, c)
+		}
+		prev = hits
+	}
+	if f := DirectHitFraction(keys, 1e6); f != 1 {
+		t.Fatalf("fraction at huge c = %v", f)
+	}
+}
+
+func TestC1MatchesKraskaRegime(t *testing.T) {
+	// c=1 is the original Learned Index's dense array (§4: "this upper
+	// bound also applies to the previously proposed RMI where c = 1").
+	// On clustered data, the hit fraction must be visibly below 1.
+	rng := rand.New(rand.NewSource(8))
+	keys := make([]float64, 0, 500)
+	seen := make(map[float64]bool)
+	for len(keys) < 500 {
+		k := math.Floor(math.Exp(rng.NormFloat64())*1000) / 10
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Float64s(keys)
+	if f := DirectHitFraction(keys, 1); f > 0.9 {
+		t.Fatalf("dense array on skewed keys has %.2f direct-hit fraction; expected collisions", f)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if SimulateDirectHits(nil, 2) != 0 {
+		t.Fatal("empty")
+	}
+	if SimulateDirectHits([]float64{5}, 2) != 1 {
+		t.Fatal("single key is always a direct hit")
+	}
+	if LowerBoundDirectHits(nil, 2) != 0 || LowerBoundDirectHits([]float64{1}, 2) != 1 {
+		t.Fatal("lower bound degenerate")
+	}
+	if UpperBoundDirectHits([]float64{1, 2}, 2) != 2 {
+		t.Fatal("upper bound n<=2")
+	}
+}
+
+// Property: for arbitrary key sets and expansion factors the sandwich
+// lower <= simulated <= upper always holds.
+func TestQuickTheoremSandwich(t *testing.T) {
+	f := func(raw []uint32, cRaw uint8) bool {
+		seen := make(map[float64]bool)
+		keys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			k := float64(v % 100000)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sort.Float64s(keys)
+		c := 0.25 + float64(cRaw)/16
+		hits := SimulateDirectHits(keys, c)
+		return hits >= LowerBoundDirectHits(keys, c) && hits <= UpperBoundDirectHits(keys, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The theory must describe the real gapped array too: bulk loading at
+// low density (high c) should put most keys at their predicted slots.
+func TestTheoryPredictsGappedArrayBehaviour(t *testing.T) {
+	keys := randomSortedKeys(5000, 13)
+	payloads := make([]uint64, len(keys))
+	// Density d=0.5 => initial density d²=0.25 => c=4.
+	a := gapped.NewFromSorted(keys, payloads, gapped.Config{Density: 0.5})
+	zero := 0
+	for _, k := range keys {
+		if e, ok := a.PredictionError(k); ok && e == 0 {
+			zero++
+		}
+	}
+	simulated := DirectHitFraction(keys, 4)
+	actual := float64(zero) / float64(len(keys))
+	// The real node clamps at array edges, so allow slack; the orders
+	// must agree.
+	if actual < simulated-0.25 {
+		t.Fatalf("gapped array direct-hit fraction %.2f far below theory %.2f", actual, simulated)
+	}
+}

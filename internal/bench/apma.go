@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pma"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// APMARow reports one index's behaviour under sequential inserts.
+type APMARow struct {
+	Index      string
+	Throughput float64
+	Rebalances uint64
+	Shifts     uint64
+}
+
+// ExtAdaptivePMA revisits the Fig 5c adversary with the adaptive PMA §7
+// proposes: "the adaptive PMA could, in theory, prevent the adversarial
+// case". Strictly increasing keys are inserted into the uniform PMA,
+// the adaptive PMA, and the gapped array (all under adaptive RMI with
+// splitting); the adaptive PMA should rebalance far less.
+func ExtAdaptivePMA(w io.Writer, o Options) []APMARow {
+	o = o.withFloors()
+	initN := o.RWInit
+	init := make([]float64, initN)
+	for i := range init {
+		init[i] = float64(i)
+	}
+	stream := make([]float64, o.Ops)
+	for i := range stream {
+		stream[i] = float64(initN + i)
+	}
+	spec := workload.Spec{Kind: workload.WriteHeavy, InitKeys: init, InsertStream: stream, Ops: o.Ops, Seed: o.Seed + 31}
+
+	type target struct {
+		label string
+		cfg   core.Config
+	}
+	targets := []target{
+		{"ALEX-PMA-ARMI(uniform)", core.Config{Layout: core.PackedMemoryArray, RMI: core.AdaptiveRMI, SplitOnInsert: true}},
+		{"ALEX-PMA-ARMI(adaptive)", core.Config{Layout: core.PackedMemoryArray, RMI: core.AdaptiveRMI, SplitOnInsert: true, PMA: pma.Config{Adaptive: true}}},
+		{"ALEX-GA-ARMI", core.Config{Layout: core.GappedArray, RMI: core.AdaptiveRMI, SplitOnInsert: true}},
+	}
+	var rows []APMARow
+	for _, tg := range targets {
+		at := buildALEX(init, tg.cfg)
+		res := workload.Run(at, spec)
+		st := at.Stats()
+		rows = append(rows, APMARow{
+			Index: tg.label, Throughput: res.Throughput,
+			Rebalances: st.Rebalances, Shifts: st.Shifts,
+		})
+	}
+	t := stats.NewTable("index", "throughput", "rebalances", "moves")
+	for _, r := range rows {
+		t.AddRow(r.Index, stats.FormatOps(r.Throughput),
+			fmt.Sprintf("%d", r.Rebalances), fmt.Sprintf("%d", r.Shifts))
+	}
+	section(w, "extension: adaptive PMA vs sequential inserts (§7 future work)")
+	io.WriteString(w, t.String())
+	return rows
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/stats"
+)
+
+// Fig11Row is one error-size point of the search microbenchmark.
+type Fig11Row struct {
+	ErrSize        int
+	ExpNsPerOp     float64
+	ExpComparisons float64
+	Bin64NsPerOp   float64
+	Bin512NsPerOp  float64
+	Bin4096NsPerOp float64
+}
+
+// Fig11 regenerates the exponential vs binary search microbenchmark
+// (§5.3.2): a perfectly uniform integer array; searches receive a
+// predicted position offset from the true position by a synthetic error;
+// exponential search is compared against bounded binary search with
+// three fixed bound sizes. Expected shape: exponential cost grows with
+// log(error), bounded binary is flat in the error but pays its full
+// bound always.
+func Fig11(w io.Writer, o Options) []Fig11Row {
+	o = o.withFloors()
+	n := o.ReadOnlyInit * 4
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	lookups := o.Ops / 2
+	if lookups < 10000 {
+		lookups = 10000
+	}
+	errSizes := []int{0, 2, 8, 32, 128, 512, 2048, 4096}
+
+	timeSearch := func(errSize int, f func(truePos int) int) float64 {
+		rng := rand.New(rand.NewSource(o.Seed + int64(errSize)))
+		positions := make([]int, lookups)
+		for i := range positions {
+			positions[i] = rng.Intn(n-2*4096-2) + 4096
+		}
+		t0 := time.Now()
+		sink := 0
+		for _, p := range positions {
+			sink += f(p)
+		}
+		el := time.Since(t0)
+		_ = sink
+		return float64(el.Nanoseconds()) / float64(lookups)
+	}
+
+	var rows []Fig11Row
+	for _, e := range errSizes {
+		row := Fig11Row{ErrSize: e}
+		row.ExpNsPerOp = timeSearch(e, func(p int) int {
+			return search.Exponential(a, a[p], p+e)
+		})
+		var probes search.Probes
+		sampleN := 1000
+		rng := rand.New(rand.NewSource(o.Seed))
+		for i := 0; i < sampleN; i++ {
+			p := rng.Intn(n-2*4096-2) + 4096
+			probes.Exponential(a, a[p], p+e)
+		}
+		row.ExpComparisons = float64(probes.Comparisons) / float64(sampleN)
+		row.Bin64NsPerOp = timeSearch(e, func(p int) int {
+			pos := p + e
+			if e > 64 {
+				pos = p // bounds would not contain the target; give best case
+			}
+			return search.BoundedBinary(a, a[p], pos, 64, 64)
+		})
+		row.Bin512NsPerOp = timeSearch(e, func(p int) int {
+			pos := p + e
+			if e > 512 {
+				pos = p
+			}
+			return search.BoundedBinary(a, a[p], pos, 512, 512)
+		})
+		row.Bin4096NsPerOp = timeSearch(e, func(p int) int {
+			return search.BoundedBinary(a, a[p], p+e, 4096, 4096)
+		})
+		rows = append(rows, row)
+	}
+
+	t := stats.NewTable("error", "exp ns/op", "exp cmps", "bin64 ns/op", "bin512 ns/op", "bin4096 ns/op")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.ErrSize),
+			fmt.Sprintf("%.1f", r.ExpNsPerOp),
+			fmt.Sprintf("%.1f", r.ExpComparisons),
+			fmt.Sprintf("%.1f", r.Bin64NsPerOp),
+			fmt.Sprintf("%.1f", r.Bin512NsPerOp),
+			fmt.Sprintf("%.1f", r.Bin4096NsPerOp))
+	}
+	section(w, fmt.Sprintf("Fig 11: exponential vs bounded binary search (array n=%d)", n))
+	io.WriteString(w, t.String())
+	return rows
+}

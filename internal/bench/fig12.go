@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+// Fig12Result summarizes the leaf-size distributions of static vs
+// adaptive RMI after bulk load.
+type Fig12Result struct {
+	StaticSizes   []int
+	AdaptiveSizes []int
+	StaticWasted  int // leaves with < 1% of the bound
+	AdaptiveWasted int
+	StaticOver    int // leaves above the max-keys bound
+	AdaptiveOver  int
+}
+
+// Fig12 regenerates Appendix B / Fig 12: bulk load longitudes with both
+// RMI modes and compare leaf-size distributions. The paper's claim:
+// static RMI produces both wasted (near-empty) leaves and oversized
+// leaves prone to fully-packed regions, while adaptive RMI keeps every
+// leaf at or under the bound with few wasted leaves.
+func Fig12(w io.Writer, o Options) Fig12Result {
+	o = o.withFloors()
+	keys := datasets.GenLongitudes(o.ReadOnlyInit, o.Seed)
+	maxKeys := 4096
+
+	st := buildALEX(keys, core.Config{RMI: core.StaticRMI, MaxKeysPerLeaf: maxKeys})
+	ad := buildALEX(keys, core.Config{RMI: core.AdaptiveRMI, MaxKeysPerLeaf: maxKeys})
+
+	res := Fig12Result{StaticSizes: st.LeafSizes(), AdaptiveSizes: ad.LeafSizes()}
+	wastedBound := maxKeys / 100
+	for _, s := range res.StaticSizes {
+		if s <= wastedBound {
+			res.StaticWasted++
+		}
+		if s > maxKeys {
+			res.StaticOver++
+		}
+	}
+	for _, s := range res.AdaptiveSizes {
+		if s <= wastedBound {
+			res.AdaptiveWasted++
+		}
+		if s > maxKeys {
+			res.AdaptiveOver++
+		}
+	}
+
+	t := stats.NewTable("RMI", "leaves", "min", "p50", "p90", "max", "wasted(<1%)", "over bound")
+	for _, e := range []struct {
+		label string
+		sizes []int
+		waste int
+		over  int
+	}{
+		{"static", res.StaticSizes, res.StaticWasted, res.StaticOver},
+		{"adaptive", res.AdaptiveSizes, res.AdaptiveWasted, res.AdaptiveOver},
+	} {
+		s := append([]int(nil), e.sizes...)
+		sort.Ints(s)
+		t.AddRow(e.label,
+			fmt.Sprintf("%d", len(s)),
+			fmt.Sprintf("%d", s[0]),
+			fmt.Sprintf("%d", s[len(s)/2]),
+			fmt.Sprintf("%d", s[len(s)*9/10]),
+			fmt.Sprintf("%d", s[len(s)-1]),
+			fmt.Sprintf("%d", e.waste),
+			fmt.Sprintf("%d", e.over))
+	}
+	section(w, fmt.Sprintf("Fig 12: leaf sizes, static vs adaptive RMI (longitudes n=%d, bound=%d)", o.ReadOnlyInit, maxKeys))
+	io.WriteString(w, t.String())
+	return res
+}

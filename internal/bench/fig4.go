@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/datasets"
+	"repro/internal/learned"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig4Row is one cell group of Figure 4: a (dataset, index) pair with
+// its throughput and sizes.
+type Fig4Row struct {
+	Dataset    datasets.Name
+	Index      string
+	Throughput float64
+	IndexBytes int
+	DataBytes  int
+	Misses     int
+}
+
+// Fig4 regenerates one workload column of Figure 4 (throughput, 4a-4d,
+// and index size, 4e-4h) across all four datasets. The read-only
+// workload includes the Learned Index baseline; read-write workloads
+// exclude it, as the paper does ("The Learned Index has insert time
+// orders of magnitude slower than ALEX and B+Tree, so we do not include
+// it", §5.2.2).
+func Fig4(w io.Writer, o Options, kind workload.Kind) []Fig4Row {
+	o = o.withFloors()
+	initN := o.ReadOnlyInit
+	if kind != workload.ReadOnly {
+		initN = o.RWInit
+	}
+	var rows []Fig4Row
+	for _, name := range datasets.All {
+		rows = append(rows, fig4Dataset(o, kind, name, initN)...)
+	}
+	t := stats.NewTable("dataset", "index", "throughput", "index size", "data size")
+	for _, r := range rows {
+		t.AddRow(string(r.Dataset), r.Index,
+			stats.FormatOps(r.Throughput),
+			stats.FormatBytes(r.IndexBytes),
+			stats.FormatBytes(r.DataBytes))
+	}
+	var figure string
+	switch kind {
+	case workload.ReadOnly:
+		figure = "Fig 4a/4e: read-only"
+	case workload.ReadHeavy:
+		figure = "Fig 4b/4f: read-heavy (95/5)"
+	case workload.WriteHeavy:
+		figure = "Fig 4c/4g: write-heavy (50/50)"
+	case workload.RangeScan:
+		figure = "Fig 4d/4h: range scan (95/5, scan<=100)"
+	}
+	section(w, fmt.Sprintf("%s, init=%d ops=%d", figure, initN, o.Ops))
+	io.WriteString(w, t.String())
+	return rows
+}
+
+func fig4Dataset(o Options, kind workload.Kind, name datasets.Name, initN int) []Fig4Row {
+	// The generator is deterministic, so init and insert stream are
+	// disjoint slices of one double-size draw.
+	all := datasets.Generate(name, initN+o.Ops, o.Seed)
+	init, stream := all[:initN], all[initN:]
+	payloadBytes := name.PayloadBytes()
+	spec := workload.Spec{Kind: kind, InitKeys: init, InsertStream: stream, Ops: o.Ops, Seed: o.Seed + 7}
+
+	var rows []Fig4Row
+
+	// ALEX, with the variant the paper selects for this workload.
+	alexCfg := alexConfigFor(kind, payloadBytes)
+	at := buildALEX(init, alexCfg)
+	ar := workload.Run(at, spec)
+	rows = append(rows, Fig4Row{
+		Dataset: name, Index: alexCfg.VariantName(),
+		Throughput: ar.Throughput, IndexBytes: ar.IndexBytes, DataBytes: ar.DataBytes, Misses: ar.Misses,
+	})
+
+	// B+Tree baseline.
+	page := 256
+	if o.TuneBaselines {
+		page = tuneBTreePage(init, kind, stream, o.Ops, o.Seed+7, payloadBytes)
+	}
+	bt := buildBTree(init, btree.Config{PageSizeBytes: page, PayloadBytes: payloadBytes})
+	br := workload.Run(bt, spec)
+	rows = append(rows, Fig4Row{
+		Dataset: name, Index: fmt.Sprintf("B+Tree(page=%d)", page),
+		Throughput: br.Throughput, IndexBytes: br.IndexBytes, DataBytes: br.DataBytes, Misses: br.Misses,
+	})
+
+	// Learned Index, read-only workloads only.
+	if kind == workload.ReadOnly {
+		m := 0
+		if o.TuneBaselines {
+			m = tuneLearnedModels(init, o.Ops, o.Seed+7)
+		}
+		li, err := learned.BulkLoad(init, nil, learned.Config{NumModels: m, PayloadBytes: payloadBytes})
+		if err == nil {
+			lr := workload.Run(li, spec)
+			rows = append(rows, Fig4Row{
+				Dataset: name, Index: fmt.Sprintf("LearnedIndex(m=%d)", li.NumModels()),
+				Throughput: lr.Throughput, IndexBytes: lr.IndexBytes, DataBytes: lr.DataBytes, Misses: lr.Misses,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig4All runs all four workload columns.
+func Fig4All(w io.Writer, o Options) {
+	for _, kind := range workload.Kinds {
+		Fig4(w, o, kind)
+	}
+}
+
+// BestALEXFor is exported for tests: the variant name used per workload.
+func BestALEXFor(kind workload.Kind) string {
+	return alexConfigFor(kind, 8).VariantName()
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+// Table1 regenerates Table 1 (dataset characteristics) at the configured
+// scale, adding the non-linearity score that Appendix C discusses
+// qualitatively.
+func Table1(w io.Writer, o Options) *stats.Table {
+	o = o.withFloors()
+	t := stats.NewTable("dataset", "num keys", "key type", "payload", "min key", "max key", "non-linearity(64)")
+	for _, name := range datasets.All {
+		keys := datasets.Generate(name, o.ReadOnlyInit, o.Seed)
+		sorted := datasets.Sorted(keys)
+		nl := datasets.NonLinearity(keys, 64)
+		t.AddRow(
+			string(name),
+			fmt.Sprintf("%d", len(keys)),
+			name.KeyType(),
+			fmt.Sprintf("%dB", name.PayloadBytes()),
+			fmt.Sprintf("%.4g", sorted[0]),
+			fmt.Sprintf("%.4g", sorted[len(sorted)-1]),
+			fmt.Sprintf("%.4f", nl),
+		)
+	}
+	section(w, "Table 1: dataset characteristics")
+	io.WriteString(w, t.String())
+	return t
+}
+
+// Fig13 prints the dataset CDFs (Appendix C, Fig 13) as coarse samples,
+// plus a zoomed window for longitudes vs longlat (Fig 14) showing the
+// step-function behaviour of longlat.
+func Fig13(w io.Writer, o Options) *stats.Table {
+	o = o.withFloors()
+	t := stats.NewTable("dataset", "frac", "key")
+	for _, name := range datasets.All {
+		keys := datasets.Generate(name, o.ReadOnlyInit/4, o.Seed)
+		for _, p := range datasets.CDF(keys, 11) {
+			t.AddRow(string(name), fmt.Sprintf("%.2f", p.Frac), fmt.Sprintf("%.6g", p.Key))
+		}
+	}
+	section(w, "Fig 13: dataset CDFs (11-point samples)")
+	io.WriteString(w, t.String())
+
+	// Fig 14: zoom into the middle 10% of longitudes vs longlat.
+	zoom := stats.NewTable("dataset", "frac", "key")
+	for _, name := range []datasets.Name{datasets.Longitudes, datasets.LongLat} {
+		keys := datasets.Generate(name, o.ReadOnlyInit/4, o.Seed)
+		sorted := datasets.Sorted(keys)
+		lo, hi := len(sorted)/2, len(sorted)/2+len(sorted)/10
+		window := sorted[lo:hi]
+		for _, p := range datasets.CDF(window, 11) {
+			frac := float64(lo)/float64(len(sorted)) + p.Frac*0.1
+			zoom.AddRow(string(name), fmt.Sprintf("%.3f", frac), fmt.Sprintf("%.6g", p.Key))
+		}
+	}
+	section(w, "Fig 14: zoomed CDFs (middle 10%), longlat steps vs longitudes smoothness")
+	io.WriteString(w, zoom.String())
+	return t
+}

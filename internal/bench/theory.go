@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+// TheoryRow is one expansion-factor point of the §4 analysis.
+type TheoryRow struct {
+	C          float64
+	Simulated  float64 // direct-hit fraction from exact placement
+	UpperFrac  float64 // Theorem 2 bound / n
+	LowerFrac  float64 // Theorem 3 bound / n
+	ApproxFrac float64 // approximate lower bound / n
+}
+
+// ExtTheory evaluates §4's space-time analysis on real dataset prefixes:
+// for each dataset it sweeps the expansion factor c and reports the
+// simulated direct-hit fraction next to the Theorem 2/3 bounds. This is
+// the mechanism behind Fig 10 — more slots per key means more direct
+// hits means fewer comparisons per lookup — made quantitative.
+func ExtTheory(w io.Writer, o Options) map[datasets.Name][]TheoryRow {
+	o = o.withFloors()
+	n := o.RWInit
+	if n > 20000 {
+		n = 20000 // the bounds are O(n) per c; keep the sweep snappy
+	}
+	out := make(map[datasets.Name][]TheoryRow)
+	t := stats.NewTable("dataset", "c", "direct-hit frac", "thm2 upper", "thm3 lower", "approx lower")
+	for _, name := range datasets.All {
+		keys := datasets.Sorted(datasets.Generate(name, n, o.Seed))
+		var rows []TheoryRow
+		for _, c := range []float64{1, 1.25, 1.5, 2, 3, 5, 10} {
+			fn := float64(len(keys))
+			row := TheoryRow{
+				C:          c,
+				Simulated:  analysis.DirectHitFraction(keys, c),
+				UpperFrac:  float64(analysis.UpperBoundDirectHits(keys, c)) / fn,
+				LowerFrac:  float64(analysis.LowerBoundDirectHits(keys, c)) / fn,
+				ApproxFrac: float64(analysis.ApproxLowerBoundDirectHits(keys, c)) / fn,
+			}
+			rows = append(rows, row)
+			t.AddRow(string(name), fmt.Sprintf("%.2f", c),
+				fmt.Sprintf("%.3f", row.Simulated),
+				fmt.Sprintf("%.3f", row.UpperFrac),
+				fmt.Sprintf("%.3f", row.LowerFrac),
+				fmt.Sprintf("%.3f", row.ApproxFrac))
+		}
+		out[name] = rows
+	}
+	section(w, fmt.Sprintf("extension: §4 direct-hit analysis vs expansion factor (n=%d)", n))
+	io.WriteString(w, t.String())
+	return out
+}

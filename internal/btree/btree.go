@@ -1,0 +1,658 @@
+// Package btree implements the in-memory B+Tree baseline of the paper's
+// evaluation (§5.1), standing in for the STX B+Tree: values live only in
+// leaves, leaves are chained for range scans, and the page size — the
+// only parameter the paper grid-searches — is configurable in bytes.
+//
+// The tree supports bulk load, point lookup, insert with node splits,
+// delete with borrow/merge rebalancing, and range scans, plus the size
+// accounting of §5.1 (index size = inner nodes, data size = leaf nodes).
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/search"
+)
+
+// Config parameterizes the tree.
+type Config struct {
+	// PageSizeBytes is the node size in bytes; a leaf stores
+	// PageSizeBytes/16 key-value pairs, an inner node the same number of
+	// separators+children. Default 256 (16 entries), the STX default.
+	PageSizeBytes int
+	// FillFactor is the leaf occupancy used by BulkLoad, in (0, 1].
+	// Default 1.0 (completely full, like STX bulk load).
+	FillFactor float64
+	// PayloadBytes is the payload size used in data-size accounting.
+	// Default 8.
+	PayloadBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSizeBytes < 64 {
+		c.PageSizeBytes = 256
+	}
+	if c.FillFactor <= 0 || c.FillFactor > 1 {
+		c.FillFactor = 1.0
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 8
+	}
+	return c
+}
+
+func (c Config) leafCap() int {
+	n := c.PageSizeBytes / 16
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func (c Config) innerCap() int {
+	n := c.PageSizeBytes / 16
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+type leaf struct {
+	keys       []float64
+	vals       []uint64
+	next, prev *leaf
+}
+
+// inner holds len(children) == len(keys)+1; child i covers keys in
+// [keys[i-1], keys[i]).
+type inner struct {
+	keys     []float64
+	children []interface{}
+}
+
+// Tree is an in-memory B+Tree from float64 keys to uint64 payloads.
+type Tree struct {
+	cfg   Config
+	root  interface{}
+	head  *leaf
+	count int
+	// splits and merges are exposed through Stats for experiments.
+	splits, merges, borrows uint64
+}
+
+// Stats reports structural counters.
+type Stats struct {
+	Splits, Merges, Borrows uint64
+	NumLeaves, NumInner     int
+	Height                  int
+}
+
+// New returns an empty tree.
+func New(cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	l := &leaf{keys: make([]float64, 0, cfg.leafCap()), vals: make([]uint64, 0, cfg.leafCap())}
+	return &Tree{cfg: cfg, root: l, head: l}
+}
+
+// BulkLoad builds a tree from sorted unique keys, packing leaves to the
+// configured fill factor and building inner levels bottom-up.
+func BulkLoad(keys []float64, payloads []uint64, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	if payloads == nil {
+		payloads = make([]uint64, len(keys))
+	}
+	t := &Tree{cfg: cfg}
+	if len(keys) == 0 {
+		l := &leaf{keys: make([]float64, 0, cfg.leafCap()), vals: make([]uint64, 0, cfg.leafCap())}
+		t.root = l
+		t.head = l
+		return t
+	}
+	per := int(float64(cfg.leafCap()) * cfg.FillFactor)
+	if per < 1 {
+		per = 1
+	}
+	// Build the leaf level.
+	var leaves []interface{}
+	var seps []float64 // first key of each leaf except the first
+	var prev *leaf
+	for i := 0; i < len(keys); i += per {
+		j := i + per
+		if j > len(keys) {
+			j = len(keys)
+		}
+		l := &leaf{keys: make([]float64, j-i, cfg.leafCap()), vals: make([]uint64, j-i, cfg.leafCap())}
+		copy(l.keys, keys[i:j])
+		copy(l.vals, payloads[i:j])
+		l.prev = prev
+		if prev != nil {
+			prev.next = l
+		} else {
+			t.head = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+		if i > 0 {
+			seps = append(seps, keys[i])
+		}
+	}
+	t.count = len(keys)
+	// Build inner levels until a single root remains.
+	level := leaves
+	levelSeps := seps
+	for len(level) > 1 {
+		fan := cfg.innerCap()
+		var nextLevel []interface{}
+		var nextSeps []float64
+		for i := 0; i < len(level); {
+			j := i + fan
+			if j > len(level) {
+				j = len(level)
+			}
+			// Avoid a trailing single-child inner node.
+			if len(level)-j == 1 {
+				j--
+				if j <= i {
+					j = i + 1
+				}
+			}
+			n := &inner{
+				keys:     append([]float64(nil), levelSeps[i:j-1]...),
+				children: append([]interface{}(nil), level[i:j]...),
+			}
+			nextLevel = append(nextLevel, n)
+			if i > 0 {
+				nextSeps = append(nextSeps, levelSeps[i-1])
+			}
+			i = j
+		}
+		level = nextLevel
+		levelSeps = nextSeps
+	}
+	t.root = level[0]
+	return t
+}
+
+// routeIdx returns the child index for key within an inner node.
+func routeIdx(n *inner, key float64) int {
+	return search.UpperBound(n.keys, key)
+}
+
+// findLeaf descends to the leaf responsible for key, recording the path.
+func (t *Tree) findLeaf(key float64, path *[]pathEntry) *leaf {
+	cur := t.root
+	for {
+		switch n := cur.(type) {
+		case *inner:
+			i := routeIdx(n, key)
+			if path != nil {
+				*path = append(*path, pathEntry{n, i})
+			}
+			cur = n.children[i]
+		case *leaf:
+			return n
+		default:
+			panic("btree: corrupt node")
+		}
+	}
+}
+
+type pathEntry struct {
+	node *inner
+	slot int
+}
+
+// Get returns the payload stored for key.
+func (t *Tree) Get(key float64) (uint64, bool) {
+	l := t.findLeaf(key, nil)
+	i := search.LowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.vals[i], true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key float64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Insert adds key with payload, splitting nodes as needed. Inserting an
+// existing key overwrites the payload and returns false.
+func (t *Tree) Insert(key float64, payload uint64) bool {
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		panic("btree: key must be finite")
+	}
+	var path []pathEntry
+	l := t.findLeaf(key, &path)
+	i := search.LowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		l.vals[i] = payload
+		return false
+	}
+	l.keys = append(l.keys, 0)
+	l.vals = append(l.vals, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	copy(l.vals[i+1:], l.vals[i:])
+	l.keys[i] = key
+	l.vals[i] = payload
+	t.count++
+	if len(l.keys) > t.cfg.leafCap() {
+		t.splitLeaf(l, path)
+	}
+	return true
+}
+
+// splitLeaf splits an overfull leaf and propagates up the path.
+func (t *Tree) splitLeaf(l *leaf, path []pathEntry) {
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append(make([]float64, 0, t.cfg.leafCap()), l.keys[mid:]...),
+		vals: append(make([]uint64, 0, t.cfg.leafCap()), l.vals[mid:]...),
+		next: l.next,
+		prev: l,
+	}
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	if right.next != nil {
+		right.next.prev = right
+	}
+	l.next = right
+	t.splits++
+	t.insertInParent(l, right.keys[0], right, path)
+}
+
+// insertInParent links newRight (with separator sep) next to left,
+// splitting inner nodes as needed.
+func (t *Tree) insertInParent(left interface{}, sep float64, newRight interface{}, path []pathEntry) {
+	if len(path) == 0 {
+		t.root = &inner{keys: []float64{sep}, children: []interface{}{left, newRight}}
+		return
+	}
+	p := path[len(path)-1]
+	n, i := p.node, p.slot
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = newRight
+	if len(n.children) > t.cfg.innerCap() {
+		mid := len(n.keys) / 2
+		upSep := n.keys[mid]
+		right := &inner{
+			keys:     append([]float64(nil), n.keys[mid+1:]...),
+			children: append([]interface{}(nil), n.children[mid+1:]...),
+		}
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+		t.splits++
+		t.insertInParent(n, upSep, right, path[:len(path)-1])
+	}
+}
+
+// Delete removes key, rebalancing with borrow/merge. It reports whether
+// the key was present.
+func (t *Tree) Delete(key float64) bool {
+	var path []pathEntry
+	l := t.findLeaf(key, &path)
+	i := search.LowerBound(l.keys, key)
+	if i >= len(l.keys) || l.keys[i] != key {
+		return false
+	}
+	copy(l.keys[i:], l.keys[i+1:])
+	copy(l.vals[i:], l.vals[i+1:])
+	l.keys = l.keys[:len(l.keys)-1]
+	l.vals = l.vals[:len(l.vals)-1]
+	t.count--
+	t.rebalanceLeaf(l, path)
+	return true
+}
+
+func (t *Tree) rebalanceLeaf(l *leaf, path []pathEntry) {
+	minFill := t.cfg.leafCap() / 2
+	if len(l.keys) >= minFill || len(path) == 0 {
+		return
+	}
+	p := path[len(path)-1]
+	parent, slot := p.node, p.slot
+	// Try borrowing from siblings under the same parent.
+	if slot > 0 {
+		left := parent.children[slot-1].(*leaf)
+		if len(left.keys) > minFill {
+			k := left.keys[len(left.keys)-1]
+			v := left.vals[len(left.vals)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			left.vals = left.vals[:len(left.vals)-1]
+			l.keys = append([]float64{k}, l.keys...)
+			l.vals = append([]uint64{v}, l.vals...)
+			parent.keys[slot-1] = k
+			t.borrows++
+			return
+		}
+	}
+	if slot < len(parent.children)-1 {
+		right := parent.children[slot+1].(*leaf)
+		if len(right.keys) > minFill {
+			k := right.keys[0]
+			v := right.vals[0]
+			copy(right.keys, right.keys[1:])
+			copy(right.vals, right.vals[1:])
+			right.keys = right.keys[:len(right.keys)-1]
+			right.vals = right.vals[:len(right.vals)-1]
+			l.keys = append(l.keys, k)
+			l.vals = append(l.vals, v)
+			parent.keys[slot] = right.keys[0]
+			t.borrows++
+			return
+		}
+	}
+	// Merge with a sibling.
+	if slot > 0 {
+		left := parent.children[slot-1].(*leaf)
+		left.keys = append(left.keys, l.keys...)
+		left.vals = append(left.vals, l.vals...)
+		left.next = l.next
+		if l.next != nil {
+			l.next.prev = left
+		}
+		t.removeChild(parent, slot, path[:len(path)-1])
+	} else if slot < len(parent.children)-1 {
+		right := parent.children[slot+1].(*leaf)
+		l.keys = append(l.keys, right.keys...)
+		l.vals = append(l.vals, right.vals...)
+		l.next = right.next
+		if right.next != nil {
+			right.next.prev = l
+		}
+		t.removeChild(parent, slot+1, path[:len(path)-1])
+	}
+	t.merges++
+}
+
+// removeChild deletes children[slot] (and keys[slot-1]) from n and
+// rebalances inner nodes upward.
+func (t *Tree) removeChild(n *inner, slot int, path []pathEntry) {
+	sepIdx := slot - 1
+	if sepIdx < 0 {
+		sepIdx = 0
+	}
+	copy(n.keys[sepIdx:], n.keys[sepIdx+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	copy(n.children[slot:], n.children[slot+1:])
+	n.children = n.children[:len(n.children)-1]
+
+	if len(path) == 0 {
+		// n is the root: collapse when it has a single child.
+		if len(n.children) == 1 {
+			t.root = n.children[0]
+		}
+		return
+	}
+	minFill := t.cfg.innerCap() / 2
+	if len(n.children) >= minFill {
+		return
+	}
+	p := path[len(path)-1]
+	parent, slotInParent := p.node, p.slot
+	if slotInParent > 0 {
+		left := parent.children[slotInParent-1].(*inner)
+		if len(left.children) > minFill {
+			// Rotate rightmost child of left through the parent.
+			n.keys = append([]float64{parent.keys[slotInParent-1]}, n.keys...)
+			n.children = append([]interface{}{left.children[len(left.children)-1]}, n.children...)
+			parent.keys[slotInParent-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			left.children = left.children[:len(left.children)-1]
+			t.borrows++
+			return
+		}
+	}
+	if slotInParent < len(parent.children)-1 {
+		right := parent.children[slotInParent+1].(*inner)
+		if len(right.children) > minFill {
+			n.keys = append(n.keys, parent.keys[slotInParent])
+			n.children = append(n.children, right.children[0])
+			parent.keys[slotInParent] = right.keys[0]
+			copy(right.keys, right.keys[1:])
+			right.keys = right.keys[:len(right.keys)-1]
+			copy(right.children, right.children[1:])
+			right.children = right.children[:len(right.children)-1]
+			t.borrows++
+			return
+		}
+	}
+	// Merge inner nodes.
+	if slotInParent > 0 {
+		left := parent.children[slotInParent-1].(*inner)
+		left.keys = append(left.keys, parent.keys[slotInParent-1])
+		left.keys = append(left.keys, n.keys...)
+		left.children = append(left.children, n.children...)
+		t.merges++
+		t.removeChild(parent, slotInParent, path[:len(path)-1])
+	} else if slotInParent < len(parent.children)-1 {
+		right := parent.children[slotInParent+1].(*inner)
+		n.keys = append(n.keys, parent.keys[slotInParent])
+		n.keys = append(n.keys, right.keys...)
+		n.children = append(n.children, right.children...)
+		t.merges++
+		t.removeChild(parent, slotInParent+1, path[:len(path)-1])
+	}
+}
+
+// Update overwrites the payload of an existing key.
+func (t *Tree) Update(key float64, payload uint64) bool {
+	l := t.findLeaf(key, nil)
+	i := search.LowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		l.vals[i] = payload
+		return true
+	}
+	return false
+}
+
+// Len returns the number of stored elements.
+func (t *Tree) Len() int { return t.count }
+
+// Scan visits elements with key >= start in ascending order until visit
+// returns false, returning the number visited.
+func (t *Tree) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	l := t.findLeaf(start, nil)
+	i := search.LowerBound(l.keys, start)
+	n := 0
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			n++
+			if !visit(l.keys[i], l.vals[i]) {
+				return n
+			}
+		}
+		l = l.next
+		i = 0
+	}
+	return n
+}
+
+// ScanN collects up to max elements starting at the first key >= start.
+func (t *Tree) ScanN(start float64, max int) ([]float64, []uint64) {
+	keys := make([]float64, 0, max)
+	vals := make([]uint64, 0, max)
+	t.Scan(start, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < max
+	})
+	return keys, vals
+}
+
+// ScanCount visits up to max elements from start without materializing.
+func (t *Tree) ScanCount(start float64, max int) int {
+	remaining := max
+	return t.Scan(start, func(float64, uint64) bool {
+		remaining--
+		return remaining > 0
+	})
+}
+
+// MinKey returns the smallest key.
+func (t *Tree) MinKey() (float64, bool) {
+	for l := t.head; l != nil; l = l.next {
+		if len(l.keys) > 0 {
+			return l.keys[0], true
+		}
+	}
+	return 0, false
+}
+
+// MaxKey returns the largest key.
+func (t *Tree) MaxKey() (float64, bool) {
+	cur := t.root
+	for {
+		switch n := cur.(type) {
+		case *inner:
+			cur = n.children[len(n.children)-1]
+		case *leaf:
+			if len(n.keys) == 0 {
+				if n.prev != nil {
+					cur = n.prev
+					continue
+				}
+				return 0, false
+			}
+			return n.keys[len(n.keys)-1], true
+		}
+	}
+}
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	cur := t.root
+	for {
+		n, ok := cur.(*inner)
+		if !ok {
+			return h
+		}
+		h++
+		cur = n.children[0]
+	}
+}
+
+// IndexSizeBytes sums inner node storage (§5.1: "the index size of
+// B+Tree is the sum of the sizes of all inner nodes"): allocated key and
+// child arrays plus a header.
+func (t *Tree) IndexSizeBytes() int {
+	const headerBytes = 24
+	total := 0
+	var walk func(c interface{})
+	walk = func(c interface{}) {
+		if n, ok := c.(*inner); ok {
+			total += headerBytes + cap(n.keys)*8 + cap(n.children)*8
+			for _, ch := range n.children {
+				walk(ch)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// DataSizeBytes sums leaf storage: allocated key and payload arrays plus
+// headers and sibling pointers.
+func (t *Tree) DataSizeBytes() int {
+	const headerBytes = 40 // header + next/prev
+	total := 0
+	for l := t.head; l != nil; l = l.next {
+		total += headerBytes + cap(l.keys)*8 + cap(l.vals)*t.cfg.PayloadBytes
+	}
+	return total
+}
+
+// Stats returns structural counters.
+func (t *Tree) Stats() Stats {
+	s := Stats{Splits: t.splits, Merges: t.merges, Borrows: t.borrows, Height: t.Height()}
+	for l := t.head; l != nil; l = l.next {
+		s.NumLeaves++
+	}
+	var walk func(c interface{})
+	walk = func(c interface{}) {
+		if n, ok := c.(*inner); ok {
+			s.NumInner++
+			for _, ch := range n.children {
+				walk(ch)
+			}
+		}
+	}
+	walk(t.root)
+	return s
+}
+
+// CheckInvariants verifies ordering, capacity, separator correctness,
+// leaf-chain connectivity, and the element count.
+func (t *Tree) CheckInvariants() error {
+	total := 0
+	prev := math.Inf(-1)
+	for l := t.head; l != nil; l = l.next {
+		if !sort.Float64sAreSorted(l.keys) {
+			return errors.New("btree: unsorted leaf")
+		}
+		if len(l.keys) != len(l.vals) {
+			return errors.New("btree: leaf keys/vals length mismatch")
+		}
+		if len(l.keys) > t.cfg.leafCap() {
+			return fmt.Errorf("btree: overfull leaf (%d > %d)", len(l.keys), t.cfg.leafCap())
+		}
+		for _, k := range l.keys {
+			if k <= prev {
+				return fmt.Errorf("btree: key %v out of global order", k)
+			}
+			prev = k
+		}
+		if l.next != nil && l.next.prev != l {
+			return errors.New("btree: broken prev link")
+		}
+		total += len(l.keys)
+	}
+	if total != t.count {
+		return fmt.Errorf("btree: leaf total %d != count %d", total, t.count)
+	}
+	var walk func(c interface{}, lo, hi float64) error
+	walk = func(c interface{}, lo, hi float64) error {
+		switch n := c.(type) {
+		case *inner:
+			if len(n.children) != len(n.keys)+1 {
+				return fmt.Errorf("btree: inner with %d children, %d keys", len(n.children), len(n.keys))
+			}
+			if len(n.children) > t.cfg.innerCap() {
+				return errors.New("btree: overfull inner node")
+			}
+			if !sort.Float64sAreSorted(n.keys) {
+				return errors.New("btree: unsorted inner keys")
+			}
+			for i, ch := range n.children {
+				cLo, cHi := lo, hi
+				if i > 0 {
+					cLo = n.keys[i-1]
+				}
+				if i < len(n.keys) {
+					cHi = n.keys[i]
+				}
+				if err := walk(ch, cLo, cHi); err != nil {
+					return err
+				}
+			}
+		case *leaf:
+			for _, k := range n.keys {
+				if k < lo || k >= hi {
+					return fmt.Errorf("btree: leaf key %v outside separator range [%v,%v)", k, lo, hi)
+				}
+			}
+		}
+		return nil
+	}
+	return walk(t.root, math.Inf(-1), math.Inf(1))
+}

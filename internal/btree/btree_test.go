@@ -1,0 +1,342 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func uniqueSorted(n int, seed int64) ([]float64, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := math.Floor(rng.Float64() * 1e12)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Float64s(keys)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) + 1
+	}
+	return keys, vals
+}
+
+func TestBulkLoadAndGet(t *testing.T) {
+	for _, page := range []int{64, 256, 1024, 4096} {
+		keys, vals := uniqueSorted(20000, int64(page))
+		tr := BulkLoad(keys, vals, Config{PageSizeBytes: page})
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("page %d: %v", page, err)
+		}
+		if tr.Len() != len(keys) {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for i, k := range keys {
+			v, ok := tr.Get(k)
+			if !ok || v != vals[i] {
+				t.Fatalf("page %d: Get(%v) = (%v,%v), want (%v,true)", page, k, v, ok, vals[i])
+			}
+		}
+		if _, ok := tr.Get(-1); ok {
+			t.Fatal("absent key found")
+		}
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	tr := BulkLoad(nil, nil, Config{})
+	if tr.Len() != 0 {
+		t.Fatal("nonzero empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr = BulkLoad([]float64{42}, []uint64{7}, Config{})
+	if v, ok := tr.Get(42); !ok || v != 7 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if h := tr.Height(); h != 1 {
+		t.Fatalf("single-key height = %d", h)
+	}
+}
+
+func TestBulkLoadFillFactor(t *testing.T) {
+	keys, vals := uniqueSorted(10000, 1)
+	full := BulkLoad(keys, vals, Config{FillFactor: 1.0})
+	loose := BulkLoad(keys, vals, Config{FillFactor: 0.5})
+	if loose.Stats().NumLeaves <= full.Stats().NumLeaves {
+		t.Fatal("lower fill factor should create more leaves")
+	}
+	if err := loose.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertWithSplits(t *testing.T) {
+	tr := New(Config{PageSizeBytes: 128})
+	rng := rand.New(rand.NewSource(2))
+	ref := make(map[float64]uint64)
+	for i := 0; i < 20000; i++ {
+		k := math.Floor(rng.Float64() * 1e9)
+		ins := tr.Insert(k, uint64(i))
+		if _, existed := ref[k]; existed == ins {
+			t.Fatal("insert return mismatch")
+		}
+		ref[k] = uint64(i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len %d != %d", tr.Len(), len(ref))
+	}
+	if tr.Stats().Splits == 0 {
+		t.Fatal("no splits")
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = (%v,%v), want (%v,true)", k, got, ok, v)
+		}
+	}
+}
+
+func TestSequentialInserts(t *testing.T) {
+	tr := New(Config{PageSizeBytes: 256})
+	for i := 0; i < 50000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h < 3 {
+		t.Fatalf("height = %d after 50k sequential inserts", h)
+	}
+}
+
+func TestDeleteWithRebalance(t *testing.T) {
+	keys, vals := uniqueSorted(30000, 3)
+	tr := BulkLoad(keys, vals, Config{PageSizeBytes: 128})
+	rng := rand.New(rand.NewSource(4))
+	perm := rng.Perm(len(keys))
+	for _, i := range perm[:25000] {
+		if !tr.Delete(keys[i]) {
+			t.Fatalf("Delete(%v) failed", keys[i])
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	st := tr.Stats()
+	if st.Merges == 0 && st.Borrows == 0 {
+		t.Fatal("no rebalancing after heavy deletes")
+	}
+	for _, i := range perm[25000:] {
+		if _, ok := tr.Get(keys[i]); !ok {
+			t.Fatalf("survivor %v lost", keys[i])
+		}
+	}
+	if tr.Delete(keys[perm[0]]) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	tr := New(Config{PageSizeBytes: 64})
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !tr.Delete(float64(i)) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i)+0.5, uint64(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("reuse Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New(Config{})
+	tr.Insert(1, 10)
+	if !tr.Update(1, 20) {
+		t.Fatal("update failed")
+	}
+	if v, _ := tr.Get(1); v != 20 {
+		t.Fatalf("v = %d", v)
+	}
+	if tr.Update(9, 1) {
+		t.Fatal("update absent succeeded")
+	}
+	if tr.Insert(1, 30) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if v, _ := tr.Get(1); v != 30 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestScan(t *testing.T) {
+	keys, vals := uniqueSorted(10000, 5)
+	tr := BulkLoad(keys, vals, Config{PageSizeBytes: 128})
+	got, _ := tr.ScanN(keys[3000], 500)
+	if len(got) != 500 {
+		t.Fatalf("scan = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != keys[3000+i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], keys[3000+i])
+		}
+	}
+	// Scan from between keys.
+	mid := (keys[10] + keys[11]) / 2
+	first, _ := tr.ScanN(mid, 1)
+	if len(first) != 1 || first[0] != keys[11] {
+		t.Fatalf("scan(mid) = %v", first)
+	}
+	if n := tr.ScanCount(keys[len(keys)-1]+1, 10); n != 0 {
+		t.Fatalf("scan past end = %d", n)
+	}
+	if n := tr.ScanCount(math.Inf(-1), len(keys)+10); n != len(keys) {
+		t.Fatalf("full scan = %d, want %d", n, len(keys))
+	}
+}
+
+func TestMinMaxHeight(t *testing.T) {
+	keys, vals := uniqueSorted(5000, 6)
+	tr := BulkLoad(keys, vals, Config{PageSizeBytes: 128})
+	if k, ok := tr.MinKey(); !ok || k != keys[0] {
+		t.Fatalf("MinKey = %v,%v", k, ok)
+	}
+	if k, ok := tr.MaxKey(); !ok || k != keys[len(keys)-1] {
+		t.Fatalf("MaxKey = %v,%v", k, ok)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+}
+
+func TestSizesGrowWithPageChoice(t *testing.T) {
+	keys, vals := uniqueSorted(50000, 7)
+	small := BulkLoad(keys, vals, Config{PageSizeBytes: 64})
+	big := BulkLoad(keys, vals, Config{PageSizeBytes: 4096})
+	if small.IndexSizeBytes() <= big.IndexSizeBytes() {
+		t.Fatalf("small pages should need more inner-node bytes: %d vs %d",
+			small.IndexSizeBytes(), big.IndexSizeBytes())
+	}
+	if small.DataSizeBytes() < len(keys)*16 {
+		t.Fatal("data size below raw minimum")
+	}
+}
+
+// Property: the tree matches a map under random operations.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Key     uint16
+		Payload uint64
+	}
+	f := func(ops []op, page uint8) bool {
+		tr := New(Config{PageSizeBytes: 64 + int(page)%512})
+		ref := make(map[float64]uint64)
+		for _, o := range ops {
+			k := float64(o.Key % 512)
+			switch o.Kind % 4 {
+			case 0:
+				ins := tr.Insert(k, o.Payload)
+				if _, existed := ref[k]; existed == ins {
+					return false
+				}
+				ref[k] = o.Payload
+			case 1:
+				_, existed := ref[k]
+				if tr.Delete(k) != existed {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				_, existed := ref[k]
+				if tr.Update(k, o.Payload) != existed {
+					return false
+				}
+				if existed {
+					ref[k] = o.Payload
+				}
+			case 3:
+				v, ok := tr.Get(k)
+				want, existed := ref[k]
+				if ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		var got []float64
+		tr.Scan(math.Inf(-1), func(k float64, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(ref) {
+			return false
+		}
+		want := make([]float64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Float64s(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys, vals := uniqueSorted(1<<18, 8)
+	tr := BulkLoad(keys, vals, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i&(len(keys)-1)])
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e12, uint64(i))
+	}
+}

@@ -1,0 +1,825 @@
+// Package core implements ALEX, the updatable adaptive learned index
+// (§3). An ALEX tree is a Recursive Model Index whose inner nodes hold a
+// linear model and an array of child pointers (possibly repeated, when
+// adjacent partitions were merged at bulk load), and whose leaves are
+// data nodes in one of two layouts: Gapped Array or Packed Memory Array.
+//
+// The four variants evaluated in the paper are expressed through Config:
+// Layout × RMIMode give ALEX-GA-SRMI, ALEX-GA-ARMI, ALEX-PMA-SRMI and
+// ALEX-PMA-ARMI; SplitOnInsert additionally enables §3.4.2 node
+// splitting (used for the distribution-shift and sequential-insert
+// experiments).
+//
+// The index is single-writer, like the system the paper evaluates;
+// concurrency control is listed as future work there (§7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gapped"
+	"repro/internal/leafbase"
+	"repro/internal/linmodel"
+	"repro/internal/pma"
+)
+
+// Layout selects the data node layout (§3.3).
+type Layout int
+
+const (
+	// GappedArray is the search-optimized layout (§3.3.1).
+	GappedArray Layout = iota
+	// PackedMemoryArray balances update and search performance (§3.3.2).
+	PackedMemoryArray
+)
+
+func (l Layout) String() string {
+	switch l {
+	case GappedArray:
+		return "GA"
+	case PackedMemoryArray:
+		return "PMA"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// RMIMode selects between the static and adaptive model hierarchies (§3.4).
+type RMIMode int
+
+const (
+	// AdaptiveRMI initializes the tree with Algorithm 4, bounding leaf
+	// sizes and adapting depth to the data.
+	AdaptiveRMI RMIMode = iota
+	// StaticRMI uses a two-level RMI with a fixed number of leaf models,
+	// like the Learned Index of Kraska et al.
+	StaticRMI
+)
+
+func (m RMIMode) String() string {
+	switch m {
+	case AdaptiveRMI:
+		return "ARMI"
+	case StaticRMI:
+		return "SRMI"
+	default:
+		return fmt.Sprintf("RMIMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an ALEX index. The zero value gives ALEX-GA-ARMI
+// with the paper's default space overhead (§5.1).
+type Config struct {
+	// Layout selects the data node layout.
+	Layout Layout
+	// RMI selects static vs adaptive model hierarchy.
+	RMI RMIMode
+	// MaxKeysPerLeaf is the maximum bound on keys per data node used by
+	// adaptive RMI initialization and node splitting (§3.4). Default 4096.
+	MaxKeysPerLeaf int
+	// InnerFanout is the number of partitions given to each non-root
+	// inner node during adaptive initialization (§3.4.1). Default 32.
+	InnerFanout int
+	// SplitFanout is the number of children created when a node splits
+	// on insert (§3.4.2). Default 4.
+	SplitFanout int
+	// SplitOnInsert enables node splitting on inserts. Per §5.1,
+	// "unless otherwise stated, adaptive RMI does not do node splitting
+	// on inserts", so the default is false.
+	SplitOnInsert bool
+	// NumLeafModels is the number of leaf models for static RMI.
+	// 0 means one model per MaxKeysPerLeaf/2 keys at bulk load.
+	NumLeafModels int
+	// Density is the gapped array's upper density limit d. 0 uses the
+	// default tuned for ~43% space overhead.
+	Density float64
+	// PMA configures the Packed Memory Array density bounds.
+	PMA pma.Config
+	// PayloadBytes is the payload size used in data-size accounting
+	// (8 for most datasets, 80 for YCSB). Default 8.
+	PayloadBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxKeysPerLeaf <= 0 {
+		c.MaxKeysPerLeaf = 4096
+	}
+	if c.InnerFanout < 2 {
+		c.InnerFanout = 32
+	}
+	if c.SplitFanout < 2 {
+		c.SplitFanout = 4
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 8
+	}
+	return c
+}
+
+// VariantName returns the paper's name for this configuration, e.g.
+// "ALEX-GA-ARMI".
+func (c Config) VariantName() string {
+	return "ALEX-" + c.Layout.String() + "-" + c.RMI.String()
+}
+
+// DataNode is the contract both leaf layouts satisfy.
+type DataNode interface {
+	Insert(key float64, payload uint64) bool
+	Lookup(key float64) (uint64, bool)
+	Update(key float64, payload uint64) bool
+	Delete(key float64) bool
+	Num() int
+	Cap() int
+	Collect(keys []float64, payloads []uint64) ([]float64, []uint64)
+	ScanFrom(start float64, visit func(key float64, payload uint64) bool) bool
+	MinKey() (float64, bool)
+	MaxKey() (float64, bool)
+	PredictionError(key float64) (int, bool)
+	DataSizeBytes(payloadBytes int) int
+	BaseStats() *leafbase.Stats
+	CheckInvariants() error
+}
+
+var (
+	_ DataNode = (*gapped.Array)(nil)
+	_ DataNode = (*pma.Array)(nil)
+)
+
+// child is either *innerNode or *leafNode.
+type child interface{}
+
+// innerNode routes keys to children with a linear model: child index =
+// clamp(floor(model(key)), 0, len(children)-1). Adjacent slots may point
+// to the same child (merged partitions, §3.4.1).
+type innerNode struct {
+	model    linmodel.Model
+	children []child
+}
+
+func (n *innerNode) route(key float64) child {
+	return n.children[n.model.PredictClamped(key, len(n.children))]
+}
+
+// leafNode wraps a data node and its sibling links for range scans.
+type leafNode struct {
+	data       DataNode
+	next, prev *leafNode
+}
+
+// Stats aggregates tree-level and data-node-level counters.
+type Stats struct {
+	leafbase.Stats
+	Splits    uint64
+	NumLeaves int
+	NumInner  int
+	Height    int
+}
+
+// Tree is an ALEX index from float64 keys to uint64 payloads.
+type Tree struct {
+	cfg    Config
+	root   child
+	head   *leafNode // leftmost leaf
+	count  int
+	splits uint64
+}
+
+// maxBuildDepth caps adaptive-RMI recursion against degenerate data.
+const maxBuildDepth = 48
+
+// New returns an empty index ("cold start", §3.4.2): a single empty data
+// node that grows by expansion and — with SplitOnInsert — by splitting.
+func New(cfg Config) *Tree {
+	t := &Tree{cfg: cfg.withDefaults()}
+	leaf := t.newLeaf(nil, nil)
+	t.root = leaf
+	t.head = leaf
+	return t
+}
+
+// BulkLoad builds an index over the given keys and payloads, which need
+// not be sorted. Duplicate keys are rejected with an error (ALEX does
+// not support duplicates, §7). payloads may be nil, in which case zero
+// payloads are stored; otherwise len(payloads) must equal len(keys).
+func BulkLoad(keys []float64, payloads []uint64, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if payloads != nil && len(payloads) != len(keys) {
+		return nil, errors.New("core: len(payloads) != len(keys)")
+	}
+	ks := make([]float64, len(keys))
+	copy(ks, keys)
+	ps := make([]uint64, len(keys))
+	if payloads != nil {
+		copy(ps, payloads)
+	}
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	sortedK := make([]float64, len(ks))
+	sortedP := make([]uint64, len(ks))
+	for i, j := range idx {
+		sortedK[i] = ks[j]
+		sortedP[i] = ps[j]
+	}
+	for i := 1; i < len(sortedK); i++ {
+		if sortedK[i] == sortedK[i-1] {
+			return nil, fmt.Errorf("core: duplicate key %v", sortedK[i])
+		}
+	}
+	for _, k := range sortedK {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return nil, fmt.Errorf("core: non-finite key %v", k)
+		}
+	}
+	return bulkLoadSorted(sortedK, sortedP, cfg), nil
+}
+
+// BulkLoadSorted builds an index over keys that are already sorted and
+// unique. It avoids the copy and sort of BulkLoad; the caller must
+// guarantee order and uniqueness.
+func BulkLoadSorted(keys []float64, payloads []uint64, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	if payloads == nil {
+		payloads = make([]uint64, len(keys))
+	}
+	return bulkLoadSorted(keys, payloads, cfg)
+}
+
+func bulkLoadSorted(keys []float64, payloads []uint64, cfg Config) *Tree {
+	t := &Tree{cfg: cfg}
+	if len(keys) == 0 {
+		leaf := t.newLeaf(nil, nil)
+		t.root = leaf
+		t.head = leaf
+		return t
+	}
+	t.count = len(keys)
+	if cfg.RMI == StaticRMI {
+		t.root = t.buildStatic(keys, payloads)
+	} else {
+		t.root = t.buildAdaptive(keys, payloads, 0)
+	}
+	t.linkLeaves()
+	return t
+}
+
+// newLeaf creates a data node of the configured layout from a sorted
+// unique segment.
+func (t *Tree) newLeaf(keys []float64, payloads []uint64) *leafNode {
+	var d DataNode
+	switch t.cfg.Layout {
+	case PackedMemoryArray:
+		if len(keys) == 0 {
+			d = pma.New(t.cfg.PMA)
+		} else {
+			d = pma.NewFromSorted(keys, payloads, t.cfg.PMA)
+		}
+	default:
+		gcfg := gapped.Config{Density: t.cfg.Density}
+		if len(keys) == 0 {
+			d = gapped.New(gcfg)
+		} else {
+			d = gapped.NewFromSorted(keys, payloads, gcfg)
+		}
+	}
+	return &leafNode{data: d}
+}
+
+// buildStatic builds the two-level static RMI (§3.2): a root linear model
+// over M leaf models, each leaf holding its contiguous partition.
+func (t *Tree) buildStatic(keys []float64, payloads []uint64) child {
+	n := len(keys)
+	m := t.cfg.NumLeafModels
+	if m <= 0 {
+		m = n / (t.cfg.MaxKeysPerLeaf / 2)
+	}
+	if m < 1 {
+		m = 1
+	}
+	model, bounds, nonEmpty := partition(keys, m)
+	if m == 1 || nonEmpty <= 1 {
+		return t.newLeaf(keys, payloads)
+	}
+	inner := &innerNode{model: model, children: make([]child, m)}
+	for p := 0; p < m; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		inner.children[p] = t.newLeaf(keys[lo:hi], payloads[lo:hi])
+	}
+	return inner
+}
+
+// buildAdaptive implements Algorithm 4. Keys is the sorted segment
+// assigned to this subtree; depth 0 is the root.
+func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) child {
+	n := len(keys)
+	maxKeys := t.cfg.MaxKeysPerLeaf
+	if n <= maxKeys || depth >= maxBuildDepth {
+		return t.newLeaf(keys, payloads)
+	}
+	// The root receives enough partitions that each holds maxKeys in
+	// expectation; non-root nodes use the fixed fanout (§3.4.1).
+	p := t.cfg.InnerFanout
+	if depth == 0 {
+		p = (n + maxKeys - 1) / maxKeys
+		if p < 2 {
+			p = 2
+		}
+	}
+	model, bounds, nonEmpty := partition(keys, p)
+	if nonEmpty <= 1 {
+		// The model cannot subdivide this segment (extreme skew):
+		// fall back to a single leaf rather than recurse forever.
+		return t.newLeaf(keys, payloads)
+	}
+	inner := &innerNode{model: model, children: make([]child, p)}
+	for i := 0; i < p; {
+		size := bounds[i+1] - bounds[i]
+		if size > maxKeys {
+			// Oversized partition: recurse into a child inner node.
+			inner.children[i] = t.buildAdaptive(keys[bounds[i]:bounds[i+1]], payloads[bounds[i]:bounds[i+1]], depth+1)
+			i++
+			continue
+		}
+		// Undersized: merge subsequent partitions while the accumulated
+		// size stays within the bound, then emit one shared leaf.
+		begin := i
+		acc := size
+		for i+1 < p && acc+(bounds[i+2]-bounds[i+1]) <= maxKeys {
+			i++
+			acc += bounds[i+1] - bounds[i]
+		}
+		leaf := t.newLeaf(keys[bounds[begin]:bounds[i+1]], payloads[bounds[begin]:bounds[i+1]])
+		for q := begin; q <= i; q++ {
+			inner.children[q] = leaf
+		}
+		i++
+	}
+	return inner
+}
+
+// partition trains a model over the sorted keys, scales it to p
+// partitions, and returns the model, the p+1 partition boundaries
+// (bounds[i] is the first key index of partition i), and the number of
+// non-empty partitions. When least squares degenerates — to a single
+// non-empty partition, or to a non-monotone fit (catastrophic
+// cancellation on extreme key magnitudes can yield a slightly negative
+// slope, which would break routing) — an endpoint fit is used instead.
+func partition(keys []float64, p int) (linmodel.Model, []int, int) {
+	n := len(keys)
+	model := linmodel.Train(keys).Scale(float64(p) / float64(n))
+	usable := model.Slope >= 0 && !math.IsInf(model.Slope, 0) && !math.IsNaN(model.Slope)
+	var bounds []int
+	nonEmpty := 0
+	if usable {
+		bounds, nonEmpty = boundaries(keys, model, p)
+	}
+	if nonEmpty <= 1 && n > 1 {
+		model = linmodel.TrainEndpoints(keys, 0, n).Scale(float64(p) / float64(n))
+		bounds, nonEmpty = boundaries(keys, model, p)
+	}
+	return model, bounds, nonEmpty
+}
+
+// boundaries computes partition boundaries for a monotone model:
+// bounds[i] = first key index whose unfloored prediction is >= i. Keys
+// whose clamped partition is 0 or p-1 are absorbed by the end clamps.
+func boundaries(keys []float64, model linmodel.Model, p int) ([]int, int) {
+	n := len(keys)
+	bounds := make([]int, p+1)
+	bounds[0] = 0
+	bounds[p] = n
+	for i := 1; i < p; i++ {
+		target := float64(i)
+		bounds[i] = sort.Search(n, func(j int) bool { return model.Predict(keys[j]) >= target })
+	}
+	// Boundaries from a monotone model are non-decreasing, but guard
+	// against pathological slopes.
+	for i := 1; i <= p; i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	nonEmpty := 0
+	for i := 0; i < p; i++ {
+		if bounds[i+1] > bounds[i] {
+			nonEmpty++
+		}
+	}
+	return bounds, nonEmpty
+}
+
+// linkLeaves rebuilds the sibling chain by an in-order walk, deduplicating
+// repeated child pointers.
+func (t *Tree) linkLeaves() {
+	var prev *leafNode
+	t.head = nil
+	var walk func(c child)
+	walk = func(c child) {
+		switch n := c.(type) {
+		case *innerNode:
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				walk(ch)
+			}
+		case *leafNode:
+			if prev == n {
+				return
+			}
+			n.prev = prev
+			n.next = nil
+			if prev != nil {
+				prev.next = n
+			} else {
+				t.head = n
+			}
+			prev = n
+		}
+	}
+	walk(t.root)
+}
+
+// traverse returns the leaf responsible for key and its immediate parent
+// (nil when the root is a leaf).
+func (t *Tree) traverse(key float64) (*leafNode, *innerNode) {
+	var parent *innerNode
+	cur := t.root
+	for {
+		switch n := cur.(type) {
+		case *innerNode:
+			parent = n
+			cur = n.route(key)
+		case *leafNode:
+			return n, parent
+		default:
+			panic("core: corrupt tree node")
+		}
+	}
+}
+
+// Get returns the payload stored for key.
+func (t *Tree) Get(key float64) (uint64, bool) {
+	leaf, _ := t.traverse(key)
+	return leaf.data.Lookup(key)
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key float64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Insert adds key with payload. It reports whether a new element was
+// added; inserting an existing key overwrites its payload and returns
+// false. Non-finite keys are rejected with a panic, mirroring the data
+// nodes.
+func (t *Tree) Insert(key float64, payload uint64) bool {
+	leaf, parent := t.traverse(key)
+	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data.Num() >= t.cfg.MaxKeysPerLeaf {
+		if t.splitLeaf(leaf, parent) {
+			leaf, _ = t.traverse(key)
+		}
+	}
+	if leaf.data.Insert(key, payload) {
+		t.count++
+		return true
+	}
+	return false
+}
+
+// splitLeaf implements node splitting on inserts (§3.4.2): the leaf's
+// model becomes an inner node with SplitFanout children; the data is
+// distributed to the children by that model; sibling links are spliced.
+// Returns false when the leaf's keys cannot be partitioned (all keys in
+// one partition), in which case the leaf is left in place to expand.
+func (t *Tree) splitLeaf(leaf *leafNode, parent *innerNode) bool {
+	keys, payloads := leaf.data.Collect(nil, nil)
+	s := t.cfg.SplitFanout
+	model, bounds, nonEmpty := partition(keys, s)
+	if nonEmpty <= 1 {
+		return false
+	}
+	inner := &innerNode{model: model, children: make([]child, s)}
+	leaves := make([]*leafNode, 0, s)
+	var last *leafNode
+	for p := 0; p < s; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		if last != nil && lo == hi {
+			// Empty partition: share the preceding leaf rather than
+			// materialize an empty node in the middle of the chain.
+			inner.children[p] = last
+			continue
+		}
+		nl := t.newLeaf(keys[lo:hi], payloads[lo:hi])
+		inner.children[p] = nl
+		leaves = append(leaves, nl)
+		last = nl
+	}
+	// Splice the new leaves into the sibling chain.
+	for i, nl := range leaves {
+		if i > 0 {
+			leaves[i-1].next = nl
+			nl.prev = leaves[i-1]
+		}
+	}
+	first, lastNew := leaves[0], leaves[len(leaves)-1]
+	first.prev = leaf.prev
+	lastNew.next = leaf.next
+	if leaf.prev != nil {
+		leaf.prev.next = first
+	} else {
+		t.head = first
+	}
+	if leaf.next != nil {
+		leaf.next.prev = lastNew
+	}
+	// Replace the pointer(s) in the parent (merged partitions may hold
+	// several copies), or the root.
+	if parent == nil {
+		t.root = inner
+	} else {
+		for i := range parent.children {
+			if parent.children[i] == child(leaf) {
+				parent.children[i] = inner
+			}
+		}
+	}
+	t.splits++
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key float64) bool {
+	leaf, _ := t.traverse(key)
+	if leaf.data.Delete(key) {
+		t.count--
+		return true
+	}
+	return false
+}
+
+// Update overwrites the payload of an existing key.
+func (t *Tree) Update(key float64, payload uint64) bool {
+	leaf, _ := t.traverse(key)
+	return leaf.data.Update(key, payload)
+}
+
+// Len returns the number of stored elements.
+func (t *Tree) Len() int { return t.count }
+
+// Config returns the tree's configuration (with defaults applied).
+func (t *Tree) Config() Config { return t.cfg }
+
+// Scan visits elements with key >= start in ascending order until visit
+// returns false, crossing leaf boundaries through the sibling links. It
+// returns the number of elements visited.
+func (t *Tree) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	leaf, _ := t.traverse(start)
+	// The routed leaf can sit past smaller siblings when start is below
+	// the leaf's range; scans never need to look left, because traverse
+	// routes by the same model inserts used.
+	n := 0
+	wrapped := func(k float64, v uint64) bool {
+		n++
+		return visit(k, v)
+	}
+	stopped := leaf.data.ScanFrom(start, wrapped)
+	for !stopped && leaf.next != nil {
+		leaf = leaf.next
+		stopped = leaf.data.ScanFrom(math.Inf(-1), wrapped)
+	}
+	return n
+}
+
+// ScanN collects up to max elements starting at the first key >= start.
+// It returns the keys and payloads visited, for callers that want a
+// materialized range (the YCSB-E style scan of §5.1.2).
+func (t *Tree) ScanN(start float64, max int) ([]float64, []uint64) {
+	keys := make([]float64, 0, max)
+	payloads := make([]uint64, 0, max)
+	t.Scan(start, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		payloads = append(payloads, v)
+		return len(keys) < max
+	})
+	return keys, payloads
+}
+
+// ScanCount visits up to max elements from start, discarding them; it
+// returns how many were visited. Benchmarks use it to avoid allocation.
+func (t *Tree) ScanCount(start float64, max int) int {
+	remaining := max
+	return t.Scan(start, func(k float64, v uint64) bool {
+		remaining--
+		return remaining > 0
+	})
+}
+
+// MinKey returns the smallest key in the index.
+func (t *Tree) MinKey() (float64, bool) {
+	for l := t.head; l != nil; l = l.next {
+		if k, ok := l.data.MinKey(); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MaxKey returns the largest key in the index.
+func (t *Tree) MaxKey() (float64, bool) {
+	var tail *leafNode
+	for l := t.head; l != nil; l = l.next {
+		tail = l
+	}
+	for l := tail; l != nil; l = l.prev {
+		if k, ok := l.data.MaxKey(); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Height returns the number of levels (a lone leaf has height 1).
+func (t *Tree) Height() int {
+	var h func(c child) int
+	h = func(c child) int {
+		if n, ok := c.(*innerNode); ok {
+			best := 0
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				if d := h(ch); d > best {
+					best = d
+				}
+			}
+			return best + 1
+		}
+		return 1
+	}
+	return h(t.root)
+}
+
+// Stats aggregates counters over the whole tree.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	s.Splits = t.splits
+	s.Height = t.Height()
+	for l := t.head; l != nil; l = l.next {
+		s.NumLeaves++
+		s.Stats.Add(l.data.BaseStats())
+	}
+	var walk func(c child)
+	walk = func(c child) {
+		if n, ok := c.(*innerNode); ok {
+			s.NumInner++
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				walk(ch)
+			}
+		}
+	}
+	walk(t.root)
+	return s
+}
+
+// LeafSizes returns the number of keys in each leaf, left to right
+// (Fig 12, Appendix B).
+func (t *Tree) LeafSizes() []int {
+	var sizes []int
+	for l := t.head; l != nil; l = l.next {
+		sizes = append(sizes, l.data.Num())
+	}
+	return sizes
+}
+
+// IndexSizeBytes accounts the index structure per §5.1: every model is
+// two float64s (16 B); inner nodes add 8 B per child pointer; every node
+// carries a small metadata header. Data nodes' models and sibling
+// pointers count toward the index, their arrays toward DataSizeBytes.
+func (t *Tree) IndexSizeBytes() int {
+	const modelBytes = 16
+	const headerBytes = 24
+	total := 0
+	var walk func(c child)
+	walk = func(c child) {
+		switch n := c.(type) {
+		case *innerNode:
+			total += modelBytes + headerBytes + 8*len(n.children)
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				walk(ch)
+			}
+		case *leafNode:
+			total += modelBytes + headerBytes + 16 // model + header + next/prev
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// DataSizeBytes accounts leaf storage: allocated key/payload arrays
+// including gaps, plus the occupancy bitmaps.
+func (t *Tree) DataSizeBytes() int {
+	total := 0
+	for l := t.head; l != nil; l = l.next {
+		total += l.data.DataSizeBytes(t.cfg.PayloadBytes)
+	}
+	return total
+}
+
+// PredictionError returns the RMI's absolute slot prediction error for an
+// existing key (Fig 7).
+func (t *Tree) PredictionError(key float64) (int, bool) {
+	leaf, _ := t.traverse(key)
+	return leaf.data.PredictionError(key)
+}
+
+// CheckInvariants verifies the whole tree: every data node's internal
+// invariants, the sibling chain's order and connectivity, the key-routing
+// consistency (every stored key is found by traversal), and the element
+// count.
+func (t *Tree) CheckInvariants() error {
+	// Data node invariants + chain order.
+	total := 0
+	prevMax := math.Inf(-1)
+	seen := make(map[*leafNode]bool)
+	for l := t.head; l != nil; l = l.next {
+		if seen[l] {
+			return errors.New("core: sibling chain has a cycle")
+		}
+		seen[l] = true
+		if err := l.data.CheckInvariants(); err != nil {
+			return err
+		}
+		if mn, ok := l.data.MinKey(); ok {
+			if mn <= prevMax {
+				return fmt.Errorf("core: leaf chain out of order: %v <= %v", mn, prevMax)
+			}
+			mx, _ := l.data.MaxKey()
+			prevMax = mx
+		}
+		if l.next != nil && l.next.prev != l {
+			return errors.New("core: broken prev link")
+		}
+		total += l.data.Num()
+	}
+	if total != t.count {
+		return fmt.Errorf("core: leaf totals %d != count %d", total, t.count)
+	}
+	// Every leaf reachable from the root must be in the chain, and every
+	// stored key must be routed back to its leaf.
+	var walk func(c child) error
+	walk = func(c child) error {
+		switch n := c.(type) {
+		case *innerNode:
+			if len(n.children) == 0 {
+				return errors.New("core: inner node with no children")
+			}
+			var last child
+			for _, ch := range n.children {
+				if ch == nil {
+					return errors.New("core: nil child")
+				}
+				if ch == last {
+					continue
+				}
+				last = ch
+				if err := walk(ch); err != nil {
+					return err
+				}
+			}
+		case *leafNode:
+			if !seen[n] {
+				return errors.New("core: reachable leaf missing from sibling chain")
+			}
+			keys, _ := n.data.Collect(nil, nil)
+			for _, k := range keys {
+				routed, _ := t.traverse(k)
+				if routed != n {
+					return fmt.Errorf("core: key %v stored in one leaf but routed to another", k)
+				}
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func collectIter(it *Iterator, max int) []float64 {
+	var out []float64
+	for it.Next() {
+		out = append(out, it.Key())
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func TestIteratorFullWalk(t *testing.T) {
+	keys := uniqueKeys(20000, 31)
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	for _, cfg := range allVariants() {
+		cfg.MaxKeysPerLeaf = 512
+		tr, err := BulkLoad(keys, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectIter(tr.Iter(), 0)
+		if len(got) != len(sorted) {
+			t.Fatalf("%s: walked %d keys, want %d", cfg.VariantName(), len(got), len(sorted))
+		}
+		for i := range got {
+			if got[i] != sorted[i] {
+				t.Fatalf("%s: iter[%d] = %v, want %v", cfg.VariantName(), i, got[i], sorted[i])
+			}
+		}
+	}
+}
+
+func TestIteratorFrom(t *testing.T) {
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 3
+	}
+	tr := BulkLoadSorted(keys, nil, Config{MaxKeysPerLeaf: 64})
+	// Exact start.
+	it := tr.IterFrom(300)
+	if !it.Next() || it.Key() != 300 {
+		t.Fatalf("IterFrom(exact) first = %v", it.Key())
+	}
+	// Between keys.
+	it = tr.IterFrom(301)
+	if !it.Next() || it.Key() != 303 {
+		t.Fatalf("IterFrom(between) first = %v", it.Key())
+	}
+	// Before everything.
+	it = tr.IterFrom(-10)
+	if !it.Next() || it.Key() != 0 {
+		t.Fatalf("IterFrom(before) first = %v", it.Key())
+	}
+	// Past the end.
+	it = tr.IterFrom(5000)
+	if it.Next() {
+		t.Fatalf("IterFrom(past end) yielded %v", it.Key())
+	}
+	if it.Valid() {
+		t.Fatal("exhausted iterator claims validity")
+	}
+}
+
+func TestIteratorPayloadAndValid(t *testing.T) {
+	tr, _ := BulkLoad([]float64{1, 2, 3}, []uint64{10, 20, 30}, Config{})
+	it := tr.Iter()
+	if it.Valid() {
+		t.Fatal("fresh iterator claims validity")
+	}
+	want := []uint64{10, 20, 30}
+	for i := 0; it.Next(); i++ {
+		if !it.Valid() {
+			t.Fatal("Valid false after Next true")
+		}
+		if it.Payload() != want[i] {
+			t.Fatalf("payload[%d] = %d", i, it.Payload())
+		}
+	}
+	// Exhausted iterators stay exhausted.
+	if it.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+}
+
+func TestIteratorEmptyIndex(t *testing.T) {
+	tr := New(Config{})
+	if tr.Iter().Next() {
+		t.Fatal("empty index iterator yielded an element")
+	}
+}
+
+func TestIteratorCrossesLeavesWithGapsAndDeletes(t *testing.T) {
+	keys := uniqueKeys(5000, 32)
+	cfg := Config{MaxKeysPerLeaf: 128, SplitOnInsert: true}
+	tr, _ := BulkLoad(keys, nil, cfg)
+	// Delete every third key; iterator must skip them.
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	want := sorted[:0:0]
+	for i, k := range sorted {
+		if i%3 == 0 {
+			tr.Delete(k)
+		} else {
+			want = append(want, k)
+		}
+	}
+	got := collectIter(tr.Iter(), 0)
+	if len(got) != len(want) {
+		t.Fatalf("walked %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("iter[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIteratorAgreesWithScan(t *testing.T) {
+	keys := uniqueKeys(8000, 33)
+	tr, _ := BulkLoad(keys, nil, Config{MaxKeysPerLeaf: 256})
+	var fromScan []float64
+	tr.Scan(math.Inf(-1), func(k float64, v uint64) bool {
+		fromScan = append(fromScan, k)
+		return true
+	})
+	fromIter := collectIter(tr.Iter(), 0)
+	if len(fromScan) != len(fromIter) {
+		t.Fatalf("scan %d vs iter %d", len(fromScan), len(fromIter))
+	}
+	for i := range fromScan {
+		if fromScan[i] != fromIter[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, fromScan[i], fromIter[i])
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package datasets synthesizes the four evaluation datasets of Table 1.
+// The paper uses Open Street Maps dumps (longitudes, longlat) plus
+// generated lognormal and YCSB keys; we have no OSM data, so the
+// geographic datasets are synthesized from a deterministic mixture of
+// population clusters that preserves the properties the experiments
+// depend on (Appendix C): longitudes has a smooth, locally-linear but
+// globally non-linear CDF; longlat applies the paper's own compound-key
+// transform k = 180·round(lon) + lat, producing the step-function CDF of
+// Fig 14; lognormal follows the paper's exact recipe (exp(N(0,2))·1e9,
+// floored); YCSB keys are uniform integers.
+//
+// All keys are float64. Integer-valued datasets stay below 2^53 so the
+// float64 representation is exact. Generators are deterministic in
+// (n, seed), reject duplicates, and return keys in shuffled order, which
+// is how the paper feeds them to the indexes ("randomly shuffled to
+// simulate a uniform dataset distribution over time", §5.1.1).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Name identifies one of the paper's datasets.
+type Name string
+
+// The four datasets of Table 1.
+const (
+	Longitudes Name = "longitudes"
+	LongLat    Name = "longlat"
+	Lognormal  Name = "lognormal"
+	YCSB       Name = "ycsb"
+)
+
+// All lists the datasets in the paper's column order.
+var All = []Name{Longitudes, LongLat, Lognormal, YCSB}
+
+// PayloadBytes returns the payload size Table 1 assigns to the dataset:
+// 80 bytes for YCSB, 8 bytes for the rest.
+func (n Name) PayloadBytes() int {
+	if n == YCSB {
+		return 80
+	}
+	return 8
+}
+
+// KeyType returns the paper's key type description for the dataset.
+func (n Name) KeyType() string {
+	switch n {
+	case Longitudes, LongLat:
+		return "double"
+	default:
+		return "64-bit int"
+	}
+}
+
+// Generate returns n unique keys for the named dataset, shuffled
+// deterministically by seed. It panics on an unknown name (the set is
+// closed, Table 1).
+func Generate(name Name, n int, seed int64) []float64 {
+	switch name {
+	case Longitudes:
+		return GenLongitudes(n, seed)
+	case LongLat:
+		return GenLongLat(n, seed)
+	case Lognormal:
+		return GenLognormal(n, seed)
+	case YCSB:
+		return GenYCSB(n, seed)
+	default:
+		panic(fmt.Sprintf("datasets: unknown dataset %q", name))
+	}
+}
+
+// cluster is a longitude population center for the synthetic OSM stand-in.
+type cluster struct {
+	center float64
+	sigma  float64
+	weight float64
+}
+
+// worldClusters builds a deterministic set of population clusters. The
+// real OSM longitude distribution concentrates around inhabited
+// longitudes (Europe, South/East Asia, the Americas) with smooth local
+// behaviour; a weighted Gaussian mixture reproduces that shape.
+func worldClusters(rng *rand.Rand) []cluster {
+	// Anchors roughly at inhabited longitude bands, with deterministic
+	// jitter so different seeds explore slightly different mixtures.
+	anchors := []struct{ c, w float64 }{
+		{-122, 0.06}, {-99, 0.07}, {-74, 0.08}, {-47, 0.05}, {-3, 0.09},
+		{7, 0.08}, {20, 0.06}, {37, 0.05}, {55, 0.04}, {77, 0.10},
+		{91, 0.05}, {104, 0.09}, {116, 0.08}, {127, 0.04}, {139, 0.06},
+	}
+	clusters := make([]cluster, 0, len(anchors))
+	for _, a := range anchors {
+		clusters = append(clusters, cluster{
+			center: a.c + rng.NormFloat64()*1.5,
+			sigma:  2 + rng.Float64()*8,
+			weight: a.w * (0.8 + rng.Float64()*0.4),
+		})
+	}
+	return clusters
+}
+
+// sampleLongitude draws one longitude from the cluster mixture with a
+// uniform background component, clamped to [-180, 180].
+func sampleLongitude(rng *rand.Rand, clusters []cluster, totalWeight float64) float64 {
+	// 12% uniform background: oceans, roads, sparse regions.
+	if rng.Float64() < 0.12 {
+		return rng.Float64()*360 - 180
+	}
+	r := rng.Float64() * totalWeight
+	for _, c := range clusters {
+		r -= c.weight
+		if r <= 0 {
+			v := c.center + rng.NormFloat64()*c.sigma
+			if v < -180 {
+				v = -180 + math.Mod(-v-180, 360)
+			}
+			if v > 180 {
+				v = 180 - math.Mod(v-180, 360)
+			}
+			return v
+		}
+	}
+	return rng.Float64()*360 - 180
+}
+
+// GenLongitudes synthesizes the longitudes dataset: unique doubles in
+// [-180, 180] from a population-weighted mixture.
+func GenLongitudes(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	clusters := worldClusters(rng)
+	var total float64
+	for _, c := range clusters {
+		total += c.weight
+	}
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := sampleLongitude(rng, clusters, total)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// GenLongLat synthesizes the longlat dataset with the paper's compound
+// transform (Appendix C): round the longitude to the nearest integer
+// degree, multiply by 180, add the latitude. Iterating the keys in
+// sorted order walks the world one longitude strip at a time, giving the
+// step-function CDF of Fig 14.
+func GenLongLat(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	clusters := worldClusters(rng)
+	var total float64
+	for _, c := range clusters {
+		total += c.weight
+	}
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		lon := sampleLongitude(rng, clusters, total)
+		// Latitudes concentrate in the temperate band.
+		lat := rng.NormFloat64() * 25
+		if lat > 90 {
+			lat = 90
+		}
+		if lat < -90 {
+			lat = -90
+		}
+		k := 180*math.Round(lon) + lat
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// GenLognormal follows Appendix C exactly: 190M values (here: n) drawn
+// from lognormal(0, σ=2), multiplied by 1e9 and rounded down.
+func GenLognormal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := math.Floor(math.Exp(rng.NormFloat64()*2) * 1e9)
+		if k >= 1<<53 { // keep float64 integer-exact
+			continue
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// GenYCSB synthesizes the YCSB dataset: uniformly distributed user-ID
+// integers (kept below 2^53 for float64 exactness).
+func GenYCSB(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := float64(rng.Int63n(1 << 53))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Sorted returns a sorted copy of keys.
+func Sorted(keys []float64) []float64 {
+	out := append([]float64(nil), keys...)
+	sort.Float64s(out)
+	return out
+}
+
+// Shuffle permutes keys in place, deterministically by seed.
+func Shuffle(keys []float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+}
+
+// CDFPoint is one (key, cumulative fraction) sample.
+type CDFPoint struct {
+	Key  float64
+	Frac float64
+}
+
+// CDF samples the empirical CDF of keys at `points` evenly spaced ranks
+// (Fig 13). keys need not be sorted.
+func CDF(keys []float64, points int) []CDFPoint {
+	if len(keys) == 0 || points <= 0 {
+		return nil
+	}
+	sorted := Sorted(keys)
+	if points > len(sorted) {
+		points = len(sorted)
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		rank := i * (len(sorted) - 1) / max(points-1, 1)
+		out[i] = CDFPoint{Key: sorted[rank], Frac: float64(rank) / float64(len(sorted)-1)}
+	}
+	return out
+}
+
+// NonLinearity quantifies how hard a dataset is to model with piecewise
+// linear functions: it fits a straight line to each of `pieces` equal
+// rank ranges and returns the mean absolute rank error normalized by the
+// range size. Appendix C's observation that longlat is "much more
+// non-linear at a smaller scale" shows up as a higher score.
+func NonLinearity(keys []float64, pieces int) float64 {
+	sorted := Sorted(keys)
+	n := len(sorted)
+	if n < 2*pieces || pieces <= 0 {
+		return 0
+	}
+	per := n / pieces
+	var total float64
+	for p := 0; p < pieces; p++ {
+		lo := p * per
+		hi := lo + per
+		span := sorted[hi-1] - sorted[lo]
+		if span <= 0 {
+			continue
+		}
+		slope := float64(per-1) / span
+		var sum float64
+		for i := lo; i < hi; i++ {
+			pred := slope * (sorted[i] - sorted[lo])
+			sum += math.Abs(pred - float64(i-lo))
+		}
+		total += sum / float64(per) / float64(per)
+	}
+	return total / float64(pieces)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

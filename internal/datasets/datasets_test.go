@@ -1,0 +1,294 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGenerateAllUniqueAndSized(t *testing.T) {
+	for _, name := range All {
+		keys := Generate(name, 20000, 42)
+		if len(keys) != 20000 {
+			t.Fatalf("%s: %d keys", name, len(keys))
+		}
+		seen := make(map[float64]bool, len(keys))
+		for _, k := range keys {
+			if math.IsNaN(k) || math.IsInf(k, 0) {
+				t.Fatalf("%s: non-finite key %v", name, k)
+			}
+			if seen[k] {
+				t.Fatalf("%s: duplicate key %v", name, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range All {
+		a := Generate(name, 5000, 7)
+		b := Generate(name, 5000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at %d", name, i)
+			}
+		}
+		c := Generate(name, 5000, 8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed has no effect", name)
+		}
+	}
+}
+
+func TestGenerateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Generate("nope", 10, 1)
+}
+
+func TestLongitudesRange(t *testing.T) {
+	for _, k := range GenLongitudes(20000, 1) {
+		if k < -180 || k > 180 {
+			t.Fatalf("longitude %v out of range", k)
+		}
+	}
+}
+
+func TestLongitudesNonUniform(t *testing.T) {
+	// Population clustering: the middle half of the domain should not
+	// hold exactly half the keys.
+	keys := GenLongitudes(50000, 2)
+	inBand := 0
+	for _, k := range keys {
+		if k > -90 && k < 90 {
+			inBand++
+		}
+	}
+	frac := float64(inBand) / float64(len(keys))
+	if frac > 0.45 && frac < 0.55 {
+		t.Fatalf("longitudes look uniform (band fraction %v)", frac)
+	}
+}
+
+func TestLongLatTransform(t *testing.T) {
+	keys := GenLongLat(20000, 3)
+	for _, k := range keys {
+		if k < 180*(-180)-90 || k > 180*180+90 {
+			t.Fatalf("longlat key %v outside transform range", k)
+		}
+	}
+}
+
+func TestLongLatMoreNonLinearThanLongitudes(t *testing.T) {
+	// Appendix C: at local scale, longlat's CDF is a step function and
+	// much harder to model piecewise-linearly than longitudes.
+	lon := GenLongitudes(40000, 4)
+	ll := GenLongLat(40000, 4)
+	nlLon := NonLinearity(lon, 64)
+	nlLL := NonLinearity(ll, 64)
+	if nlLL <= nlLon {
+		t.Fatalf("longlat non-linearity %v should exceed longitudes %v", nlLL, nlLon)
+	}
+}
+
+func TestLognormalSkew(t *testing.T) {
+	keys := GenLognormal(50000, 5)
+	for _, k := range keys {
+		if k < 0 || k != math.Floor(k) {
+			t.Fatalf("lognormal key %v not a non-negative integer", k)
+		}
+	}
+	s := Sorted(keys)
+	median := s[len(s)/2]
+	mean := 0.0
+	for _, k := range s {
+		mean += k
+	}
+	mean /= float64(len(s))
+	if mean < 3*median {
+		t.Fatalf("lognormal should be heavily right-skewed: mean %v, median %v", mean, median)
+	}
+}
+
+func TestYCSBUniform(t *testing.T) {
+	keys := GenYCSB(50000, 6)
+	for _, k := range keys {
+		if k < 0 || k >= 1<<53 || k != math.Floor(k) {
+			t.Fatalf("ycsb key %v out of integer range", k)
+		}
+	}
+	// Quarters of the domain should hold roughly a quarter each.
+	buckets := make([]int, 4)
+	for _, k := range keys {
+		buckets[int(k/(1<<53)*4)]++
+	}
+	for i, b := range buckets {
+		frac := float64(b) / float64(len(keys))
+		if frac < 0.2 || frac > 0.3 {
+			t.Fatalf("ycsb bucket %d fraction %v not ~0.25", i, frac)
+		}
+	}
+}
+
+func TestPayloadBytesAndKeyType(t *testing.T) {
+	if YCSB.PayloadBytes() != 80 {
+		t.Fatal("ycsb payload")
+	}
+	if Longitudes.PayloadBytes() != 8 {
+		t.Fatal("longitudes payload")
+	}
+	if Longitudes.KeyType() != "double" || Lognormal.KeyType() != "64-bit int" {
+		t.Fatal("key types")
+	}
+}
+
+func TestSortedAndShuffle(t *testing.T) {
+	keys := []float64{3, 1, 2}
+	s := Sorted(keys)
+	if !sort.Float64sAreSorted(s) {
+		t.Fatal("not sorted")
+	}
+	if keys[0] != 3 {
+		t.Fatal("Sorted mutated input")
+	}
+	big := GenYCSB(1000, 7)
+	cp := append([]float64(nil), big...)
+	Shuffle(cp, 9)
+	diff := 0
+	for i := range cp {
+		if cp[i] != big[i] {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Fatalf("shuffle moved only %d elements", diff)
+	}
+	// Deterministic shuffle.
+	cp2 := append([]float64(nil), big...)
+	Shuffle(cp2, 9)
+	for i := range cp {
+		if cp[i] != cp2[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	keys := GenYCSB(10000, 8)
+	pts := CDF(keys, 100)
+	if len(pts) != 100 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Key < pts[i-1].Key || pts[i].Frac < pts[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if pts[0].Frac != 0 || pts[len(pts)-1].Frac != 1 {
+		t.Fatalf("CDF endpoints %v..%v", pts[0].Frac, pts[len(pts)-1].Frac)
+	}
+	if CDF(nil, 10) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestZipfianDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	z := NewZipfian(rng, 10000, ZipfTheta)
+	counts := make(map[int]int)
+	draws := 200000
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r < 0 || r >= 10000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must be far more popular than a uniform draw (20/draw).
+	if counts[0] < draws/100 {
+		t.Fatalf("rank 0 drawn %d times; not skewed", counts[0])
+	}
+	// Monotone-ish decay: rank 0 >> rank 100.
+	if counts[0] <= counts[100] {
+		t.Fatal("no popularity decay")
+	}
+}
+
+func TestZipfianGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	z := NewZipfian(rng, 100, ZipfTheta)
+	z.SetN(1000)
+	if z.N() != 1000 {
+		t.Fatalf("N = %d", z.N())
+	}
+	seenHigh := false
+	for i := 0; i < 50000; i++ {
+		r := z.Next()
+		if r >= 1000 {
+			t.Fatalf("rank %d out of grown range", r)
+		}
+		if r >= 100 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("grown domain never sampled")
+	}
+	z.SetN(10) // shrink ignored
+	if z.N() != 1000 {
+		t.Fatal("shrink was not ignored")
+	}
+}
+
+func TestZipfianScrambledSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	z := NewZipfian(rng, 100000, ZipfTheta)
+	// Scrambling should spread the hottest ranks over the domain: the
+	// first decile should no longer dominate.
+	decile := 0
+	for i := 0; i < 50000; i++ {
+		if z.Scrambled() < 10000 {
+			decile++
+		}
+	}
+	frac := float64(decile) / 50000
+	if frac > 0.3 {
+		t.Fatalf("scrambled zipf still clusters in first decile: %v", frac)
+	}
+}
+
+func TestNonLinearityZeroForLine(t *testing.T) {
+	keys := make([]float64, 10000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	if nl := NonLinearity(keys, 16); nl > 1e-9 {
+		t.Fatalf("perfectly linear data scored %v", nl)
+	}
+}
+
+func BenchmarkGenLongitudes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenLongitudes(10000, int64(i))
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	z := NewZipfian(rng, 1<<20, ZipfTheta)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}

@@ -1,0 +1,114 @@
+package datasets
+
+import "math"
+
+// Zipfian generates ranks in [0, n) with a Zipf distribution of the
+// YCSB flavour (Gray et al.'s algorithm, the one the YCSB workload
+// generator uses), which — unlike math/rand.Zipf — supports the YCSB
+// constant θ = 0.99 < 1. The paper's workloads select lookup keys
+// "according to a Zipfian distribution" (§5.1.2).
+//
+// The generator supports growing n incrementally (as inserts add keys)
+// by extending the zeta sum, which is how YCSB handles expanding key
+// spaces.
+type Zipfian struct {
+	n          int
+	theta      float64
+	alpha      float64
+	zetan      float64
+	zeta2theta float64
+	eta        float64
+	rng        rngSource
+}
+
+// rngSource is the minimal randomness Zipfian needs; *math/rand.Rand
+// satisfies it.
+type rngSource interface {
+	Float64() float64
+}
+
+// ZipfTheta is the YCSB default skew constant.
+const ZipfTheta = 0.99
+
+// NewZipfian returns a Zipfian generator over [0, n) with constant theta
+// (use ZipfTheta for the YCSB default). n must be >= 1.
+func NewZipfian(rng rngSource, n int, theta float64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipfian{theta: theta, rng: rng}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.grow(n)
+	return z
+}
+
+// zetaStatic computes sum_{i=1..n} 1/i^theta.
+func zetaStatic(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// grow extends the generator to cover [0, n), incrementally extending
+// the zeta sum.
+func (z *Zipfian) grow(n int) {
+	if n <= z.n {
+		return
+	}
+	for i := z.n + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.n = n
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// SetN grows the domain to n (shrinking is ignored; YCSB key spaces only
+// grow).
+func (z *Zipfian) SetN(n int) { z.grow(n) }
+
+// N returns the current domain size.
+func (z *Zipfian) N() int { return z.n }
+
+// Next returns the next rank in [0, n). Rank 0 is the most popular.
+func (z *Zipfian) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Scrambled returns the next rank passed through a stateless scramble,
+// so popularity is spread over the key space instead of clustering at
+// the smallest ranks — YCSB's "scrambled zipfian". The result stays in
+// [0, n).
+func (z *Zipfian) Scrambled() int {
+	return int(fnvHash64(uint64(z.Next())) % uint64(z.n))
+}
+
+// fnvHash64 is YCSB's FNV-1a 64-bit hash used for scrambling.
+func fnvHash64(v uint64) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,695 @@
+// Package leafbase implements the machinery shared by ALEX's two data
+// node layouts (Gapped Array, §3.3.1, and Packed Memory Array, §3.3.2):
+//
+//   - a key array with gaps, where every gap slot duplicates the key of
+//     the closest occupied slot to its right (trailing gaps hold +Inf),
+//     so the array is always non-decreasing and exponential search works
+//     without consulting the bitmap;
+//   - an occupancy bitmap distinguishing real elements from gaps
+//     (§5.2.3);
+//   - a per-node linear model with model-based inserts, lookups by
+//     exponential search from the predicted position (Alg 3), and
+//     model-based re-insertion during node rebuilds;
+//   - gap-making by shifting toward the closest gap (Alg 1), with shift
+//     accounting for the Fig 8 experiment.
+//
+// The concrete layouts embed Base and supply their own growth policy:
+// the gapped array grows by 1/d when its density d is reached, the PMA
+// doubles and additionally rebalances windows under density bounds.
+package leafbase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitmapx"
+	"repro/internal/linmodel"
+	"repro/internal/search"
+)
+
+// Stats counts the work a data node performs, in units the paper reports:
+// Shifts is the number of element moves caused by inserts (Fig 8),
+// Expands counts node expansions, Rebalances counts PMA window
+// redistributions, Retrains counts model retrainings.
+type Stats struct {
+	Shifts     uint64
+	Expands    uint64
+	Contracts  uint64
+	Rebalances uint64
+	Retrains   uint64
+	Inserts    uint64
+	Deletes    uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Shifts += other.Shifts
+	s.Expands += other.Expands
+	s.Contracts += other.Contracts
+	s.Rebalances += other.Rebalances
+	s.Retrains += other.Retrains
+	s.Inserts += other.Inserts
+	s.Deletes += other.Deletes
+}
+
+// MinModelKeys is the cold-start threshold of §3.3.3: nodes with fewer
+// keys do not maintain a model and serve lookups with plain binary
+// search, exactly like a B+Tree node.
+const MinModelKeys = 16
+
+// Base is the storage core of a data node. It is not safe for concurrent
+// use; like the system evaluated in the paper, the index is single-writer.
+type Base struct {
+	Keys     []float64 // len == capacity; gaps duplicate nearest right key
+	Payloads []uint64
+	Occ      *bitmapx.Bitmap
+	Model    linmodel.Model
+	HasModel bool
+	NumKeys  int
+	Stats    Stats
+}
+
+// Init sets up an empty node with the given capacity.
+func (b *Base) Init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b.Keys = make([]float64, capacity)
+	for i := range b.Keys {
+		b.Keys[i] = math.Inf(1)
+	}
+	b.Payloads = make([]uint64, capacity)
+	b.Occ = bitmapx.New(capacity)
+	b.Model = linmodel.Model{}
+	b.HasModel = false
+	b.NumKeys = 0
+}
+
+// Cap returns the slot capacity of the node.
+func (b *Base) Cap() int { return len(b.Keys) }
+
+// BaseStats returns the node's work counters.
+func (b *Base) BaseStats() *Stats { return &b.Stats }
+
+// Num returns the number of real elements.
+func (b *Base) Num() int { return b.NumKeys }
+
+// Density returns NumKeys / capacity.
+func (b *Base) Density() float64 {
+	if len(b.Keys) == 0 {
+		return 0
+	}
+	return float64(b.NumKeys) / float64(len(b.Keys))
+}
+
+// predictSlot returns the model's predicted slot for key, or a plain
+// lower-bound position when the node is in its cold-start (model-less)
+// regime.
+func (b *Base) predictSlot(key float64) int {
+	if !b.HasModel {
+		return search.LowerBound(b.Keys, key)
+	}
+	return b.Model.PredictClamped(key, len(b.Keys))
+}
+
+// LowerBoundSlot returns the first slot (gap or element) whose key value
+// is >= key, locating it by exponential search from the model prediction.
+func (b *Base) LowerBoundSlot(key float64) int {
+	if !b.HasModel {
+		return search.LowerBound(b.Keys, key)
+	}
+	return search.Exponential(b.Keys, key, b.Model.PredictClamped(key, len(b.Keys)))
+}
+
+// Find returns the occupied slot holding key, or -1.
+func (b *Base) Find(key float64) int {
+	lo := b.LowerBoundSlot(key)
+	if lo >= len(b.Keys) || b.Keys[lo] != key {
+		return -1
+	}
+	occ := b.Occ.NextSet(lo)
+	if occ < 0 || b.Keys[occ] != key {
+		return -1
+	}
+	return occ
+}
+
+// Lookup returns the payload stored for key.
+func (b *Base) Lookup(key float64) (uint64, bool) {
+	if i := b.Find(key); i >= 0 {
+		return b.Payloads[i], true
+	}
+	return 0, false
+}
+
+// PredictionError returns |predicted slot - actual slot| for an existing
+// key (Fig 7). ok is false when the key is absent.
+func (b *Base) PredictionError(key float64) (int, bool) {
+	occ := b.Find(key)
+	if occ < 0 {
+		return 0, false
+	}
+	pred := b.predictSlot(key)
+	if pred > occ {
+		return pred - occ, true
+	}
+	return occ - pred, true
+}
+
+// Update overwrites the payload of an existing key.
+func (b *Base) Update(key float64, payload uint64) bool {
+	if i := b.Find(key); i >= 0 {
+		b.Payloads[i] = payload
+		return true
+	}
+	return false
+}
+
+// LowerBoundOcc returns the first occupied slot whose key is >= key, or
+// -1 when no such element exists. Range scans start here.
+func (b *Base) LowerBoundOcc(key float64) int {
+	lo := b.LowerBoundSlot(key)
+	if lo >= len(b.Keys) {
+		return -1
+	}
+	return b.Occ.NextSet(lo)
+}
+
+// ScanFrom visits elements with key >= start in ascending key order until
+// visit returns false. It reports whether visiting stopped early (visit
+// returned false), so multi-node scans know when to stop.
+func (b *Base) ScanFrom(start float64, visit func(key float64, payload uint64) bool) bool {
+	for i := b.LowerBoundOcc(start); i >= 0; i = b.Occ.NextSet(i + 1) {
+		if !visit(b.Keys[i], b.Payloads[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSlot returns the first occupied slot strictly after slot, or -1.
+// Pass -1 to get the first occupied slot. Iterators use it for
+// callback-free traversal.
+func (b *Base) NextSlot(slot int) int {
+	return b.Occ.NextSet(slot + 1)
+}
+
+// At returns the key and payload stored in an occupied slot. It panics
+// on a gap or out-of-range slot; callers must only pass slots obtained
+// from NextSlot or LowerBoundOcc.
+func (b *Base) At(slot int) (float64, uint64) {
+	if !b.Occ.Test(slot) {
+		panic("leafbase: At on a gap slot")
+	}
+	return b.Keys[slot], b.Payloads[slot]
+}
+
+// MinKey returns the smallest stored key.
+func (b *Base) MinKey() (float64, bool) {
+	i := b.Occ.NextSet(0)
+	if i < 0 {
+		return 0, false
+	}
+	return b.Keys[i], true
+}
+
+// MaxKey returns the largest stored key.
+func (b *Base) MaxKey() (float64, bool) {
+	i := b.Occ.PrevSet(len(b.Keys) - 1)
+	if i < 0 {
+		return 0, false
+	}
+	return b.Keys[i], true
+}
+
+// Collect appends the node's elements in key order to the given slices
+// and returns them. Passing nil slices allocates exact-size ones.
+func (b *Base) Collect(keys []float64, payloads []uint64) ([]float64, []uint64) {
+	if keys == nil {
+		keys = make([]float64, 0, b.NumKeys)
+	}
+	if payloads == nil {
+		payloads = make([]uint64, 0, b.NumKeys)
+	}
+	for i := b.Occ.NextSet(0); i >= 0; i = b.Occ.NextSet(i + 1) {
+		keys = append(keys, b.Keys[i])
+		payloads = append(payloads, b.Payloads[i])
+	}
+	return keys, payloads
+}
+
+// InsertResult describes the outcome of a placement attempt.
+type InsertResult int
+
+const (
+	// Inserted means the key was placed.
+	Inserted InsertResult = iota
+	// Duplicate means the key already existed; its payload was overwritten.
+	Duplicate
+	// NeedRoom means no slot could be found without violating the
+	// caller's constraints (node full, or PMA density bound hit).
+	NeedRoom
+)
+
+// PlaceModelBased implements the shared insert path of Algorithms 1-3:
+// locate the valid insertion range for key by exponential search from the
+// model prediction, then
+//
+//   - overwrite the payload if the key exists (Duplicate);
+//   - if the range contains a gap, claim the gap closest to the predicted
+//     position and repair gap fills;
+//   - otherwise create a gap by shifting toward the closest gap
+//     (maxShiftLo/maxShiftHi bound how far the shift may reach; pass
+//     0 and Cap() for the gapped array's node-wide shifts).
+//
+// NeedRoom is returned when the node is full or the shift window contains
+// no gap.
+func (b *Base) PlaceModelBased(key float64, payload uint64, maxShiftLo, maxShiftHi int) InsertResult {
+	cap := len(b.Keys)
+	lo := b.LowerBoundSlot(key)
+	if lo < cap && b.Keys[lo] == key {
+		if occ := b.Occ.NextSet(lo); occ >= 0 && b.Keys[occ] == key {
+			b.Payloads[occ] = payload
+			return Duplicate
+		}
+	}
+	if b.NumKeys >= cap {
+		return NeedRoom
+	}
+	if lo >= cap {
+		// Key is greater than every value including trailing fills;
+		// can only happen when there are no trailing gaps (last slot
+		// occupied). Fall through to gap-making at the last slot.
+		lo = cap // handled below by the shift path with hiGap == -1
+	}
+
+	// The valid placement range is [lo, firstOcc-1] where firstOcc is the
+	// first occupied slot at or after lo (its key is > key).
+	var hi int
+	if lo < cap {
+		if firstOcc := b.Occ.NextSet(lo); firstOcc < 0 {
+			hi = cap - 1
+		} else {
+			hi = firstOcc - 1
+		}
+	} else {
+		hi = lo - 1
+	}
+
+	if lo <= hi {
+		// There is at least one gap in range; claim the one nearest the
+		// model's prediction so later lookups hit directly (§3.2,
+		// "model-based insertion").
+		q := b.predictSlot(key)
+		if q < lo {
+			q = lo
+		} else if q > hi {
+			q = hi
+		}
+		b.fillRange(lo, q, key)
+		b.Keys[q] = key
+		b.Payloads[q] = payload
+		b.Occ.Set(q)
+		b.NumKeys++
+		b.Stats.Inserts++
+		return Inserted
+	}
+
+	// lo is occupied (or past the end): make a gap by shifting toward the
+	// closest gap within the caller's window.
+	return b.insertWithShift(key, payload, lo, maxShiftLo, maxShiftHi)
+}
+
+// insertWithShift creates a gap at the lower-bound position lo by shifting
+// elements toward the nearest gap found within [maxShiftLo, maxShiftHi).
+func (b *Base) insertWithShift(key float64, payload uint64, lo, maxShiftLo, maxShiftHi int) InsertResult {
+	cap := len(b.Keys)
+	if maxShiftLo < 0 {
+		maxShiftLo = 0
+	}
+	if maxShiftHi > cap {
+		maxShiftHi = cap
+	}
+	gapL, gapR := -1, -1
+	if lo-1 >= maxShiftLo {
+		if g := b.Occ.PrevClear(lo - 1); g >= maxShiftLo {
+			gapL = g
+		}
+	}
+	if lo < maxShiftHi {
+		if g := b.Occ.NextClear(lo); g >= 0 && g < maxShiftHi {
+			gapR = g
+		}
+	}
+	switch {
+	case gapL < 0 && gapR < 0:
+		return NeedRoom
+	case gapR >= 0 && (gapL < 0 || gapR-lo <= lo-gapL):
+		// Shift [lo, gapR-1] right by one; insert at lo.
+		copy(b.Keys[lo+1:gapR+1], b.Keys[lo:gapR])
+		copy(b.Payloads[lo+1:gapR+1], b.Payloads[lo:gapR])
+		b.Occ.Set(gapR)
+		b.Keys[lo] = key
+		b.Payloads[lo] = payload
+		b.Stats.Shifts += uint64(gapR - lo)
+	default:
+		// Shift [gapL+1, lo-1] left by one; insert at lo-1.
+		copy(b.Keys[gapL:lo-1], b.Keys[gapL+1:lo])
+		copy(b.Payloads[gapL:lo-1], b.Payloads[gapL+1:lo])
+		b.Occ.Set(gapL)
+		b.Keys[lo-1] = key
+		b.Payloads[lo-1] = payload
+		b.Stats.Shifts += uint64(lo - 1 - gapL)
+	}
+	b.NumKeys++
+	b.Stats.Inserts++
+	return Inserted
+}
+
+// fillRange rewrites the gap fills in [from, to) to value, maintaining the
+// "gap duplicates closest right key" invariant after a placement at 'to'.
+func (b *Base) fillRange(from, to int, value float64) {
+	for i := from; i < to; i++ {
+		b.Keys[i] = value
+	}
+}
+
+// Delete removes key, repairs the gap fills of the run ending at its
+// slot, and returns whether the key was present.
+func (b *Base) Delete(key float64) bool {
+	occ := b.Find(key)
+	if occ < 0 {
+		return false
+	}
+	b.Occ.Clear(occ)
+	b.NumKeys--
+	b.Stats.Deletes++
+	// The slot and any gaps immediately to its left must now duplicate
+	// the next occupied key to the right (or +Inf at the tail).
+	fill := math.Inf(1)
+	if n := b.Occ.NextSet(occ + 1); n >= 0 {
+		fill = b.Keys[n]
+	}
+	for i := occ; i >= 0 && !b.Occ.Test(i); i-- {
+		b.Keys[i] = fill
+	}
+	return true
+}
+
+// RebuildModelBased rebuilds the node into a fresh array of newCapacity
+// slots: it retrains the linear model on the current elements, scales it
+// to the new capacity (Alg 3), and re-inserts every element at its
+// predicted position in sorted order, falling forward to the next free
+// slot on collision. Nodes below the cold-start threshold are spread
+// uniformly instead and keep no model.
+func (b *Base) RebuildModelBased(newCapacity int) {
+	keys, payloads := b.Collect(nil, nil)
+	b.BuildFromSorted(keys, payloads, newCapacity)
+}
+
+// BuildFromSorted initializes the node from sorted unique keys with the
+// given capacity, using model-based placement. It is used at bulk load,
+// after expansions, and when splitting distributes keys to new leaves.
+func (b *Base) BuildFromSorted(keys []float64, payloads []uint64, capacity int) {
+	n := len(keys)
+	if capacity < n {
+		capacity = n
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	b.Init(capacity)
+	if n == 0 {
+		return
+	}
+	b.NumKeys = n
+	b.Stats.Retrains++
+
+	if n >= MinModelKeys {
+		b.Model = linmodel.Train(keys).Scale(float64(capacity) / float64(n))
+		b.HasModel = true
+	} else {
+		b.Model = linmodel.Model{}
+		b.HasModel = false
+	}
+
+	last := -1
+	for i := 0; i < n; i++ {
+		var pos int
+		if b.HasModel {
+			pos = b.Model.PredictClamped(keys[i], capacity)
+		} else {
+			// Cold start: spread uniformly like a PMA rebalance.
+			pos = i * capacity / n
+		}
+		if pos <= last {
+			pos = last + 1
+		}
+		// Never let the remaining elements run out of slots.
+		if maxPos := capacity - (n - i); pos > maxPos {
+			pos = maxPos
+		}
+		b.Keys[pos] = keys[i]
+		b.Payloads[pos] = payloads[i]
+		b.Occ.Set(pos)
+		last = pos
+	}
+	b.repairAllFills()
+}
+
+// RedistributeUniform places the node's elements uniformly spaced across
+// [winLo, winHi) — the PMA window rebalance. Elements outside the window
+// are untouched. extraKey/extraPayload, when insertExtra is true, are
+// merged into the redistribution (this is how a PMA insert that triggers
+// a rebalance places its new element). Returns the number of element
+// moves performed.
+func (b *Base) RedistributeUniform(winLo, winHi int, insertExtra bool, extraKey float64, extraPayload uint64) int {
+	keys := make([]float64, 0, winHi-winLo+1)
+	payloads := make([]uint64, 0, winHi-winLo+1)
+	for i := b.Occ.NextSet(winLo); i >= 0 && i < winHi; i = b.Occ.NextSet(i + 1) {
+		keys = append(keys, b.Keys[i])
+		payloads = append(payloads, b.Payloads[i])
+		b.Occ.Clear(i)
+	}
+	if insertExtra {
+		at := search.LowerBound(keys, extraKey)
+		keys = append(keys, 0)
+		payloads = append(payloads, 0)
+		copy(keys[at+1:], keys[at:])
+		copy(payloads[at+1:], payloads[at:])
+		keys[at] = extraKey
+		payloads[at] = extraPayload
+		b.NumKeys++
+		b.Stats.Inserts++
+	}
+	m := len(keys)
+	w := winHi - winLo
+	for i := 0; i < m; i++ {
+		pos := winLo + i*w/m
+		b.Keys[pos] = keys[i]
+		b.Payloads[pos] = payloads[i]
+		b.Occ.Set(pos)
+	}
+	b.repairFillsWindow(winLo, winHi)
+	b.Stats.Shifts += uint64(m)
+	return m
+}
+
+// RedistributeWeighted is RedistributeUniform with per-segment gap
+// weighting — the primitive behind the *adaptive* PMA of Bender & Hu
+// that §7 proposes against sequential-insert pathologies. The window
+// [winLo, winHi) is divided into segments of segSize slots; segment s
+// receives a share of the window's gaps proportional to weights[s]
+// (weights index is relative to the window). Hot segments (recent
+// insertion targets) should get larger weights so subsequent inserts
+// find local gaps. Elements keep their global sort order; within a
+// segment they are spread uniformly. Returns the number of moves.
+func (b *Base) RedistributeWeighted(winLo, winHi, segSize int, weights []float64, insertExtra bool, extraKey float64, extraPayload uint64) int {
+	keys := make([]float64, 0, winHi-winLo+1)
+	payloads := make([]uint64, 0, winHi-winLo+1)
+	for i := b.Occ.NextSet(winLo); i >= 0 && i < winHi; i = b.Occ.NextSet(i + 1) {
+		keys = append(keys, b.Keys[i])
+		payloads = append(payloads, b.Payloads[i])
+		b.Occ.Clear(i)
+	}
+	if insertExtra {
+		at := search.LowerBound(keys, extraKey)
+		keys = append(keys, 0)
+		payloads = append(payloads, 0)
+		copy(keys[at+1:], keys[at:])
+		copy(payloads[at+1:], payloads[at:])
+		keys[at] = extraKey
+		payloads[at] = extraPayload
+		b.NumKeys++
+		b.Stats.Inserts++
+	}
+	m := len(keys)
+	w := winHi - winLo
+	numSegs := (w + segSize - 1) / segSize
+	if numSegs < 1 || m > w {
+		// Degenerate; fall back to uniform spacing.
+		return b.finishRedistribute(winLo, winHi, keys, payloads)
+	}
+	// Gap budget per segment ∝ weight; element count = segSize - gaps.
+	totalGaps := w - m
+	var sumW float64
+	for s := 0; s < numSegs; s++ {
+		if s < len(weights) && weights[s] > 0 {
+			sumW += weights[s]
+		} else {
+			sumW += 1
+		}
+	}
+	perSeg := make([]int, numSegs)
+	assigned := 0
+	for s := 0; s < numSegs; s++ {
+		wt := 1.0
+		if s < len(weights) && weights[s] > 0 {
+			wt = weights[s]
+		}
+		segLen := segSize
+		if winLo+(s+1)*segSize > winHi {
+			segLen = winHi - winLo - s*segSize
+		}
+		gaps := int(float64(totalGaps) * wt / sumW)
+		if gaps > segLen {
+			gaps = segLen
+		}
+		perSeg[s] = segLen - gaps
+		assigned += perSeg[s]
+	}
+	// Fix rounding so exactly m elements are placed: trim or grow from
+	// the left, respecting segment capacities.
+	for s := 0; assigned > m && s < numSegs; s++ {
+		take := assigned - m
+		if take > perSeg[s] {
+			take = perSeg[s]
+		}
+		perSeg[s] -= take
+		assigned -= take
+	}
+	for s := 0; assigned < m && s < numSegs; s++ {
+		segLen := segSize
+		if winLo+(s+1)*segSize > winHi {
+			segLen = winHi - winLo - s*segSize
+		}
+		room := segLen - perSeg[s]
+		add := m - assigned
+		if add > room {
+			add = room
+		}
+		perSeg[s] += add
+		assigned += add
+	}
+	if assigned != m {
+		return b.finishRedistribute(winLo, winHi, keys, payloads)
+	}
+	// Place each segment's contiguous run uniformly within the segment.
+	idx := 0
+	for s := 0; s < numSegs; s++ {
+		segLo := winLo + s*segSize
+		segLen := segSize
+		if segLo+segLen > winHi {
+			segLen = winHi - segLo
+		}
+		cnt := perSeg[s]
+		for j := 0; j < cnt; j++ {
+			pos := segLo + j*segLen/cnt
+			b.Keys[pos] = keys[idx]
+			b.Payloads[pos] = payloads[idx]
+			b.Occ.Set(pos)
+			idx++
+		}
+	}
+	b.repairFillsWindow(winLo, winHi)
+	b.Stats.Shifts += uint64(m)
+	return m
+}
+
+// finishRedistribute places already-collected elements uniformly (the
+// fallback shared by the weighted path).
+func (b *Base) finishRedistribute(winLo, winHi int, keys []float64, payloads []uint64) int {
+	m := len(keys)
+	w := winHi - winLo
+	for i := 0; i < m; i++ {
+		pos := winLo + i*w/m
+		b.Keys[pos] = keys[i]
+		b.Payloads[pos] = payloads[i]
+		b.Occ.Set(pos)
+	}
+	b.repairFillsWindow(winLo, winHi)
+	b.Stats.Shifts += uint64(m)
+	return m
+}
+
+// repairAllFills rewrites every gap to duplicate its closest right key.
+func (b *Base) repairAllFills() {
+	b.repairFillsWindow(0, len(b.Keys))
+}
+
+// repairFillsWindow rewrites gap fills in [winLo, winHi). The carry value
+// for gaps at the window's right edge is taken from the first occupied
+// slot at or after winHi.
+func (b *Base) repairFillsWindow(winLo, winHi int) {
+	fill := math.Inf(1)
+	if n := b.Occ.NextSet(winHi); n >= 0 {
+		fill = b.Keys[n]
+	}
+	for i := winHi - 1; i >= winLo; i-- {
+		if b.Occ.Test(i) {
+			fill = b.Keys[i]
+		} else {
+			b.Keys[i] = fill
+		}
+	}
+}
+
+// DataSizeBytes accounts the node's data storage per §5.1: the allocated
+// key and payload arrays including gaps, plus the bitmap.
+func (b *Base) DataSizeBytes(payloadBytes int) int {
+	return len(b.Keys)*8 + len(b.Payloads)*payloadBytes + b.Occ.SizeBytes()
+}
+
+// ErrInvariant is wrapped by all CheckInvariants failures.
+var ErrInvariant = errors.New("leafbase: invariant violated")
+
+// CheckInvariants verifies the structural invariants of the node:
+// the bitmap count matches NumKeys, the full key array (fills included)
+// is non-decreasing, occupied keys are strictly increasing and finite,
+// and every gap duplicates its closest right key (or +Inf at the tail).
+func (b *Base) CheckInvariants() error {
+	if b.Occ.Count() != b.NumKeys {
+		return fmt.Errorf("%w: bitmap count %d != NumKeys %d", ErrInvariant, b.Occ.Count(), b.NumKeys)
+	}
+	if b.Occ.Len() != len(b.Keys) || len(b.Keys) != len(b.Payloads) {
+		return fmt.Errorf("%w: capacity mismatch keys=%d payloads=%d bitmap=%d",
+			ErrInvariant, len(b.Keys), len(b.Payloads), b.Occ.Len())
+	}
+	prev := math.Inf(-1)
+	prevOcc := math.Inf(-1)
+	for i, k := range b.Keys {
+		if k < prev {
+			return fmt.Errorf("%w: keys[%d]=%v < keys[%d]=%v", ErrInvariant, i, k, i-1, prev)
+		}
+		prev = k
+		if b.Occ.Test(i) {
+			if math.IsInf(k, 0) || math.IsNaN(k) {
+				return fmt.Errorf("%w: occupied slot %d holds non-finite key %v", ErrInvariant, i, k)
+			}
+			if k <= prevOcc {
+				return fmt.Errorf("%w: duplicate/unordered occupied key %v at %d", ErrInvariant, k, i)
+			}
+			prevOcc = k
+		} else {
+			want := math.Inf(1)
+			if n := b.Occ.NextSet(i); n >= 0 {
+				want = b.Keys[n]
+			}
+			if k != want {
+				return fmt.Errorf("%w: gap fill at %d is %v, want %v", ErrInvariant, i, k, want)
+			}
+		}
+	}
+	return nil
+}

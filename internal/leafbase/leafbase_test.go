@@ -1,0 +1,535 @@
+package leafbase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func buildBase(keys []float64, capacity int) *Base {
+	b := &Base{}
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i) + 1
+	}
+	b.BuildFromSorted(keys, payloads, capacity)
+	return b
+}
+
+func seq(n int, step float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * step
+	}
+	return out
+}
+
+func TestInitEmpty(t *testing.T) {
+	b := &Base{}
+	b.Init(10)
+	if b.Cap() != 10 || b.Num() != 0 {
+		t.Fatalf("cap=%d num=%d", b.Cap(), b.Num())
+	}
+	for i, k := range b.Keys {
+		if !math.IsInf(k, 1) {
+			t.Fatalf("slot %d not +Inf fill: %v", i, k)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup(1); ok {
+		t.Fatal("lookup on empty")
+	}
+	if _, ok := b.MinKey(); ok {
+		t.Fatal("MinKey on empty")
+	}
+	if _, ok := b.MaxKey(); ok {
+		t.Fatal("MaxKey on empty")
+	}
+}
+
+func TestInitMinCapacity(t *testing.T) {
+	b := &Base{}
+	b.Init(0)
+	if b.Cap() < 1 {
+		t.Fatal("capacity floor")
+	}
+}
+
+func TestBuildFromSortedPlacesModelBased(t *testing.T) {
+	keys := seq(1000, 2)
+	b := buildBase(keys, 2000)
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasModel {
+		t.Fatal("1000-key node should have a model")
+	}
+	// Perfectly linear data at 2x capacity: keys should sit very near
+	// their predicted slot (Theorem 1 regime).
+	var sumErr int
+	for _, k := range keys {
+		e, ok := b.PredictionError(k)
+		if !ok {
+			t.Fatalf("key %v missing", k)
+		}
+		sumErr += e
+	}
+	if avg := float64(sumErr) / float64(len(keys)); avg > 0.5 {
+		t.Fatalf("mean placement error %v on linear data with 2x space", avg)
+	}
+}
+
+func TestColdStartHasNoModel(t *testing.T) {
+	keys := seq(MinModelKeys-1, 1)
+	b := buildBase(keys, 64)
+	if b.HasModel {
+		t.Fatalf("%d-key node should be model-less (cold start)", len(keys))
+	}
+	// Lookups still work through plain binary search.
+	for _, k := range keys {
+		if _, ok := b.Lookup(k); !ok {
+			t.Fatalf("cold-start lookup of %v failed", k)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapFillInvariantAfterDeletes(t *testing.T) {
+	keys := seq(100, 1)
+	b := buildBase(keys, 200)
+	// Delete a run in the middle; fills behind it must repair.
+	for i := 40; i < 60; i++ {
+		if !b.Delete(float64(i)) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the maximum repeatedly; trailing fills become +Inf.
+	for i := 99; i >= 90; i-- {
+		if !b.Delete(float64(i)) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := b.MaxKey(); k != 89 {
+		t.Fatalf("MaxKey = %v", k)
+	}
+}
+
+func TestPlaceModelBasedDuplicate(t *testing.T) {
+	b := buildBase(seq(50, 1), 100)
+	if r := b.PlaceModelBased(25, 999, 0, b.Cap()); r != Duplicate {
+		t.Fatalf("result = %v, want Duplicate", r)
+	}
+	if v, _ := b.Lookup(25); v != 999 {
+		t.Fatalf("payload not overwritten: %d", v)
+	}
+	if b.Num() != 50 {
+		t.Fatalf("Num changed: %d", b.Num())
+	}
+}
+
+func TestPlaceModelBasedNeedRoomWhenFull(t *testing.T) {
+	keys := seq(10, 1)
+	b := buildBase(keys, 10) // zero gaps
+	if r := b.PlaceModelBased(3.5, 1, 0, b.Cap()); r != NeedRoom {
+		t.Fatalf("result = %v, want NeedRoom on full node", r)
+	}
+}
+
+func TestInsertBeyondMaxWithFullTail(t *testing.T) {
+	// Arrange a node whose last slot is occupied and insert a key larger
+	// than everything: the shift-left path must engage.
+	b := &Base{}
+	b.BuildFromSorted(seq(9, 1), make([]uint64, 9), 10)
+	// Force the last slot occupied: insert keys until the tail fills.
+	for i := 0; i < 40 && !b.Occ.Test(b.Cap()-1); i++ {
+		b.PlaceModelBased(100+float64(i), 1, 0, b.Cap())
+	}
+	if !b.Occ.Test(b.Cap()-1) || b.Num() >= b.Cap() {
+		t.Skip("could not arrange occupied tail with a free gap")
+	}
+	max, _ := b.MaxKey()
+	if r := b.PlaceModelBased(max+1, 7, 0, b.Cap()); r != Inserted {
+		t.Fatalf("result = %v", r)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := b.MaxKey(); k != max+1 {
+		t.Fatalf("MaxKey = %v, want %v", k, max+1)
+	}
+}
+
+func TestShiftWindowRespected(t *testing.T) {
+	// With the shift window restricted to a segment that is full, the
+	// placement must report NeedRoom rather than shifting outside.
+	b := &Base{}
+	b.Init(16)
+	// Occupy slots 0..7 with keys 0..7 (a full "segment"), leave 8..15 free.
+	for i := 0; i < 8; i++ {
+		b.Keys[i] = float64(i)
+		b.Payloads[i] = uint64(i)
+		b.Occ.Set(i)
+		b.NumKeys++
+	}
+	b.repairAllFills()
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Key 3.5's lower bound is slot 4, inside the full window [0, 8).
+	if r := b.PlaceModelBased(3.5, 9, 0, 8); r != NeedRoom {
+		t.Fatalf("result = %v, want NeedRoom for full window", r)
+	}
+	// With the window widened the shift succeeds (gap at slot 8).
+	if r := b.PlaceModelBased(3.5, 9, 0, 16); r != Inserted {
+		t.Fatalf("result = %v, want Inserted", r)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistributeUniform(t *testing.T) {
+	b := &Base{}
+	b.Init(32)
+	// Pack 8 keys at the left edge.
+	for i := 0; i < 8; i++ {
+		b.Keys[i] = float64(i * 10)
+		b.Payloads[i] = uint64(i)
+		b.Occ.Set(i)
+		b.NumKeys++
+	}
+	b.repairAllFills()
+	moved := b.RedistributeUniform(0, 32, false, 0, 0)
+	if moved != 8 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform spacing: slots 0,4,8,...,28.
+	for i := 0; i < 8; i++ {
+		if !b.Occ.Test(i * 4) {
+			t.Fatalf("slot %d not occupied after redistribution", i*4)
+		}
+	}
+	// Redistribution with an inserted extra key keeps order.
+	b.RedistributeUniform(0, 32, true, 35, 99)
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Lookup(35); !ok || v != 99 {
+		t.Fatalf("extra key lookup = %v,%v", v, ok)
+	}
+	if b.Num() != 9 {
+		t.Fatalf("Num = %d", b.Num())
+	}
+}
+
+func TestScanFromStopsEarly(t *testing.T) {
+	b := buildBase(seq(100, 1), 200)
+	count := 0
+	stopped := b.ScanFrom(10, func(k float64, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if !stopped || count != 5 {
+		t.Fatalf("stopped=%v count=%d", stopped, count)
+	}
+	stopped = b.ScanFrom(95, func(k float64, v uint64) bool { return true })
+	if stopped {
+		t.Fatal("scan to the end should report not-stopped")
+	}
+}
+
+func TestCollectIntoProvidedSlices(t *testing.T) {
+	b := buildBase(seq(10, 1), 20)
+	keys := make([]float64, 0, 16)
+	payloads := make([]uint64, 0, 16)
+	keys, payloads = b.Collect(keys, payloads)
+	if len(keys) != 10 || len(payloads) != 10 {
+		t.Fatalf("collected %d/%d", len(keys), len(payloads))
+	}
+	for i := range keys {
+		if keys[i] != float64(i) || payloads[i] != uint64(i)+1 {
+			t.Fatalf("collect[%d] = %v,%v", i, keys[i], payloads[i])
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Shifts: 1, Expands: 2, Contracts: 3, Rebalances: 4, Retrains: 5, Inserts: 6, Deletes: 7}
+	var b Stats
+	b.Add(&a)
+	b.Add(&a)
+	if b.Shifts != 2 || b.Deletes != 14 || b.Retrains != 10 {
+		t.Fatalf("Add: %+v", b)
+	}
+}
+
+func TestDataSizeBytes(t *testing.T) {
+	b := buildBase(seq(10, 1), 64)
+	want8 := 64*8 + 64*8 + b.Occ.SizeBytes()
+	if got := b.DataSizeBytes(8); got != want8 {
+		t.Fatalf("DataSizeBytes(8) = %d, want %d", got, want8)
+	}
+	if b.DataSizeBytes(80) <= want8 {
+		t.Fatal("80-byte payload accounting too small")
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	b := buildBase(seq(20, 1), 40)
+	// Corrupt a gap fill.
+	for i := range b.Keys {
+		if !b.Occ.Test(i) {
+			b.Keys[i] = -1
+			break
+		}
+	}
+	if err := b.CheckInvariants(); err == nil {
+		t.Fatal("corrupt fill not detected")
+	}
+	// Corrupt the count.
+	b2 := buildBase(seq(20, 1), 40)
+	b2.NumKeys++
+	if err := b2.CheckInvariants(); err == nil {
+		t.Fatal("count mismatch not detected")
+	}
+}
+
+func TestUpdateAndAccessors(t *testing.T) {
+	b := buildBase(seq(50, 2), 100)
+	if !b.Update(48, 777) {
+		t.Fatal("update existing")
+	}
+	if v, _ := b.Lookup(48); v != 777 {
+		t.Fatalf("payload = %d", v)
+	}
+	if b.Update(49, 1) {
+		t.Fatal("update absent")
+	}
+	if b.BaseStats() == nil || b.BaseStats().Retrains == 0 {
+		t.Fatal("BaseStats")
+	}
+	if d := b.Density(); d != 0.5 {
+		t.Fatalf("Density = %v", d)
+	}
+	// NextSlot/At traverse exactly the occupied slots in order.
+	count := 0
+	prev := math.Inf(-1)
+	for s := b.NextSlot(-1); s >= 0; s = b.NextSlot(s) {
+		k, _ := b.At(s)
+		if k <= prev {
+			t.Fatal("NextSlot out of order")
+		}
+		prev = k
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("NextSlot visited %d", count)
+	}
+	// At on a gap panics.
+	gap := b.Occ.NextClear(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(gap) did not panic")
+		}
+	}()
+	b.At(gap)
+}
+
+func TestRebuildModelBasedPreservesContents(t *testing.T) {
+	b := buildBase(seq(200, 3), 300)
+	b.Delete(30)
+	b.Delete(60)
+	b.RebuildModelBased(512)
+	if b.Cap() != 512 || b.Num() != 198 {
+		t.Fatalf("cap=%d num=%d", b.Cap(), b.Num())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup(30); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if _, ok := b.Lookup(33); !ok {
+		t.Fatal("key lost in rebuild")
+	}
+}
+
+func TestRedistributeWeightedSkewsGaps(t *testing.T) {
+	b := &Base{}
+	b.Init(64)
+	// 32 keys packed left.
+	for i := 0; i < 32; i++ {
+		b.Keys[i] = float64(i)
+		b.Payloads[i] = uint64(i)
+		b.Occ.Set(i)
+		b.NumKeys++
+	}
+	b.repairAllFills()
+	// 4 segments of 16; give segment 3 (rightmost) 10x gap weight.
+	weights := []float64{1, 1, 1, 10}
+	moved := b.RedistributeWeighted(0, 64, 16, weights, false, 0, 0)
+	if moved != 32 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot segment must hold far fewer elements than the cold ones.
+	hot := b.Occ.CountRange(48, 64)
+	cold := b.Occ.CountRange(0, 16)
+	if hot >= cold {
+		t.Fatalf("hot segment %d elements, cold %d; weighting had no effect", hot, cold)
+	}
+	// All keys still present and ordered.
+	count := 0
+	b.ScanFrom(math.Inf(-1), func(k float64, v uint64) bool { count++; return true })
+	if count != 32 {
+		t.Fatalf("scan count %d", count)
+	}
+}
+
+func TestRedistributeWeightedWithExtraKey(t *testing.T) {
+	b := &Base{}
+	b.Init(32)
+	for i := 0; i < 10; i++ {
+		b.Keys[i] = float64(i * 10)
+		b.Payloads[i] = uint64(i)
+		b.Occ.Set(i)
+		b.NumKeys++
+	}
+	b.repairAllFills()
+	b.RedistributeWeighted(0, 32, 8, []float64{1, 2, 3, 4}, true, 55, 99)
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Lookup(55); !ok || v != 99 {
+		t.Fatalf("extra key = %v,%v", v, ok)
+	}
+	if b.Num() != 11 {
+		t.Fatalf("Num = %d", b.Num())
+	}
+}
+
+func TestRedistributeWeightedDegenerateFallsBack(t *testing.T) {
+	b := &Base{}
+	b.Init(16)
+	for i := 0; i < 8; i++ {
+		b.Keys[i] = float64(i)
+		b.Payloads[i] = uint64(i)
+		b.Occ.Set(i)
+		b.NumKeys++
+	}
+	b.repairAllFills()
+	// Nil weights: every segment defaults to weight 1 (uniform-ish).
+	b.RedistributeWeighted(0, 16, 4, nil, false, 0, 0)
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Num() != 8 {
+		t.Fatalf("Num = %d", b.Num())
+	}
+}
+
+// Property: RedistributeWeighted preserves contents and invariants for
+// arbitrary weights.
+func TestQuickRedistributeWeighted(t *testing.T) {
+	f := func(rawKeys []uint16, w1, w2, w3, w4 uint8) bool {
+		seen := make(map[float64]bool)
+		var keys []float64
+		for _, v := range rawKeys {
+			k := float64(v)
+			if !seen[k] && len(keys) < 48 {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		b := &Base{}
+		b.BuildFromSorted(keys, make([]uint64, len(keys)), 64)
+		weights := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1, float64(w4) + 1}
+		b.RedistributeWeighted(0, 64, 16, weights, false, 0, 0)
+		if err := b.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		got, _ := b.Collect(nil, nil)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BuildFromSorted round-trips any strictly increasing key set
+// at any capacity >= n.
+func TestQuickBuildRoundTrip(t *testing.T) {
+	f := func(raw []uint32, extraCap uint8) bool {
+		seen := make(map[float64]bool)
+		keys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			k := float64(v)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		// BuildFromSorted requires sorted input.
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				// insertion sort the small slice
+				for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+					keys[j], keys[j-1] = keys[j-1], keys[j]
+				}
+			}
+		}
+		b := &Base{}
+		b.BuildFromSorted(keys, make([]uint64, len(keys)), len(keys)+int(extraCap))
+		if err := b.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := b.Lookup(k); !ok {
+				return false
+			}
+		}
+		gotKeys, _ := b.Collect(nil, nil)
+		if len(gotKeys) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if gotKeys[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

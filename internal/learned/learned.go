@@ -1,0 +1,367 @@
+// Package learned is a best-effort reimplementation of the Learned Index
+// of Kraska et al. as the paper's evaluation uses it (§5.1): a two-level
+// RMI with linear models at both levels over a single dense sorted
+// array, binary search within per-model error bounds for lookups, and —
+// since the original supports only static data — the naive O(n) insert
+// strategy of §2.3 (shift the array, widen the error bounds, retrain
+// periodically). Its insert cost is the reason the paper excludes it
+// from read-write benchmarks; this implementation exists to reproduce
+// the read-only comparisons (Fig 4a/4e, Fig 7a) and the shift counts of
+// Fig 8.
+package learned
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linmodel"
+	"repro/internal/search"
+)
+
+// Config parameterizes the index.
+type Config struct {
+	// NumModels is the number of second-stage models. 0 derives one
+	// model per ~2048 keys at build time (the paper grid-searches this).
+	NumModels int
+	// RetrainEvery forces a full rebuild after this many inserts; the
+	// naive insert path makes models stale, and periodic retraining is
+	// the closest practical reading of §2.3 ("Finally, we update the
+	// models..."). 0 means retrain after n/16 inserts.
+	RetrainEvery int
+	// PayloadBytes is the payload size used in data-size accounting.
+	PayloadBytes int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.NumModels <= 0 {
+		c.NumModels = n / 2048
+		if c.NumModels < 1 {
+			c.NumModels = 1
+		}
+	}
+	if c.RetrainEvery <= 0 {
+		c.RetrainEvery = n / 16
+		if c.RetrainEvery < 256 {
+			c.RetrainEvery = 256
+		}
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 8
+	}
+	return c
+}
+
+// stage2 is a second-stage model with its error bounds: for every key it
+// covers, the true position lies in [pred-errLo, pred+errHi].
+type stage2 struct {
+	model  linmodel.Model
+	errLo  int
+	errHi  int
+	lo, hi int // key range [lo, hi) this model covers
+}
+
+// Index is a Kraska-style learned index over a dense sorted array.
+type Index struct {
+	cfg    Config
+	keys   []float64
+	vals   []uint64
+	root   linmodel.Model
+	models []stage2
+	// stale counts naive inserts since the last retrain; effective error
+	// bounds are widened by it.
+	stale int
+	// Stats
+	shifts    uint64 // elements moved by naive inserts (Fig 8)
+	retrains  uint64
+	fallbacks uint64 // lookups that escaped their error bounds
+}
+
+// Stats reports operational counters.
+type Stats struct {
+	Shifts    uint64
+	Retrains  uint64
+	Fallbacks uint64
+}
+
+// Stats returns the operational counters.
+func (ix *Index) Stats() Stats {
+	return Stats{Shifts: ix.shifts, Retrains: ix.retrains, Fallbacks: ix.fallbacks}
+}
+
+// BulkLoad builds the index from keys (need not be sorted; duplicates are
+// rejected). payloads may be nil.
+func BulkLoad(keys []float64, payloads []uint64, cfg Config) (*Index, error) {
+	ks := append([]float64(nil), keys...)
+	ps := make([]uint64, len(keys))
+	if payloads != nil {
+		if len(payloads) != len(keys) {
+			return nil, errors.New("learned: len(payloads) != len(keys)")
+		}
+		copy(ps, payloads)
+	}
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	sk := make([]float64, len(ks))
+	sp := make([]uint64, len(ks))
+	for i, j := range idx {
+		sk[i] = ks[j]
+		sp[i] = ps[j]
+	}
+	for i := 1; i < len(sk); i++ {
+		if sk[i] == sk[i-1] {
+			return nil, fmt.Errorf("learned: duplicate key %v", sk[i])
+		}
+	}
+	ix := &Index{cfg: cfg.withDefaults(len(sk)), keys: sk, vals: sp}
+	ix.train()
+	return ix, nil
+}
+
+// train fits the two-level RMI over the current array.
+func (ix *Index) train() {
+	n := len(ix.keys)
+	m := ix.cfg.NumModels
+	ix.retrains++
+	ix.stale = 0
+	if n == 0 {
+		ix.root = linmodel.Model{}
+		ix.models = []stage2{{lo: 0, hi: 0}}
+		return
+	}
+	// Root model maps a key to a second-stage model index.
+	ix.root = linmodel.Train(ix.keys).Scale(float64(m) / float64(n))
+	// Partition keys by root prediction (monotone, so ranges are
+	// contiguous), then fit each stage-2 model on its range, predicting
+	// *global* positions, and record its error bounds.
+	ix.models = make([]stage2, m)
+	bound := 0
+	for j := 0; j < m; j++ {
+		lo := bound
+		if j == m-1 {
+			bound = n
+		} else {
+			target := float64(j + 1)
+			bound = lo + sort.Search(n-lo, func(i int) bool { return ix.root.Predict(ix.keys[lo+i]) >= target })
+		}
+		s2 := stage2{lo: lo, hi: bound}
+		if bound > lo {
+			// Fit key -> local rank, then shift to global position.
+			s2.model = linmodel.TrainRange(ix.keys, lo, bound)
+			s2.model.Intercept += float64(lo)
+			for i := lo; i < bound; i++ {
+				pred := s2.model.PredictClamped(ix.keys[i], n)
+				switch {
+				case pred > i && pred-i > s2.errLo:
+					s2.errLo = pred - i
+				case pred < i && i-pred > s2.errHi:
+					s2.errHi = i - pred
+				}
+			}
+		}
+		ix.models[j] = s2
+	}
+}
+
+// modelFor returns the second-stage model for key.
+func (ix *Index) modelFor(key float64) *stage2 {
+	j := ix.root.PredictClamped(key, len(ix.models))
+	return &ix.models[j]
+}
+
+// lowerBound returns the lower-bound position of key using the RMI plus
+// error-bounded binary search, with a verified fallback to full binary
+// search when the bounds no longer hold (possible after naive inserts).
+func (ix *Index) lowerBound(key float64) int {
+	n := len(ix.keys)
+	if n == 0 {
+		return 0
+	}
+	s2 := ix.modelFor(key)
+	pred := s2.model.PredictClamped(key, n)
+	pos := search.BoundedBinary(ix.keys, key, pred, s2.errLo+ix.stale, s2.errHi+ix.stale)
+	// Verify the window result: pos must be a true lower bound.
+	if (pos == n || ix.keys[pos] >= key) && (pos == 0 || ix.keys[pos-1] < key) {
+		return pos
+	}
+	ix.fallbacks++
+	return search.LowerBound(ix.keys, key)
+}
+
+// Get returns the payload stored for key.
+func (ix *Index) Get(key float64) (uint64, bool) {
+	pos := ix.lowerBound(key)
+	if pos < len(ix.keys) && ix.keys[pos] == key {
+		return ix.vals[pos], true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (ix *Index) Contains(key float64) bool {
+	_, ok := ix.Get(key)
+	return ok
+}
+
+// PredictionError returns |predicted - actual| for an existing key
+// (Fig 7a). ok is false when absent.
+func (ix *Index) PredictionError(key float64) (int, bool) {
+	pos := ix.lowerBound(key)
+	if pos >= len(ix.keys) || ix.keys[pos] != key {
+		return 0, false
+	}
+	s2 := ix.modelFor(key)
+	pred := s2.model.PredictClamped(key, len(ix.keys))
+	if pred > pos {
+		return pred - pos, true
+	}
+	return pos - pred, true
+}
+
+// Insert performs the naive insertion of §2.3: find the position, shift
+// everything to its right, and account the model staleness; a full
+// retrain runs every RetrainEvery inserts. Inserting an existing key
+// overwrites the payload and returns false.
+func (ix *Index) Insert(key float64, payload uint64) bool {
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		panic("learned: key must be finite")
+	}
+	pos := ix.lowerBound(key)
+	if pos < len(ix.keys) && ix.keys[pos] == key {
+		ix.vals[pos] = payload
+		return false
+	}
+	ix.keys = append(ix.keys, 0)
+	ix.vals = append(ix.vals, 0)
+	copy(ix.keys[pos+1:], ix.keys[pos:])
+	copy(ix.vals[pos+1:], ix.vals[pos:])
+	ix.keys[pos] = key
+	ix.vals[pos] = payload
+	ix.shifts += uint64(len(ix.keys) - 1 - pos)
+	ix.stale++
+	if ix.stale >= ix.cfg.RetrainEvery {
+		ix.train()
+	}
+	return true
+}
+
+// Delete removes key with the symmetric naive strategy.
+func (ix *Index) Delete(key float64) bool {
+	pos := ix.lowerBound(key)
+	if pos >= len(ix.keys) || ix.keys[pos] != key {
+		return false
+	}
+	copy(ix.keys[pos:], ix.keys[pos+1:])
+	copy(ix.vals[pos:], ix.vals[pos+1:])
+	ix.keys = ix.keys[:len(ix.keys)-1]
+	ix.vals = ix.vals[:len(ix.vals)-1]
+	ix.shifts += uint64(len(ix.keys) - pos)
+	ix.stale++
+	if ix.stale >= ix.cfg.RetrainEvery {
+		ix.train()
+	}
+	return true
+}
+
+// Update overwrites the payload of an existing key.
+func (ix *Index) Update(key float64, payload uint64) bool {
+	pos := ix.lowerBound(key)
+	if pos < len(ix.keys) && ix.keys[pos] == key {
+		ix.vals[pos] = payload
+		return true
+	}
+	return false
+}
+
+// Len returns the number of stored elements.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// Scan visits elements with key >= start in order until visit returns
+// false, returning the count visited.
+func (ix *Index) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	n := 0
+	for i := ix.lowerBound(start); i < len(ix.keys); i++ {
+		n++
+		if !visit(ix.keys[i], ix.vals[i]) {
+			break
+		}
+	}
+	return n
+}
+
+// ScanN collects up to max elements from the first key >= start.
+func (ix *Index) ScanN(start float64, max int) ([]float64, []uint64) {
+	keys := make([]float64, 0, max)
+	vals := make([]uint64, 0, max)
+	ix.Scan(start, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < max
+	})
+	return keys, vals
+}
+
+// ScanCount visits up to max elements from start without materializing.
+func (ix *Index) ScanCount(start float64, max int) int {
+	remaining := max
+	return ix.Scan(start, func(float64, uint64) bool {
+		remaining--
+		return remaining > 0
+	})
+}
+
+// MinKey returns the smallest key.
+func (ix *Index) MinKey() (float64, bool) {
+	if len(ix.keys) == 0 {
+		return 0, false
+	}
+	return ix.keys[0], true
+}
+
+// MaxKey returns the largest key.
+func (ix *Index) MaxKey() (float64, bool) {
+	if len(ix.keys) == 0 {
+		return 0, false
+	}
+	return ix.keys[len(ix.keys)-1], true
+}
+
+// IndexSizeBytes accounts the models per §5.1: each model stores a slope
+// and intercept (16 B) plus "two additional integers that represent the
+// error bounds" (16 B), plus the root model and per-model range metadata.
+func (ix *Index) IndexSizeBytes() int {
+	const perModel = 16 + 16 + 16 // model + error bounds + range metadata
+	return 16 + perModel*len(ix.models)
+}
+
+// DataSizeBytes is the dense sorted array: keys plus payloads, no gaps.
+func (ix *Index) DataSizeBytes() int {
+	return cap(ix.keys)*8 + cap(ix.vals)*ix.cfg.PayloadBytes
+}
+
+// NumModels returns the number of second-stage models.
+func (ix *Index) NumModels() int { return len(ix.models) }
+
+// CheckInvariants verifies sortedness, uniqueness, bound coverage and
+// model-range partitioning.
+func (ix *Index) CheckInvariants() error {
+	for i := 1; i < len(ix.keys); i++ {
+		if ix.keys[i] <= ix.keys[i-1] {
+			return fmt.Errorf("learned: keys out of order at %d", i)
+		}
+	}
+	if len(ix.keys) != len(ix.vals) {
+		return errors.New("learned: keys/vals length mismatch")
+	}
+	// Every key must be found through the bounded search path.
+	for i, k := range ix.keys {
+		if pos := ix.lowerBound(k); pos != i {
+			return fmt.Errorf("learned: lowerBound(%v) = %d, want %d", k, pos, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package learned
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func uniqueKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := math.Floor(rng.Float64() * 1e12)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestBulkLoadAndGet(t *testing.T) {
+	keys := uniqueKeys(30000, 1)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i) + 1
+	}
+	ix, err := BulkLoad(keys, payloads, Config{NumModels: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok := ix.Get(k)
+		if !ok || v != payloads[i] {
+			t.Fatalf("Get(%v) = (%v,%v), want (%v,true)", k, v, ok, payloads[i])
+		}
+	}
+	if _, ok := ix.Get(-1); ok {
+		t.Fatal("absent found")
+	}
+	if ix.NumModels() != 32 {
+		t.Fatalf("NumModels = %d", ix.NumModels())
+	}
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	if _, err := BulkLoad([]float64{1, 1}, nil, Config{}); err == nil {
+		t.Fatal("duplicates accepted")
+	}
+	if _, err := BulkLoad([]float64{1, 2}, []uint64{1}, Config{}); err == nil {
+		t.Fatal("mismatched payloads accepted")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix, err := BulkLoad(nil, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Get(5); ok {
+		t.Fatal("Get on empty")
+	}
+	if ix.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+	ix.Insert(1, 10)
+	if v, ok := ix.Get(1); !ok || v != 10 {
+		t.Fatalf("after insert into empty: %v,%v", v, ok)
+	}
+}
+
+func TestErrorBoundsHoldAfterBulkLoad(t *testing.T) {
+	keys := uniqueKeys(50000, 2)
+	ix, _ := BulkLoad(keys, nil, Config{NumModels: 64})
+	if f := ix.Stats().Fallbacks; f != 0 {
+		t.Fatalf("%d fallbacks on a fresh index; bounds must hold", f)
+	}
+	for _, k := range keys {
+		ix.Get(k)
+	}
+	if f := ix.Stats().Fallbacks; f != 0 {
+		t.Fatalf("%d fallbacks while reading a static index", f)
+	}
+}
+
+func TestNaiveInsert(t *testing.T) {
+	keys := uniqueKeys(10000, 3)
+	ix, _ := BulkLoad(keys, nil, Config{NumModels: 16})
+	ref := make(map[float64]uint64, len(keys))
+	for _, k := range keys {
+		ref[k] = 0
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		k := math.Floor(rng.Float64()*1e12) + 0.5
+		ins := ix.Insert(k, uint64(i))
+		if _, existed := ref[k]; existed == ins {
+			t.Fatal("insert mismatch")
+		}
+		ref[k] = uint64(i)
+	}
+	if ix.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(ref))
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range ref {
+		got, ok := ix.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = (%v,%v), want (%v,true)", k, got, ok, v)
+		}
+	}
+	// Naive inserts must account massive shifting (Fig 8's point).
+	if ix.Stats().Shifts == 0 {
+		t.Fatal("no shifts counted")
+	}
+	if avg := float64(ix.Stats().Shifts) / 5000; avg < float64(ix.Len())/10 {
+		t.Fatalf("average shifts per insert %v suspiciously small for a dense array", avg)
+	}
+}
+
+func TestRetrainRestoresBounds(t *testing.T) {
+	keys := uniqueKeys(8192, 5)
+	ix, _ := BulkLoad(keys, nil, Config{NumModels: 8, RetrainEvery: 256})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		ix.Insert(math.Floor(rng.Float64()*1e12)+0.25, uint64(i))
+	}
+	if ix.Stats().Retrains < 2 {
+		t.Fatalf("retrains = %d, want several", ix.Stats().Retrains)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	keys := uniqueKeys(5000, 7)
+	ix, _ := BulkLoad(keys, nil, Config{})
+	for _, k := range keys[:2500] {
+		if !ix.Delete(k) {
+			t.Fatalf("Delete(%v)", k)
+		}
+	}
+	if ix.Len() != len(keys)-2500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for _, k := range keys[:2500] {
+		if _, ok := ix.Get(k); ok {
+			t.Fatalf("deleted %v found", k)
+		}
+	}
+	for _, k := range keys[2500:] {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("survivor %v lost", k)
+		}
+	}
+	if ix.Delete(keys[0]) {
+		t.Fatal("double delete")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAndDuplicateInsert(t *testing.T) {
+	ix, _ := BulkLoad([]float64{1, 2, 3}, []uint64{1, 2, 3}, Config{})
+	if !ix.Update(2, 22) {
+		t.Fatal("update")
+	}
+	if v, _ := ix.Get(2); v != 22 {
+		t.Fatalf("v=%d", v)
+	}
+	if ix.Update(9, 1) {
+		t.Fatal("update absent")
+	}
+	if ix.Insert(3, 33) {
+		t.Fatal("dup insert returned true")
+	}
+	if v, _ := ix.Get(3); v != 33 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestScan(t *testing.T) {
+	keys := uniqueKeys(10000, 8)
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	ix, _ := BulkLoad(keys, nil, Config{})
+	got, _ := ix.ScanN(sorted[100], 50)
+	for i := range got {
+		if got[i] != sorted[100+i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], sorted[100+i])
+		}
+	}
+	if n := ix.ScanCount(sorted[len(sorted)-1]+1, 5); n != 0 {
+		t.Fatalf("past-end scan = %d", n)
+	}
+	if k, ok := ix.MinKey(); !ok || k != sorted[0] {
+		t.Fatalf("MinKey = %v", k)
+	}
+	if k, ok := ix.MaxKey(); !ok || k != sorted[len(sorted)-1] {
+		t.Fatalf("MaxKey = %v", k)
+	}
+}
+
+func TestIndexSizeScalesWithModels(t *testing.T) {
+	keys := uniqueKeys(30000, 9)
+	small, _ := BulkLoad(keys, nil, Config{NumModels: 8})
+	big, _ := BulkLoad(keys, nil, Config{NumModels: 1024})
+	if big.IndexSizeBytes() <= small.IndexSizeBytes() {
+		t.Fatal("more models should cost more index bytes")
+	}
+	// Error bounds should shrink with more models (better local fits).
+	meanErr := func(ix *Index) float64 {
+		var sum int
+		for _, k := range keys[:2000] {
+			e, _ := ix.PredictionError(k)
+			sum += e
+		}
+		return float64(sum) / 2000
+	}
+	if meanErr(big) > meanErr(small) {
+		t.Fatal("more models should not increase mean prediction error")
+	}
+}
+
+// Property: the learned index matches a map under random ops.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Key     uint16
+		Payload uint64
+	}
+	f := func(initRaw []uint16, ops []op) bool {
+		seen := make(map[float64]bool)
+		var init []float64
+		for _, v := range initRaw {
+			k := float64(v)
+			if !seen[k] {
+				seen[k] = true
+				init = append(init, k)
+			}
+		}
+		ix, err := BulkLoad(init, nil, Config{NumModels: 4, RetrainEvery: 64})
+		if err != nil {
+			return false
+		}
+		ref := make(map[float64]uint64, len(init))
+		for _, k := range init {
+			ref[k] = 0
+		}
+		for _, o := range ops {
+			k := float64(o.Key % 1024)
+			switch o.Kind % 4 {
+			case 0:
+				ins := ix.Insert(k, o.Payload)
+				if _, existed := ref[k]; existed == ins {
+					return false
+				}
+				ref[k] = o.Payload
+			case 1:
+				_, existed := ref[k]
+				if ix.Delete(k) != existed {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				_, existed := ref[k]
+				if ix.Update(k, o.Payload) != existed {
+					return false
+				}
+				if existed {
+					ref[k] = o.Payload
+				}
+			case 3:
+				v, ok := ix.Get(k)
+				want, existed := ref[k]
+				if ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		return ix.Len() == len(ref) && ix.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := uniqueKeys(1<<18, 10)
+	ix, _ := BulkLoad(keys, nil, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[i&(len(keys)-1)])
+	}
+}

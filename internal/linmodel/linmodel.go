@@ -1,0 +1,160 @@
+// Package linmodel implements the linear regression models that every
+// level of an ALEX RMI (and the Learned Index baseline) is built from.
+//
+// A model is y = Slope*x + Intercept, mapping a key x to a (fractional)
+// position y. Models are trained with ordinary least squares on
+// (key, rank) pairs and can be rescaled after a node expansion, as in
+// Algorithm 3 of the paper ("model *= expansion_factor").
+package linmodel
+
+import "math"
+
+// Model is a linear regression model y = Slope*x + Intercept.
+// The zero Model predicts position 0 for every key.
+type Model struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Predict returns the unrounded predicted position for key.
+func (m Model) Predict(key float64) float64 {
+	return m.Slope*key + m.Intercept
+}
+
+// PredictClamped rounds the prediction down and clamps it into [0, n).
+// It returns 0 when n <= 0. Clamping happens in float space *before*
+// the integer conversion: converting a float64 beyond the int64 range
+// is platform-defined in Go (it wraps to MinInt64 on amd64), which
+// would turn an overflowing rightward prediction into a leftward one.
+func (m Model) PredictClamped(key float64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := math.Floor(m.Predict(key))
+	if !(p > 0) { // negative, -0, or NaN
+		return 0
+	}
+	if p >= float64(n) {
+		return n - 1
+	}
+	return int(p)
+}
+
+// Scale multiplies both parameters by f, stretching the output range by f.
+// This is the "model *= expansion_factor" step of Algorithm 3: a model
+// trained to predict ranks in [0, n) then scaled by c predicts positions
+// in [0, c*n).
+func (m Model) Scale(f float64) Model {
+	return Model{Slope: m.Slope * f, Intercept: m.Intercept * f}
+}
+
+// Train fits a model on (keys[i], i) by ordinary least squares, i.e. it
+// learns the empirical CDF of keys scaled to ranks [0, n). keys must be
+// sorted in non-decreasing order (not verified). Degenerate inputs are
+// handled: an empty slice yields the zero model; a single key or an
+// all-equal slice yields a flat model through the midpoint rank.
+func Train(keys []float64) Model {
+	return TrainRange(keys, 0, len(keys))
+}
+
+// TrainRange is Train over the half-open subslice keys[lo:hi], producing a
+// model that predicts ranks in [0, hi-lo) for those keys.
+func TrainRange(keys []float64, lo, hi int) Model {
+	n := hi - lo
+	switch {
+	case n <= 0:
+		return Model{}
+	case n == 1:
+		return Model{Slope: 0, Intercept: 0}
+	}
+	// Least squares with x shifted by its mean for numerical stability:
+	// slope = cov(x, y)/var(x), intercept = meanY - slope*meanX.
+	var meanX, meanY float64
+	for i := lo; i < hi; i++ {
+		meanX += keys[i]
+		meanY += float64(i - lo)
+	}
+	fn := float64(n)
+	meanX /= fn
+	meanY /= fn
+	var cov, varX float64
+	for i := lo; i < hi; i++ {
+		dx := keys[i] - meanX
+		cov += dx * (float64(i-lo) - meanY)
+		varX += dx * dx
+	}
+	if varX == 0 {
+		// All keys equal: flat model through the midpoint rank.
+		return Model{Slope: 0, Intercept: meanY}
+	}
+	slope := cov / varX
+	return Model{Slope: slope, Intercept: meanY - slope*meanX}
+}
+
+// TrainEndpoints fits a model through the first and last key so that
+// Predict(keys[lo]) = 0 and Predict(keys[hi-1]) = hi-lo-1. This is the
+// cheap "interpolation" fit ALEX uses for inner-node key-space
+// partitioning, where monotone coverage of the span matters more than
+// least-squares error.
+func TrainEndpoints(keys []float64, lo, hi int) Model {
+	n := hi - lo
+	switch {
+	case n <= 0:
+		return Model{}
+	case n == 1:
+		return Model{Slope: 0, Intercept: 0}
+	}
+	span := keys[hi-1] - keys[lo]
+	if span <= 0 {
+		return Model{Slope: 0, Intercept: float64(n-1) / 2}
+	}
+	slope := float64(n-1) / span
+	return Model{Slope: slope, Intercept: -slope * keys[lo]}
+}
+
+// MaxAbsError returns the maximum |Predict(keys[i]) - i| over the slice,
+// the quantity the Learned Index baseline stores as its search bound.
+func (m Model) MaxAbsError(keys []float64) float64 {
+	var worst float64
+	for i, k := range keys {
+		e := math.Abs(m.Predict(k) - float64(i))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// MeanAbsError returns the mean |Predict(keys[i]) - i| over the slice.
+func (m Model) MeanAbsError(keys []float64) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, k := range keys {
+		sum += math.Abs(m.Predict(k) - float64(i))
+	}
+	return sum / float64(len(keys))
+}
+
+// RSquared returns the coefficient of determination of the model against
+// the rank targets 0..len(keys)-1. It is 1 for a perfect fit and can be
+// negative for a fit worse than predicting the mean rank.
+func (m Model) RSquared(keys []float64) float64 {
+	n := len(keys)
+	if n < 2 {
+		return 1
+	}
+	meanY := float64(n-1) / 2
+	var ssRes, ssTot float64
+	for i, k := range keys {
+		r := float64(i) - m.Predict(k)
+		ssRes += r * r
+		d := float64(i) - meanY
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,226 @@
+package linmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestZeroModel(t *testing.T) {
+	var m Model
+	if got := m.Predict(123.0); got != 0 {
+		t.Fatalf("zero model Predict = %v, want 0", got)
+	}
+	if got := m.PredictClamped(123.0, 10); got != 0 {
+		t.Fatalf("zero model PredictClamped = %v, want 0", got)
+	}
+}
+
+func TestTrainEmptyAndSingle(t *testing.T) {
+	if m := Train(nil); m != (Model{}) {
+		t.Fatalf("Train(nil) = %+v, want zero model", m)
+	}
+	if m := Train([]float64{42}); m.Predict(42) != 0 {
+		t.Fatalf("single-key model should predict rank 0, got %v", m.Predict(42))
+	}
+}
+
+func TestTrainPerfectLine(t *testing.T) {
+	// keys = 10 + 2i: a perfect linear relation rank = (key-10)/2.
+	keys := make([]float64, 100)
+	for i := range keys {
+		keys[i] = 10 + 2*float64(i)
+	}
+	m := Train(keys)
+	if !almostEqual(m.Slope, 0.5, 1e-9) || !almostEqual(m.Intercept, -5, 1e-6) {
+		t.Fatalf("Train = %+v, want slope 0.5 intercept -5", m)	}
+	for i, k := range keys {
+		if got := m.PredictClamped(k, len(keys)); got != i {
+			t.Fatalf("PredictClamped(%v) = %d, want %d", k, got, i)
+		}
+	}
+	if r2 := m.RSquared(keys); !almostEqual(r2, 1, 1e-12) {
+		t.Fatalf("RSquared = %v, want 1", r2)
+	}
+	if e := m.MaxAbsError(keys); e > 1e-6 {
+		t.Fatalf("MaxAbsError = %v, want ~0", e)
+	}
+}
+
+func TestTrainAllEqualKeys(t *testing.T) {
+	keys := []float64{7, 7, 7, 7, 7}
+	m := Train(keys)
+	if m.Slope != 0 {
+		t.Fatalf("all-equal keys must give flat model, slope = %v", m.Slope)
+	}
+	if got := m.Predict(7); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("flat model midpoint = %v, want 2", got)
+	}
+}
+
+func TestTrainRangeMatchesTrainOnSubslice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 200)
+	for i := range keys {
+		keys[i] = rng.Float64() * 1000
+	}
+	sort.Float64s(keys)
+	sub := keys[50:150]
+	a := Train(sub)
+	b := TrainRange(keys, 50, 150)
+	if !almostEqual(a.Slope, b.Slope, 1e-9) || !almostEqual(a.Intercept, b.Intercept, 1e-9) {
+		t.Fatalf("TrainRange mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := Model{Slope: 2, Intercept: 3}
+	s := m.Scale(4)
+	if s.Slope != 8 || s.Intercept != 12 {
+		t.Fatalf("Scale = %+v", s)
+	}
+	// Scaling stretches predictions linearly.
+	if got := s.Predict(5); got != 4*m.Predict(5) {
+		t.Fatalf("scaled prediction %v, want %v", got, 4*m.Predict(5))
+	}
+}
+
+func TestPredictClampedBounds(t *testing.T) {
+	m := Model{Slope: 1, Intercept: 0}
+	if got := m.PredictClamped(-5, 10); got != 0 {
+		t.Fatalf("clamp low = %d", got)
+	}
+	if got := m.PredictClamped(50, 10); got != 9 {
+		t.Fatalf("clamp high = %d", got)
+	}
+	if got := m.PredictClamped(5, 0); got != 0 {
+		t.Fatalf("clamp n=0 = %d", got)
+	}
+	if got := m.PredictClamped(3.7, 10); got != 3 {
+		t.Fatalf("floor = %d, want 3", got)
+	}
+}
+
+func TestPredictClampedOverflow(t *testing.T) {
+	// Regression: predictions beyond the int64 range must clamp to the
+	// correct side. int(8.7e29) wraps to MinInt64 on amd64, which used
+	// to route overflowing rightward predictions to child 0.
+	m := Model{Slope: 1, Intercept: 0}
+	if got := m.PredictClamped(8.7e29, 4); got != 3 {
+		t.Fatalf("huge positive prediction clamped to %d, want 3", got)
+	}
+	if got := m.PredictClamped(-8.7e29, 4); got != 0 {
+		t.Fatalf("huge negative prediction clamped to %d, want 0", got)
+	}
+	inf := Model{Slope: math.Inf(1), Intercept: 0}
+	if got := inf.PredictClamped(1, 4); got != 3 {
+		t.Fatalf("+Inf prediction clamped to %d, want 3", got)
+	}
+	if got := inf.PredictClamped(-1, 4); got != 0 {
+		t.Fatalf("-Inf prediction clamped to %d, want 0", got)
+	}
+	nan := Model{Slope: math.NaN(), Intercept: 0}
+	if got := nan.PredictClamped(1, 4); got != 0 {
+		t.Fatalf("NaN prediction clamped to %d, want 0", got)
+	}
+}
+
+func TestTrainEndpoints(t *testing.T) {
+	keys := []float64{10, 11, 14, 20, 30}
+	m := TrainEndpoints(keys, 0, len(keys))
+	if got := m.Predict(10); !almostEqual(got, 0, 1e-9) {
+		t.Fatalf("endpoint lo predict = %v", got)
+	}
+	if got := m.Predict(30); !almostEqual(got, 4, 1e-9) {
+		t.Fatalf("endpoint hi predict = %v", got)
+	}
+	// Degenerate span.
+	d := TrainEndpoints([]float64{5, 5, 5}, 0, 3)
+	if d.Slope != 0 {
+		t.Fatalf("degenerate endpoints slope = %v", d.Slope)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	keys := []float64{0, 1, 2, 3}
+	m := Model{Slope: 1, Intercept: 0.5} // off by exactly 0.5 everywhere
+	if got := m.MeanAbsError(keys); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("MeanAbsError = %v, want 0.5", got)
+	}
+	if got := m.MeanAbsError(nil); got != 0 {
+		t.Fatalf("MeanAbsError(nil) = %v", got)
+	}
+}
+
+// Property: a least-squares fit never has a worse sum of squared rank
+// residuals than the endpoint fit on the same data.
+func TestQuickLeastSquaresBeatsEndpoints(t *testing.T) {
+	f := func(raw []float64) bool {
+		keys := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				keys = append(keys, math.Mod(v, 1e9))
+			}
+		}
+		if len(keys) < 3 {
+			return true
+		}
+		sort.Float64s(keys)
+		ls, ep := Train(keys), TrainEndpoints(keys, 0, len(keys))
+		var sls, sep float64
+		for i, k := range keys {
+			r1 := ls.Predict(k) - float64(i)
+			r2 := ep.Predict(k) - float64(i)
+			sls += r1 * r1
+			sep += r2 * r2
+		}
+		return sls <= sep+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Train produces a model whose predictions are monotone
+// non-decreasing in the key (slope >= 0) whenever keys are sorted.
+func TestQuickTrainMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		keys := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				keys = append(keys, math.Mod(v, 1e9))
+			}
+		}
+		sort.Float64s(keys)
+		return Train(keys).Slope >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	keys := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	sort.Float64s(keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Train(keys)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m := Model{Slope: 1.5, Intercept: -3}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += m.PredictClamped(float64(i), 1<<20)
+	}
+	_ = sink
+}

@@ -1,0 +1,617 @@
+// Package paged implements the §7 "Secondary Storage" extension of
+// ALEX: the RMI (inner nodes and models) stays in memory, while every
+// leaf stores a pointer to a data page in secondary storage — exactly
+// the "simple extension" the paper sketches. Pages are fixed-size,
+// densely sorted (gaps are an in-memory trick; on storage, dense pages
+// minimize I/O), and served through an LRU cache so experiments can
+// report hit ratios and physical I/O.
+//
+// Inserts rewrite the leaf's page; a full leaf splits like §3.4.2 —
+// its model becomes an in-memory inner node routing to fresh pages.
+// The index is single-writer, like the in-memory ALEX.
+package paged
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linmodel"
+	"repro/internal/pagestore"
+	"repro/internal/search"
+)
+
+// Config parameterizes a paged index.
+type Config struct {
+	// PageSize is the data page size in bytes. Default 4096 (≈255
+	// key/payload pairs per page).
+	PageSize int
+	// CachePages is the LRU cache capacity. Default 64.
+	CachePages int
+	// FillFactor is the page occupancy at bulk load, leaving room for
+	// inserts. Default 0.7.
+	FillFactor float64
+	// InnerFanout is the partitions per inner node at bulk load.
+	// Default 16.
+	InnerFanout int
+	// SplitFanout is the pages created per leaf split. Default 2.
+	SplitFanout int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize < 256 {
+		c.PageSize = pagestore.DefaultPageSize
+	}
+	if c.CachePages <= 0 {
+		c.CachePages = 64
+	}
+	if c.FillFactor <= 0 || c.FillFactor > 1 {
+		c.FillFactor = 0.7
+	}
+	if c.InnerFanout < 2 {
+		c.InnerFanout = 16
+	}
+	if c.SplitFanout < 2 {
+		c.SplitFanout = 2
+	}
+	return c
+}
+
+// pageHeader is count(uint32) + reserved(uint32).
+const pageHeaderBytes = 8
+
+// perPage returns the entry capacity of one page.
+func (c Config) perPage() int {
+	return (c.PageSize - pageHeaderBytes) / 16
+}
+
+// child is either *inner or *leaf.
+type child interface{}
+
+// inner routes keys by linear model, like core's inner nodes.
+type inner struct {
+	model    linmodel.Model
+	children []child
+}
+
+// leaf is the in-memory handle of one data page.
+type leaf struct {
+	page       pagestore.PageID
+	n          int // cached element count
+	next, prev *leaf
+}
+
+// Index is a paged ALEX: in-memory RMI over on-storage data pages.
+type Index struct {
+	cfg   Config
+	cache *pagestore.Cache
+	root  child
+	head  *leaf
+	count int
+	buf   []byte // page scratch, single-writer
+	keys  []float64
+	vals  []uint64
+	splits uint64
+}
+
+// BulkLoad builds a paged index over keys (unsorted ok, duplicates
+// rejected) on the given store.
+func BulkLoad(keys []float64, payloads []uint64, store pagestore.Store, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if payloads != nil && len(payloads) != len(keys) {
+		return nil, errors.New("paged: len(payloads) != len(keys)")
+	}
+	ks := append([]float64(nil), keys...)
+	ps := make([]uint64, len(keys))
+	if payloads != nil {
+		copy(ps, payloads)
+	}
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	sk := make([]float64, len(ks))
+	sp := make([]uint64, len(ks))
+	for i, j := range idx {
+		sk[i] = ks[j]
+		sp[i] = ps[j]
+	}
+	for i := 1; i < len(sk); i++ {
+		if sk[i] == sk[i-1] {
+			return nil, fmt.Errorf("paged: duplicate key %v", sk[i])
+		}
+	}
+	ix := &Index{
+		cfg:   cfg,
+		cache: pagestore.NewCache(store, cfg.CachePages),
+		buf:   make([]byte, cfg.PageSize),
+		keys:  make([]float64, 0, cfg.perPage()+1),
+		vals:  make([]uint64, 0, cfg.perPage()+1),
+		count: len(sk),
+	}
+	maxKeys := int(float64(cfg.perPage()) * cfg.FillFactor)
+	if maxKeys < 1 {
+		maxKeys = 1
+	}
+	root, err := ix.build(sk, sp, maxKeys, 0)
+	if err != nil {
+		return nil, err
+	}
+	ix.root = root
+	ix.linkLeaves()
+	return ix, nil
+}
+
+// maxBuildDepth guards degenerate recursion, as in core.
+const maxBuildDepth = 48
+
+// build is the adaptive-RMI bulk load (Alg 4) with pages as leaves.
+func (ix *Index) build(keys []float64, payloads []uint64, maxKeys, depth int) (child, error) {
+	n := len(keys)
+	if n <= maxKeys || depth >= maxBuildDepth {
+		return ix.newLeafPages(keys, payloads)
+	}
+	p := ix.cfg.InnerFanout
+	if depth == 0 {
+		p = (n + maxKeys - 1) / maxKeys
+		if p < 2 {
+			p = 2
+		}
+	}
+	model, bounds, nonEmpty := partition(keys, p)
+	if nonEmpty <= 1 {
+		return ix.newLeafPages(keys, payloads)
+	}
+	in := &inner{model: model, children: make([]child, p)}
+	for i := 0; i < p; {
+		size := bounds[i+1] - bounds[i]
+		if size > maxKeys {
+			c, err := ix.build(keys[bounds[i]:bounds[i+1]], payloads[bounds[i]:bounds[i+1]], maxKeys, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			in.children[i] = c
+			i++
+			continue
+		}
+		begin := i
+		acc := size
+		for i+1 < p && acc+(bounds[i+2]-bounds[i+1]) <= maxKeys {
+			i++
+			acc += bounds[i+1] - bounds[i]
+		}
+		c, err := ix.newLeafPages(keys[bounds[begin]:bounds[i+1]], payloads[bounds[begin]:bounds[i+1]])
+		if err != nil {
+			return nil, err
+		}
+		for q := begin; q <= i; q++ {
+			in.children[q] = c
+		}
+		i++
+	}
+	return in, nil
+}
+
+// newLeafPages writes a segment to one page; segments above a page's
+// capacity chain into an inner node of page-sized leaves (rare: only
+// when the model could not subdivide).
+func (ix *Index) newLeafPages(keys []float64, payloads []uint64) (child, error) {
+	per := ix.cfg.perPage()
+	if len(keys) <= per {
+		return ix.writeNewLeaf(keys, payloads)
+	}
+	// Degenerate oversized segment: chain pages under a rank-spread
+	// inner node (endpoint model over the segment).
+	pages := (len(keys) + per - 1) / per
+	model := linmodel.TrainEndpoints(keys, 0, len(keys)).Scale(float64(pages) / float64(len(keys)))
+	in := &inner{model: model, children: make([]child, pages)}
+	for i := 0; i < pages; i++ {
+		lo := i * len(keys) / pages
+		hi := (i + 1) * len(keys) / pages
+		lf, err := ix.writeNewLeaf(keys[lo:hi], payloads[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		in.children[i] = lf
+	}
+	return in, nil
+}
+
+// writeNewLeaf allocates and writes one page.
+func (ix *Index) writeNewLeaf(keys []float64, payloads []uint64) (*leaf, error) {
+	if len(keys) > ix.cfg.perPage() {
+		return nil, fmt.Errorf("paged: segment of %d keys exceeds page capacity %d", len(keys), ix.cfg.perPage())
+	}
+	id, err := ix.cache.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	lf := &leaf{page: id, n: len(keys)}
+	if err := ix.writePage(lf, keys, payloads); err != nil {
+		return nil, err
+	}
+	return lf, nil
+}
+
+// writePage serializes entries into the leaf's page.
+func (ix *Index) writePage(lf *leaf, keys []float64, payloads []uint64) error {
+	buf := ix.buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(keys)))
+	off := pageHeaderBytes
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(k))
+		off += 8
+	}
+	for _, v := range payloads {
+		binary.LittleEndian.PutUint64(buf[off:], v)
+		off += 8
+	}
+	lf.n = len(keys)
+	return ix.cache.Write(lf.page, buf)
+}
+
+// readPage deserializes the leaf's page into the scratch slices.
+func (ix *Index) readPage(lf *leaf) ([]float64, []uint64, error) {
+	if err := ix.cache.Read(lf.page, ix.buf); err != nil {
+		return nil, nil, err
+	}
+	cnt := int(binary.LittleEndian.Uint32(ix.buf[0:4]))
+	if cnt > ix.cfg.perPage() {
+		return nil, nil, fmt.Errorf("paged: corrupt page %d count %d", lf.page, cnt)
+	}
+	keys := ix.keys[:0]
+	vals := ix.vals[:0]
+	off := pageHeaderBytes
+	for i := 0; i < cnt; i++ {
+		keys = append(keys, math.Float64frombits(binary.LittleEndian.Uint64(ix.buf[off:])))
+		off += 8
+	}
+	for i := 0; i < cnt; i++ {
+		vals = append(vals, binary.LittleEndian.Uint64(ix.buf[off:]))
+		off += 8
+	}
+	ix.keys, ix.vals = keys, vals
+	return keys, vals, nil
+}
+
+// traverse returns the leaf for key and its parent.
+func (ix *Index) traverse(key float64) (*leaf, *inner) {
+	var parent *inner
+	cur := ix.root
+	for {
+		switch n := cur.(type) {
+		case *inner:
+			parent = n
+			cur = n.children[n.model.PredictClamped(key, len(n.children))]
+		case *leaf:
+			return n, parent
+		default:
+			panic("paged: corrupt tree")
+		}
+	}
+}
+
+// Get returns the payload stored for key.
+func (ix *Index) Get(key float64) (uint64, bool) {
+	lf, _ := ix.traverse(key)
+	keys, vals, err := ix.readPage(lf)
+	if err != nil {
+		return 0, false
+	}
+	i := search.LowerBound(keys, key)
+	if i < len(keys) && keys[i] == key {
+		return vals[i], true
+	}
+	return 0, false
+}
+
+// Insert adds key with payload; existing keys get their payload
+// overwritten (returns false). A full page splits per §3.4.2.
+func (ix *Index) Insert(key float64, payload uint64) (bool, error) {
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		return false, errors.New("paged: key must be finite")
+	}
+	lf, parent := ix.traverse(key)
+	if lf.n >= ix.cfg.perPage() {
+		if err := ix.splitLeaf(lf, parent); err != nil {
+			return false, err
+		}
+		lf, _ = ix.traverse(key)
+	}
+	keys, vals, err := ix.readPage(lf)
+	if err != nil {
+		return false, err
+	}
+	i := search.LowerBound(keys, key)
+	if i < len(keys) && keys[i] == key {
+		vals[i] = payload
+		return false, ix.writePage(lf, keys, vals)
+	}
+	keys = append(keys, 0)
+	vals = append(vals, 0)
+	copy(keys[i+1:], keys[i:])
+	copy(vals[i+1:], vals[i:])
+	keys[i] = key
+	vals[i] = payload
+	ix.keys, ix.vals = keys, vals
+	ix.count++
+	return true, ix.writePage(lf, keys, vals)
+}
+
+// splitLeaf turns a full page into an inner node with SplitFanout pages,
+// distributing by the leaf's model (§3.4.2 on storage).
+func (ix *Index) splitLeaf(lf *leaf, parent *inner) error {
+	keys, vals, err := ix.readPage(lf)
+	if err != nil {
+		return err
+	}
+	s := ix.cfg.SplitFanout
+	model, bounds, nonEmpty := partition(keys, s)
+	if nonEmpty <= 1 {
+		// Un-partitionable page (pathological clustering): split by rank.
+		model = linmodel.TrainEndpoints(keys, 0, len(keys)).Scale(float64(s) / float64(len(keys)))
+		bounds = make([]int, s+1)
+		for i := 0; i <= s; i++ {
+			bounds[i] = i * len(keys) / s
+		}
+	}
+	// Copy out of the scratch slices before writing new pages.
+	ck := append([]float64(nil), keys...)
+	cv := append([]uint64(nil), vals...)
+	in := &inner{model: model, children: make([]child, s)}
+	leaves := make([]*leaf, 0, s)
+	var last *leaf
+	for p := 0; p < s; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		if last != nil && lo == hi {
+			in.children[p] = last
+			continue
+		}
+		nl, err := ix.writeNewLeaf(ck[lo:hi], cv[lo:hi])
+		if err != nil {
+			return err
+		}
+		in.children[p] = nl
+		leaves = append(leaves, nl)
+		last = nl
+	}
+	for i := 1; i < len(leaves); i++ {
+		leaves[i-1].next = leaves[i]
+		leaves[i].prev = leaves[i-1]
+	}
+	first, lastNew := leaves[0], leaves[len(leaves)-1]
+	first.prev = lf.prev
+	lastNew.next = lf.next
+	if lf.prev != nil {
+		lf.prev.next = first
+	} else {
+		ix.head = first
+	}
+	if lf.next != nil {
+		lf.next.prev = lastNew
+	}
+	if parent == nil {
+		ix.root = in
+	} else {
+		for i := range parent.children {
+			if parent.children[i] == child(lf) {
+				parent.children[i] = in
+			}
+		}
+	}
+	ix.splits++
+	return nil
+}
+
+// Delete removes key, rewriting the page.
+func (ix *Index) Delete(key float64) (bool, error) {
+	lf, _ := ix.traverse(key)
+	keys, vals, err := ix.readPage(lf)
+	if err != nil {
+		return false, err
+	}
+	i := search.LowerBound(keys, key)
+	if i >= len(keys) || keys[i] != key {
+		return false, nil
+	}
+	copy(keys[i:], keys[i+1:])
+	copy(vals[i:], vals[i+1:])
+	keys = keys[:len(keys)-1]
+	vals = vals[:len(vals)-1]
+	ix.keys, ix.vals = keys, vals
+	ix.count--
+	return true, ix.writePage(lf, keys, vals)
+}
+
+// Scan visits elements with key >= start in order until visit returns
+// false; each page is read once through the cache.
+func (ix *Index) Scan(start float64, visit func(key float64, payload uint64) bool) (int, error) {
+	lf, _ := ix.traverse(start)
+	n := 0
+	for lf != nil {
+		keys, vals, err := ix.readPage(lf)
+		if err != nil {
+			return n, err
+		}
+		i := 0
+		if n == 0 {
+			i = search.LowerBound(keys, start)
+		}
+		for ; i < len(keys); i++ {
+			n++
+			if !visit(keys[i], vals[i]) {
+				return n, nil
+			}
+		}
+		lf = lf.next
+	}
+	return n, nil
+}
+
+// ScanN collects up to max elements from the first key >= start.
+func (ix *Index) ScanN(start float64, max int) ([]float64, []uint64, error) {
+	keys := make([]float64, 0, max)
+	vals := make([]uint64, 0, max)
+	_, err := ix.Scan(start, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < max
+	})
+	return keys, vals, err
+}
+
+// Len returns the number of stored elements.
+func (ix *Index) Len() int { return ix.count }
+
+// Pages returns the number of allocated data pages.
+func (ix *Index) Pages() int { return ix.cache.NumPages() }
+
+// Splits returns the number of leaf splits performed.
+func (ix *Index) Splits() uint64 { return ix.splits }
+
+// CacheStats returns the page cache counters.
+func (ix *Index) CacheStats() pagestore.Stats { return ix.cache.Stats() }
+
+// ResetCacheStats zeroes the cache counters (e.g. after warmup).
+func (ix *Index) ResetCacheStats() { ix.cache.ResetStats() }
+
+// IndexSizeBytes accounts the in-memory RMI, as §5.1 does for ALEX.
+func (ix *Index) IndexSizeBytes() int {
+	const modelBytes, headerBytes = 16, 24
+	total := 0
+	var walk func(c child)
+	walk = func(c child) {
+		switch n := c.(type) {
+		case *inner:
+			total += modelBytes + headerBytes + 8*len(n.children)
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				walk(ch)
+			}
+		case *leaf:
+			total += headerBytes + 4 + 16 // header + page id + links
+		}
+	}
+	walk(ix.root)
+	return total
+}
+
+// DataSizeBytes is the allocated page bytes on storage.
+func (ix *Index) DataSizeBytes() int { return ix.Pages() * ix.cfg.PageSize }
+
+// Close releases the cache and backing store.
+func (ix *Index) Close() error { return ix.cache.Close() }
+
+// linkLeaves rebuilds the in-memory sibling chain in key order.
+func (ix *Index) linkLeaves() {
+	var prev *leaf
+	ix.head = nil
+	var walk func(c child)
+	walk = func(c child) {
+		switch n := c.(type) {
+		case *inner:
+			var last child
+			for _, ch := range n.children {
+				if ch == last {
+					continue
+				}
+				last = ch
+				walk(ch)
+			}
+		case *leaf:
+			if prev == n {
+				return
+			}
+			n.prev = prev
+			n.next = nil
+			if prev != nil {
+				prev.next = n
+			} else {
+				ix.head = n
+			}
+			prev = n
+		}
+	}
+	walk(ix.root)
+}
+
+// CheckInvariants verifies page contents, chain order and the count.
+func (ix *Index) CheckInvariants() error {
+	total := 0
+	prev := math.Inf(-1)
+	for lf := ix.head; lf != nil; lf = lf.next {
+		keys, _, err := ix.readPage(lf)
+		if err != nil {
+			return err
+		}
+		if len(keys) != lf.n {
+			return fmt.Errorf("paged: cached count %d != page count %d", lf.n, len(keys))
+		}
+		for _, k := range keys {
+			if k <= prev {
+				return fmt.Errorf("paged: key %v out of global order", k)
+			}
+			prev = k
+		}
+		if lf.next != nil && lf.next.prev != lf {
+			return errors.New("paged: broken prev link")
+		}
+		total += len(keys)
+	}
+	if total != ix.count {
+		return fmt.Errorf("paged: page totals %d != count %d", total, ix.count)
+	}
+	return nil
+}
+
+// partition mirrors core's bulk-load partitioning (kept local: core's is
+// unexported and the paged index is deliberately self-contained). Like
+// core, it falls back to an endpoint fit when least squares degenerates
+// or loses monotonicity to float cancellation.
+func partition(keys []float64, p int) (linmodel.Model, []int, int) {
+	n := len(keys)
+	model := linmodel.Train(keys).Scale(float64(p) / float64(n))
+	usable := model.Slope >= 0 && !math.IsInf(model.Slope, 0) && !math.IsNaN(model.Slope)
+	var bounds []int
+	nonEmpty := 0
+	if usable {
+		bounds, nonEmpty = boundaries(keys, model, p)
+	}
+	if nonEmpty <= 1 && n > 1 {
+		model = linmodel.TrainEndpoints(keys, 0, n).Scale(float64(p) / float64(n))
+		bounds, nonEmpty = boundaries(keys, model, p)
+	}
+	return model, bounds, nonEmpty
+}
+
+func boundaries(keys []float64, model linmodel.Model, p int) ([]int, int) {
+	n := len(keys)
+	bounds := make([]int, p+1)
+	bounds[p] = n
+	for i := 1; i < p; i++ {
+		target := float64(i)
+		bounds[i] = sort.Search(n, func(j int) bool { return model.Predict(keys[j]) >= target })
+	}
+	for i := 1; i <= p; i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	nonEmpty := 0
+	for i := 0; i < p; i++ {
+		if bounds[i+1] > bounds[i] {
+			nonEmpty++
+		}
+	}
+	return bounds, nonEmpty
+}

@@ -1,0 +1,375 @@
+package paged
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pagestore"
+)
+
+func uniqueKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := math.Floor(rng.Float64() * 1e12)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func mustBulkLoad(t *testing.T, keys []float64, payloads []uint64, cfg Config) *Index {
+	t.Helper()
+	ix, err := BulkLoad(keys, payloads, pagestore.NewMemStore(cfg.PageSize), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestBulkLoadAndGet(t *testing.T) {
+	keys := uniqueKeys(30000, 1)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i) + 1
+	}
+	ix := mustBulkLoad(t, keys, payloads, Config{})
+	defer ix.Close()
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok := ix.Get(k)
+		if !ok || v != payloads[i] {
+			t.Fatalf("Get(%v) = (%v,%v), want (%v,true)", k, v, ok, payloads[i])
+		}
+	}
+	if _, ok := ix.Get(-5); ok {
+		t.Fatal("absent key found")
+	}
+	if ix.Pages() == 0 {
+		t.Fatal("no pages allocated")
+	}
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	_, err := BulkLoad([]float64{1, 1}, nil, pagestore.NewMemStore(0), Config{})
+	if err == nil {
+		t.Fatal("duplicates accepted")
+	}
+	_, err = BulkLoad([]float64{1, 2}, []uint64{1}, pagestore.NewMemStore(0), Config{})
+	if err == nil {
+		t.Fatal("mismatched payloads accepted")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := mustBulkLoad(t, nil, nil, Config{})
+	defer ix.Close()
+	if ix.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := ix.Get(1); ok {
+		t.Fatal("phantom")
+	}
+	ins, err := ix.Insert(5, 50)
+	if err != nil || !ins {
+		t.Fatalf("insert into empty: %v %v", ins, err)
+	}
+	if v, ok := ix.Get(5); !ok || v != 50 {
+		t.Fatal("get after insert")
+	}
+}
+
+func TestInsertWithPageSplits(t *testing.T) {
+	keys := uniqueKeys(4000, 2)
+	ix := mustBulkLoad(t, keys[:1000], nil, Config{PageSize: 1024}) // ~63 entries/page
+	defer ix.Close()
+	ref := make(map[float64]uint64, 4000)
+	for _, k := range keys[:1000] {
+		ref[k] = 0
+	}
+	for i, k := range keys[1000:] {
+		ins, err := ix.Insert(k, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ins {
+			t.Fatalf("duplicate reported for fresh key %v", k)
+		}
+		ref[k] = uint64(i)
+	}
+	if ix.Splits() == 0 {
+		t.Fatal("no page splits after tripling the data")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range ref {
+		got, ok := ix.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = (%v,%v), want (%v,true)", k, got, ok, v)
+		}
+	}
+}
+
+func TestInsertDuplicateOverwrites(t *testing.T) {
+	ix := mustBulkLoad(t, []float64{1, 2, 3}, []uint64{1, 2, 3}, Config{})
+	defer ix.Close()
+	ins, err := ix.Insert(2, 99)
+	if err != nil || ins {
+		t.Fatalf("dup insert = %v, %v", ins, err)
+	}
+	if v, _ := ix.Get(2); v != 99 {
+		t.Fatalf("payload = %d", v)
+	}
+	if ix.Len() != 3 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	keys := uniqueKeys(5000, 3)
+	ix := mustBulkLoad(t, keys, nil, Config{PageSize: 1024})
+	defer ix.Close()
+	for _, k := range keys[:2500] {
+		del, err := ix.Delete(k)
+		if err != nil || !del {
+			t.Fatalf("Delete(%v) = %v, %v", k, del, err)
+		}
+	}
+	if ix.Len() != 2500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if del, _ := ix.Delete(keys[0]); del {
+		t.Fatal("double delete")
+	}
+	for _, k := range keys[2500:] {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("survivor %v lost", k)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAcrossPages(t *testing.T) {
+	n := 10000
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(i) * 2
+	}
+	ix := mustBulkLoad(t, keys, nil, Config{PageSize: 512})
+	defer ix.Close()
+	got, _, err := ix.ScanN(keys[n/2], 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("scan = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != keys[n/2+i] {
+			t.Fatalf("scan[%d] = %v", i, got[i])
+		}
+	}
+	// Full scan equals the sorted input.
+	all, _, _ := ix.ScanN(math.Inf(-1), n+10)
+	if len(all) != n {
+		t.Fatalf("full scan = %d", len(all))
+	}
+	// Scan from between keys and past the end.
+	first, _, _ := ix.ScanN(keys[3]+1, 1)
+	if len(first) != 1 || first[0] != keys[4] {
+		t.Fatalf("between-scan = %v", first)
+	}
+	none, _, _ := ix.ScanN(keys[n-1]+1, 5)
+	if len(none) != 0 {
+		t.Fatalf("past-end scan = %d", len(none))
+	}
+}
+
+func TestCacheStatsExposeIOBehaviour(t *testing.T) {
+	keys := uniqueKeys(20000, 4)
+	cfg := Config{PageSize: 1024, CachePages: 4} // tiny cache, many pages
+	ix := mustBulkLoad(t, keys, nil, cfg)
+	defer ix.Close()
+	ix.ResetCacheStats()
+	// Random lookups across all pages: mostly misses with 4 cache pages.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		ix.Get(keys[rng.Intn(len(keys))])
+	}
+	cold := ix.CacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("tiny cache produced no misses")
+	}
+	// Repeatedly hitting one key: all hits after the first.
+	ix.ResetCacheStats()
+	for i := 0; i < 1000; i++ {
+		ix.Get(keys[0])
+	}
+	hot := ix.CacheStats()
+	if hot.Hits < 999 {
+		t.Fatalf("hot key hits = %d", hot.Hits)
+	}
+	hitRate := float64(cold.Hits) / float64(cold.Hits+cold.Misses)
+	if hitRate > 0.5 {
+		t.Fatalf("cold hit rate %.2f suspiciously high for a 4-page cache", hitRate)
+	}
+}
+
+func TestFileBackedIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alex.pages")
+	store, err := pagestore.NewFileStore(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := uniqueKeys(5000, 6)
+	ix, err := BulkLoad(keys, nil, store, Config{PageSize: 1024, CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for _, k := range keys[:500] {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("file-backed Get(%v) failed", k)
+		}
+	}
+	if _, err := ix.Insert(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizesAccounting(t *testing.T) {
+	keys := uniqueKeys(30000, 7)
+	ix := mustBulkLoad(t, keys, nil, Config{})
+	defer ix.Close()
+	if ix.IndexSizeBytes() <= 0 {
+		t.Fatal("index size")
+	}
+	if ix.DataSizeBytes() != ix.Pages()*pagestore.DefaultPageSize {
+		t.Fatal("data size mismatch")
+	}
+	// The learned-index property survives paging: tiny in-memory index.
+	if ix.IndexSizeBytes() > ix.DataSizeBytes()/10 {
+		t.Fatalf("RMI %d B not small vs pages %d B", ix.IndexSizeBytes(), ix.DataSizeBytes())
+	}
+}
+
+// Property: the paged index matches a map under random ops.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Key     uint16
+		Payload uint64
+	}
+	f := func(initRaw []uint16, ops []op) bool {
+		seen := make(map[float64]bool)
+		var init []float64
+		for _, v := range initRaw {
+			k := float64(v)
+			if !seen[k] {
+				seen[k] = true
+				init = append(init, k)
+			}
+		}
+		ix, err := BulkLoad(init, nil, pagestore.NewMemStore(512), Config{PageSize: 512, CachePages: 2})
+		if err != nil {
+			return false
+		}
+		defer ix.Close()
+		ref := make(map[float64]uint64, len(init))
+		for _, k := range init {
+			ref[k] = 0
+		}
+		for _, o := range ops {
+			k := float64(o.Key % 1024)
+			switch o.Kind % 3 {
+			case 0:
+				ins, err := ix.Insert(k, o.Payload)
+				if err != nil {
+					return false
+				}
+				if _, existed := ref[k]; existed == ins {
+					return false
+				}
+				ref[k] = o.Payload
+			case 1:
+				del, err := ix.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, existed := ref[k]; del != existed {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, ok := ix.Get(k)
+				want, existed := ref[k]
+				if ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		if ix.Len() != len(ref) {
+			return false
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		got, _, _ := ix.ScanN(math.Inf(-1), len(ref)+1)
+		want := make([]float64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetWarmCache(b *testing.B) {
+	keys := uniqueKeys(1<<16, 8)
+	ix, _ := BulkLoad(keys, nil, pagestore.NewMemStore(0), Config{CachePages: 1 << 12})
+	defer ix.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[i&(len(keys)-1)])
+	}
+}
+
+func BenchmarkGetColdCache(b *testing.B) {
+	keys := uniqueKeys(1<<16, 9)
+	ix, _ := BulkLoad(keys, nil, pagestore.NewMemStore(0), Config{CachePages: 2})
+	defer ix.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[i&(len(keys)-1)])
+	}
+}

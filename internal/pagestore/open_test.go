@@ -1,0 +1,6 @@
+package pagestore
+
+import "os"
+
+// openRead opens a file for reading in tests.
+func openRead(path string) (*os.File, error) { return os.Open(path) }

@@ -1,0 +1,318 @@
+// Package pagestore provides the paged-storage substrate for the §7
+// "Secondary Storage" extension of ALEX: fixed-size pages addressed by
+// PageID, with an in-memory backend (tests, simulation), a file backend,
+// and an LRU page cache that counts hits, misses and physical I/O so
+// experiments can report the cache behaviour of a disk-backed index.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageID addresses a page within a store. Zero is a valid page.
+type PageID uint32
+
+// DefaultPageSize is the conventional 4 KiB database page.
+const DefaultPageSize = 4096
+
+// ErrOutOfRange is returned for accesses beyond the allocated pages.
+var ErrOutOfRange = errors.New("pagestore: page id out of range")
+
+// Store is a flat array of fixed-size pages.
+type Store interface {
+	// PageSize returns the immutable page size in bytes.
+	PageSize() int
+	// Alloc appends a zeroed page and returns its id.
+	Alloc() (PageID, error)
+	// Read copies page id into buf, which must be PageSize() long.
+	Read(id PageID, buf []byte) error
+	// Write replaces page id with data, which must be PageSize() long.
+	Write(id PageID, data []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore keeps pages in memory — the simulation backend (the paper's
+// testbed has no disk in the loop either; what matters for the
+// experiments is the page/cache discipline, not the medium).
+type MemStore struct {
+	pageSize int
+	pages    [][]byte
+}
+
+// NewMemStore returns an empty in-memory store. pageSize <= 0 uses the
+// default.
+func NewMemStore(pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemStore{pageSize: pageSize}
+}
+
+// PageSize returns the page size.
+func (s *MemStore) PageSize() int { return s.pageSize }
+
+// Alloc appends a zeroed page.
+func (s *MemStore) Alloc() (PageID, error) {
+	s.pages = append(s.pages, make([]byte, s.pageSize))
+	return PageID(len(s.pages) - 1), nil
+}
+
+// Read copies a page out.
+func (s *MemStore) Read(id PageID, buf []byte) error {
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, id, len(s.pages))
+	}
+	if len(buf) != s.pageSize {
+		return fmt.Errorf("pagestore: read buffer %d != page size %d", len(buf), s.pageSize)
+	}
+	copy(buf, s.pages[id])
+	return nil
+}
+
+// Write replaces a page.
+func (s *MemStore) Write(id PageID, data []byte) error {
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, id, len(s.pages))
+	}
+	if len(data) != s.pageSize {
+		return fmt.Errorf("pagestore: write buffer %d != page size %d", len(data), s.pageSize)
+	}
+	copy(s.pages[id], data)
+	return nil
+}
+
+// NumPages returns the allocated page count.
+func (s *MemStore) NumPages() int { return len(s.pages) }
+
+// Close is a no-op for the memory backend.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps pages in a file at page-aligned offsets.
+type FileStore struct {
+	f        *os.File
+	pageSize int
+	n        int
+}
+
+// NewFileStore creates (truncating) a page file at path.
+func NewFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{f: f, pageSize: pageSize}, nil
+}
+
+// PageSize returns the page size.
+func (s *FileStore) PageSize() int { return s.pageSize }
+
+// Alloc extends the file by one zeroed page.
+func (s *FileStore) Alloc() (PageID, error) {
+	id := PageID(s.n)
+	if err := s.f.Truncate(int64(s.n+1) * int64(s.pageSize)); err != nil {
+		return 0, err
+	}
+	s.n++
+	return id, nil
+}
+
+// Read reads a page at its aligned offset.
+func (s *FileStore) Read(id PageID, buf []byte) error {
+	if int(id) >= s.n {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, id, s.n)
+	}
+	if len(buf) != s.pageSize {
+		return fmt.Errorf("pagestore: read buffer %d != page size %d", len(buf), s.pageSize)
+	}
+	_, err := s.f.ReadAt(buf, int64(id)*int64(s.pageSize))
+	return err
+}
+
+// Write writes a page at its aligned offset.
+func (s *FileStore) Write(id PageID, data []byte) error {
+	if int(id) >= s.n {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, id, s.n)
+	}
+	if len(data) != s.pageSize {
+		return fmt.Errorf("pagestore: write buffer %d != page size %d", len(data), s.pageSize)
+	}
+	_, err := s.f.WriteAt(data, int64(id)*int64(s.pageSize))
+	return err
+}
+
+// NumPages returns the allocated page count.
+func (s *FileStore) NumPages() int { return s.n }
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Stats counts cache and I/O activity.
+type Stats struct {
+	Hits, Misses       uint64
+	PhysReads, PhysWrites uint64
+	Evictions          uint64
+}
+
+// Cache is a write-through LRU page cache in front of a Store. It is
+// safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	pages    map[PageID]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	stats    Stats
+}
+
+type cacheEntry struct {
+	id         PageID
+	data       []byte
+	prev, next *cacheEntry
+}
+
+// NewCache wraps store with an LRU cache of capacity pages (minimum 1).
+func NewCache(store Store, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{store: store, capacity: capacity, pages: make(map[PageID]*cacheEntry, capacity)}
+}
+
+// PageSize returns the page size of the backing store.
+func (c *Cache) PageSize() int { return c.store.PageSize() }
+
+// NumPages returns the backing store's page count.
+func (c *Cache) NumPages() int { return c.store.NumPages() }
+
+// Alloc allocates a page in the backing store (and does not cache it:
+// the caller writes it next, which inserts it).
+func (c *Cache) Alloc() (PageID, error) { return c.store.Alloc() }
+
+// Close drops the cache and closes the backing store.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	c.pages = nil
+	c.head, c.tail = nil, nil
+	c.mu.Unlock()
+	return c.store.Close()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// Read copies page id into buf, from cache when possible.
+func (c *Cache) Read(id PageID, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.pages[id]; ok {
+		c.stats.Hits++
+		c.touch(e)
+		copy(buf, e.data)
+		return nil
+	}
+	c.stats.Misses++
+	c.stats.PhysReads++
+	data := make([]byte, c.store.PageSize())
+	if err := c.store.Read(id, data); err != nil {
+		return err
+	}
+	c.insert(id, data)
+	copy(buf, data)
+	return nil
+}
+
+// Write stores the page write-through and refreshes the cached copy.
+func (c *Cache) Write(id PageID, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.PhysWrites++
+	if err := c.store.Write(id, data); err != nil {
+		return err
+	}
+	if e, ok := c.pages[id]; ok {
+		copy(e.data, data)
+		c.touch(e)
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.insert(id, cp)
+	return nil
+}
+
+// insert adds a fresh entry at the head, evicting the tail if needed.
+// Callers hold the lock.
+func (c *Cache) insert(id PageID, data []byte) {
+	e := &cacheEntry{id: id, data: data}
+	c.pushFront(e)
+	c.pages[id] = e
+	if len(c.pages) > c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.pages, victim.id)
+		c.stats.Evictions++
+	}
+}
+
+// touch moves an entry to the head. Callers hold the lock.
+func (c *Cache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}

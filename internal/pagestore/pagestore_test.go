@@ -1,0 +1,266 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testStoreBasics(t *testing.T, s Store) {
+	t.Helper()
+	if s.NumPages() != 0 {
+		t.Fatalf("fresh store has %d pages", s.NumPages())
+	}
+	ids := make([]PageID, 10)
+	for i := range ids {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if int(id) != i {
+			t.Fatalf("Alloc returned %d, want %d", id, i)
+		}
+	}
+	// Fresh pages read back zeroed.
+	buf := make([]byte, s.PageSize())
+	if err := s.Read(ids[3], buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	// Round trip distinct contents.
+	for i, id := range ids {
+		data := bytes.Repeat([]byte{byte(i + 1)}, s.PageSize())
+		if err := s.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if err := s.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) || buf[len(buf)-1] != byte(i+1) {
+			t.Fatalf("page %d content corrupted", id)
+		}
+	}
+	// Out of range and size mismatches rejected.
+	if err := s.Read(PageID(99), buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read OOR error = %v", err)
+	}
+	if err := s.Write(PageID(99), buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write OOR error = %v", err)
+	}
+	if err := s.Read(ids[0], make([]byte, 3)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+	if err := s.Write(ids[0], make([]byte, 3)); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore(512)
+	if s.PageSize() != 512 {
+		t.Fatal("page size")
+	}
+	testStoreBasics(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreDefaultPageSize(t *testing.T) {
+	if NewMemStore(0).PageSize() != DefaultPageSize {
+		t.Fatal("default page size")
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := NewFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	testStoreBasics(t, s)
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	s := NewMemStore(256)
+	c := NewCache(s, 4)
+	ids := make([]PageID, 8)
+	buf := make([]byte, 256)
+	for i := range ids {
+		id, _ := c.Alloc()
+		ids[i] = id
+		data := bytes.Repeat([]byte{byte(i)}, 256)
+		if err := c.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 8 written through; cache holds the last 4.
+	if got := c.Stats().PhysWrites; got != 8 {
+		t.Fatalf("PhysWrites = %d", got)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache len = %d", c.Len())
+	}
+	c.ResetStats()
+	// Reading the last 4 hits; the first 4 miss.
+	for i := 4; i < 8; i++ {
+		c.Read(ids[i], buf)
+		if buf[0] != byte(i) {
+			t.Fatalf("content %d", i)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 0 {
+		t.Fatalf("hot reads: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		c.Read(ids[i], buf)
+		if buf[0] != byte(i) {
+			t.Fatalf("content %d", i)
+		}
+	}
+	st = c.Stats()
+	if st.Misses != 4 || st.PhysReads != 4 {
+		t.Fatalf("cold reads: %+v", st)
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	s := NewMemStore(64)
+	c := NewCache(s, 2)
+	a, _ := c.Alloc()
+	b, _ := c.Alloc()
+	d, _ := c.Alloc()
+	page := make([]byte, 64)
+	c.Write(a, page)
+	c.Write(b, page) // cache: {b, a}
+	c.Read(a, page)  // touch a: {a, b}
+	c.Write(d, page) // evicts b: {d, a}
+	c.ResetStats()
+	c.Read(a, page)
+	c.Read(d, page)
+	if st := c.Stats(); st.Misses != 0 {
+		t.Fatalf("a/d should be cached: %+v", st)
+	}
+	c.Read(b, page)
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("b should have been evicted: %+v", st)
+	}
+}
+
+func TestCacheWriteThroughConsistency(t *testing.T) {
+	s := NewMemStore(64)
+	c := NewCache(s, 2)
+	id, _ := c.Alloc()
+	data := bytes.Repeat([]byte{7}, 64)
+	c.Write(id, data)
+	// The backing store sees the write immediately.
+	raw := make([]byte, 64)
+	if err := s.Read(id, raw); err != nil || raw[0] != 7 {
+		t.Fatalf("write-through failed: %v %d", err, raw[0])
+	}
+	// Update through cache; read back via cache and store agree.
+	data[0] = 9
+	c.Write(id, data)
+	c.Read(id, raw)
+	if raw[0] != 9 {
+		t.Fatal("cached copy stale")
+	}
+	s.Read(id, raw)
+	if raw[0] != 9 {
+		t.Fatal("store copy stale")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(NewMemStore(64), 0)
+	id, _ := c.Alloc()
+	c.Write(id, make([]byte, 64))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	s := NewMemStore(128)
+	c := NewCache(s, 8)
+	ids := make([]PageID, 32)
+	for i := range ids {
+		id, _ := c.Alloc()
+		ids[i] = id
+		data := bytes.Repeat([]byte{byte(i)}, 128)
+		c.Write(id, data)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 128)
+			for i := 0; i < 2000; i++ {
+				j := rng.Intn(len(ids))
+				if err := c.Read(ids[j], buf); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if buf[0] != byte(j) {
+					t.Errorf("page %d content %d", j, buf[0])
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := NewFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Alloc()
+	want := bytes.Repeat([]byte{42}, 256)
+	s.Write(id, want)
+	s.Close()
+	// Reopen read-only via os-level check: the file must contain the page.
+	s2, err := NewFileStore(filepath.Join(t.TempDir(), "other.db"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// (NewFileStore truncates, so verify the original file's bytes directly.)
+	raw, err := readFileRange(path, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("file contents lost")
+	}
+}
+
+func readFileRange(path string, off, n int) ([]byte, error) {
+	b := make([]byte, n)
+	f, err := openRead(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, err = f.ReadAt(b, int64(off))
+	return b, err
+}

@@ -1,0 +1,297 @@
+// Package pma implements ALEX's Packed Memory Array data node layout
+// (§3.3.2, Algorithm 2), after Bender & Hu's adaptive PMA. The array's
+// size is a power of two, divided into equal power-of-two segments, with
+// an implicit binary tree of density bounds over the segments: leaves
+// (segments) tolerate high density, the root low density. An insert that
+// would violate its segment's bound walks up the implicit tree until a
+// window satisfies the bounds and uniformly redistributes that window;
+// when even the root window violates, the insert fails and the node
+// expands by doubling.
+//
+// Two ALEX-specific deviations from a textbook PMA (both from the
+// paper): after an expansion the elements are re-inserted *model-based*
+// rather than uniformly spaced, and lookups use the node's linear model
+// plus exponential search. Over time rebalances spread elements toward
+// uniform spacing, so the layout is a middle ground between the gapped
+// array's search speed and the PMA's insert bounds.
+package pma
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/leafbase"
+)
+
+// Config parameterizes the PMA's density bounds. The zero value uses the
+// defaults, which are tuned so data space overhead is comparable to a
+// B+Tree (§5.1).
+type Config struct {
+	// TauLeaf/TauRoot are the maximum densities at segment/root level.
+	TauLeaf, TauRoot float64
+	// RhoLeaf/RhoRoot are the minimum densities at segment/root level
+	// (used to trigger contraction after deletes).
+	RhoLeaf, RhoRoot float64
+	// Adaptive enables the *adaptive* PMA of Bender & Hu that §7
+	// proposes against sequential-insert pathologies: rebalances give
+	// recently-hot segments a larger share of the gaps, so insertion
+	// hotspots keep finding local free slots instead of rebalancing
+	// again immediately.
+	Adaptive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TauLeaf <= 0 {
+		c.TauLeaf = 0.92
+	}
+	if c.TauRoot <= 0 {
+		c.TauRoot = 0.70
+	}
+	if c.RhoLeaf <= 0 {
+		c.RhoLeaf = 0.05
+	}
+	if c.RhoRoot <= 0 {
+		c.RhoRoot = 0.20
+	}
+	return c
+}
+
+const minCapacity = 8
+
+// Array is a PMA data node.
+type Array struct {
+	leafbase.Base
+	cfg     Config
+	segSize int // power of two; capacity/segSize is a power of two
+	// heat counts recent inserts per segment (adaptive mode); decayed at
+	// every rebalance that covers the segment, reset on resize.
+	heat []float64
+}
+
+// New returns an empty PMA.
+func New(cfg Config) *Array {
+	a := &Array{cfg: cfg.withDefaults()}
+	a.rebuildInto(nil, nil, minCapacity)
+	return a
+}
+
+// NewFromSorted bulk-loads a PMA from sorted unique keys with initial
+// density ≈ 0.5 (half way between the root bounds), placing elements
+// model-based.
+func NewFromSorted(keys []float64, payloads []uint64, cfg Config) *Array {
+	a := &Array{cfg: cfg.withDefaults()}
+	a.rebuildInto(keys, payloads, a.capacityFor(len(keys)))
+	return a
+}
+
+// capacityFor returns the smallest valid capacity (power of two) giving
+// initial density at or below the midpoint of the root bounds.
+func (a *Array) capacityFor(n int) int {
+	target := (a.cfg.TauRoot + a.cfg.RhoRoot) / 2
+	want := int(math.Ceil(float64(n) / target))
+	if want < minCapacity {
+		want = minCapacity
+	}
+	return nextPow2(want)
+}
+
+func nextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(v-1))
+}
+
+// rebuildInto rebuilds the node with the given sorted contents and
+// capacity, recomputing segment geometry: segments are Θ(log₂ capacity)
+// slots rounded up to a power of two.
+func (a *Array) rebuildInto(keys []float64, payloads []uint64, capacity int) {
+	capacity = nextPow2(capacity)
+	if capacity < minCapacity {
+		capacity = minCapacity
+	}
+	seg := nextPow2(bits.Len(uint(capacity)))
+	if seg > capacity {
+		seg = capacity
+	}
+	if seg < 4 {
+		seg = 4
+	}
+	a.segSize = seg
+	a.Base.BuildFromSorted(keys, payloads, capacity)
+	if a.cfg.Adaptive {
+		a.heat = make([]float64, capacity/seg)
+	} else {
+		a.heat = nil
+	}
+}
+
+// Config returns the node's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// SegmentSize returns the current segment size in slots.
+func (a *Array) SegmentSize() int { return a.segSize }
+
+// levels returns the number of levels in the implicit tree (segments are
+// level 0, the whole array is level levels-1).
+func (a *Array) levels() int {
+	return bits.TrailingZeros(uint(a.Cap()/a.segSize)) + 1
+}
+
+// tau returns the maximum density bound for a window at the given level
+// (0 = segment), interpolating between TauLeaf and TauRoot.
+func (a *Array) tau(level int) float64 {
+	h := a.levels() - 1
+	if h == 0 {
+		return a.cfg.TauLeaf
+	}
+	frac := float64(level) / float64(h)
+	return a.cfg.TauLeaf + (a.cfg.TauRoot-a.cfg.TauLeaf)*frac
+}
+
+// rho returns the minimum density bound for a window at the given level.
+func (a *Array) rho(level int) float64 {
+	h := a.levels() - 1
+	if h == 0 {
+		return a.cfg.RhoLeaf
+	}
+	frac := float64(level) / float64(h)
+	return a.cfg.RhoLeaf + (a.cfg.RhoRoot-a.cfg.RhoLeaf)*frac
+}
+
+// Insert adds key with payload per Algorithm 2: place at the predicted
+// position if its segment keeps its density bound (shifting only within
+// the segment), otherwise rebalance the smallest enclosing window whose
+// bound holds, and if no window qualifies, expand by doubling with
+// model-based re-insertion and retry.
+func (a *Array) Insert(key float64, payload uint64) bool {
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		panic("pma: key must be finite")
+	}
+	switch a.tryInsert(key, payload) {
+	case leafbase.Inserted:
+		return true
+	case leafbase.Duplicate:
+		return false
+	}
+	// Density bounds violated everywhere: expand (Alg 2 lines 7-10).
+	a.Expand()
+	switch a.tryInsert(key, payload) {
+	case leafbase.Inserted:
+		return true
+	case leafbase.Duplicate:
+		return false
+	}
+	// Model-based re-insertion can leave badly skewed windows; a uniform
+	// root rebalance always makes room after an expansion.
+	a.Stats.Rebalances++
+	a.RedistributeUniform(0, a.Cap(), true, key, payload)
+	return true
+}
+
+// tryInsert attempts placement under the density bounds.
+func (a *Array) tryInsert(key float64, payload uint64) leafbase.InsertResult {
+	lo := a.LowerBoundSlot(key)
+	if lo < a.Cap() && a.Keys[lo] == key {
+		if occ := a.Occ.NextSet(lo); occ >= 0 && a.Keys[occ] == key {
+			a.Payloads[occ] = payload
+			return leafbase.Duplicate
+		}
+	}
+	if a.NumKeys >= a.Cap() {
+		return leafbase.NeedRoom
+	}
+	// slot anchors the segment/window walk; clamp a past-the-end lower
+	// bound (key greater than everything, last slot occupied) to the
+	// final segment.
+	slot := lo
+	if slot >= a.Cap() {
+		slot = a.Cap() - 1
+	}
+	segLo := slot - slot%a.segSize
+	segHi := segLo + a.segSize
+	if a.heat != nil {
+		a.heat[segLo/a.segSize]++
+	}
+	segCount := a.Occ.CountRange(segLo, segHi)
+	if float64(segCount+1) <= a.tau(0)*float64(a.segSize) {
+		// The segment can absorb the insert: claim a gap in the valid
+		// range, shifting only within the segment if gap-making is
+		// needed (PMA shifts are segment-local).
+		res := a.PlaceModelBased(key, payload, segLo, segHi)
+		if res != leafbase.NeedRoom {
+			return res
+		}
+	}
+	// Segment bound violated (or no usable gap in segment): walk up the
+	// implicit tree for the smallest window that satisfies its bound with
+	// the new element included, and redistribute it (Bender & Hu) —
+	// uniformly, or heat-weighted in adaptive mode.
+	size := a.segSize
+	for level := 1; level < a.levels(); level++ {
+		size <<= 1
+		winLo := slot - slot%size
+		winHi := winLo + size
+		count := a.Occ.CountRange(winLo, winHi)
+		if float64(count+1) <= a.tau(level)*float64(winHi-winLo) {
+			a.Stats.Rebalances++
+			if a.heat != nil {
+				a.rebalanceAdaptive(winLo, winHi, key, payload)
+			} else {
+				a.RedistributeUniform(winLo, winHi, true, key, payload)
+			}
+			return leafbase.Inserted
+		}
+	}
+	return leafbase.NeedRoom
+}
+
+// rebalanceAdaptive performs a heat-weighted window redistribution and
+// decays the covered segments' heat so stale hotspots fade.
+func (a *Array) rebalanceAdaptive(winLo, winHi int, key float64, payload uint64) {
+	s0 := winLo / a.segSize
+	s1 := winHi / a.segSize
+	weights := make([]float64, s1-s0)
+	for s := s0; s < s1; s++ {
+		weights[s-s0] = 1 + a.heat[s]
+		a.heat[s] /= 2
+	}
+	a.RedistributeWeighted(winLo, winHi, a.segSize, weights, true, key, payload)
+}
+
+// Expand doubles the array and re-inserts all elements model-based
+// (§3.3.2: "ALEX uses model-based inserts after every PMA expansion").
+func (a *Array) Expand() {
+	a.Stats.Expands++
+	keys, payloads := a.Collect(nil, nil)
+	a.rebuildInto(keys, payloads, a.Cap()*2)
+}
+
+// Delete removes key. When the root density falls below RhoRoot the
+// array contracts by halving.
+func (a *Array) Delete(key float64) bool {
+	if !a.Base.Delete(key) {
+		return false
+	}
+	if a.Cap() > minCapacity && a.Density() < a.cfg.RhoRoot/2 {
+		a.Stats.Contracts++
+		keys, payloads := a.Collect(nil, nil)
+		a.rebuildInto(keys, payloads, a.capacityFor(a.NumKeys))
+	}
+	return true
+}
+
+// CheckInvariants verifies base invariants plus PMA geometry.
+func (a *Array) CheckInvariants() error {
+	if err := a.Base.CheckInvariants(); err != nil {
+		return err
+	}
+	if a.Cap()&(a.Cap()-1) != 0 {
+		return fmt.Errorf("%w: capacity %d not a power of two", leafbase.ErrInvariant, a.Cap())
+	}
+	if a.segSize&(a.segSize-1) != 0 || a.Cap()%a.segSize != 0 {
+		return fmt.Errorf("%w: segment size %d does not divide capacity %d", leafbase.ErrInvariant, a.segSize, a.Cap())
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+package pma
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildSorted(n int, seed int64) ([]float64, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := rng.Float64() * 1e6
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Float64s(keys)
+	payloads := make([]uint64, n)
+	for i := range payloads {
+		payloads[i] = uint64(i) + 1
+	}
+	return keys, payloads
+}
+
+func TestGeometry(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 4096, 10000} {
+		keys, payloads := buildSorted(n, int64(n)+1)
+		a := NewFromSorted(keys, payloads, Config{})
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c := a.Cap(); c&(c-1) != 0 {
+			t.Fatalf("n=%d capacity %d not power of two", n, c)
+		}
+		if a.Cap()%a.SegmentSize() != 0 {
+			t.Fatalf("segment %d !| capacity %d", a.SegmentSize(), a.Cap())
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Fatalf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBulkLoadAndLookup(t *testing.T) {
+	keys, payloads := buildSorted(5000, 2)
+	a := NewFromSorted(keys, payloads, Config{})
+	for i, k := range keys {
+		v, ok := a.Lookup(k)
+		if !ok || v != payloads[i] {
+			t.Fatalf("Lookup(%v) = (%v,%v), want (%v,true)", k, v, ok, payloads[i])
+		}
+	}
+	if _, ok := a.Lookup(-5); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestInsertGrowsByDoubling(t *testing.T) {
+	a := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+	prevCap := a.Cap()
+	for i := 0; i < 30000; i++ {
+		a.Insert(rng.Float64()*1e9, uint64(i))
+		if c := a.Cap(); c != prevCap {
+			if c != prevCap*2 && c != prevCap*4 {
+				t.Fatalf("capacity changed %d -> %d, not doubling", prevCap, c)
+			}
+			prevCap = c
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Expands == 0 {
+		t.Fatal("no expansions counted")
+	}
+	if a.Stats.Rebalances == 0 {
+		t.Fatal("no rebalances counted — density bounds never triggered")
+	}
+}
+
+func TestInsertDuplicateOverwrites(t *testing.T) {
+	a := New(Config{})
+	if !a.Insert(7, 1) {
+		t.Fatal("insert")
+	}
+	if a.Insert(7, 2) {
+		t.Fatal("duplicate returned true")
+	}
+	if v, _ := a.Lookup(7); v != 2 {
+		t.Fatalf("payload = %d", v)
+	}
+}
+
+func TestSequentialInsertsStayLogarithmic(t *testing.T) {
+	// The PMA's reason to exist (§3.3.2): sequential inserts must not
+	// degrade to O(n) shifting the way a gapped array can. We check that
+	// average moves per insert stay modest.
+	a := New(Config{})
+	n := 30000
+	for i := 0; i < n; i++ {
+		a.Insert(float64(i), uint64(i))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	perInsert := float64(a.Stats.Shifts) / float64(n)
+	if perInsert > 100 {
+		t.Fatalf("sequential insert moves per op = %v, want bounded", perInsert)
+	}
+	for i := 0; i < n; i += 997 {
+		if _, ok := a.Lookup(float64(i)); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestDeleteAndContract(t *testing.T) {
+	keys, payloads := buildSorted(8192, 4)
+	a := NewFromSorted(keys, payloads, Config{})
+	capBefore := a.Cap()
+	for _, k := range keys[:8000] {
+		if !a.Delete(k) {
+			t.Fatalf("Delete(%v)", k)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cap() >= capBefore {
+		t.Fatalf("no contraction: %d -> %d", capBefore, a.Cap())
+	}
+	for _, k := range keys[8000:] {
+		if _, ok := a.Lookup(k); !ok {
+			t.Fatalf("survivor %v lost", k)
+		}
+	}
+	if a.Delete(12345.6789) {
+		t.Fatal("absent delete succeeded")
+	}
+}
+
+func TestScanFrom(t *testing.T) {
+	keys, payloads := buildSorted(3000, 5)
+	a := NewFromSorted(keys, payloads, Config{})
+	var got []float64
+	a.ScanFrom(keys[1000], func(k float64, v uint64) bool {
+		got = append(got, k)
+		return len(got) < 50
+	})
+	for i := range got {
+		if got[i] != keys[1000+i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], keys[1000+i])
+		}
+	}
+}
+
+func TestDensityBoundsInterpolation(t *testing.T) {
+	keys, payloads := buildSorted(4096, 6)
+	a := NewFromSorted(keys, payloads, Config{})
+	levels := a.levels()
+	prev := a.tau(0)
+	for l := 1; l < levels; l++ {
+		cur := a.tau(l)
+		if cur > prev {
+			t.Fatalf("tau must be non-increasing toward root: tau(%d)=%v > tau(%d)=%v", l, cur, l-1, prev)
+		}
+		prev = cur
+	}
+	prev = a.rho(0)
+	for l := 1; l < levels; l++ {
+		cur := a.rho(l)
+		if cur < prev {
+			t.Fatalf("rho must be non-decreasing toward root: rho(%d)=%v < rho(%d)=%v", l, cur, l-1, prev)
+		}
+		prev = cur
+	}
+	if a.tau(levels-1) <= a.rho(levels-1) {
+		t.Fatal("root tau must exceed root rho")
+	}
+}
+
+// Property test: PMA equals a sorted map under a random workload.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Key     uint16
+		Payload uint64
+	}
+	f := func(ops []op) bool {
+		a := New(Config{})
+		ref := make(map[float64]uint64)
+		for _, o := range ops {
+			k := float64(o.Key % 512)
+			switch o.Kind % 4 {
+			case 0:
+				ins := a.Insert(k, o.Payload)
+				_, existed := ref[k]
+				if ins == existed {
+					return false
+				}
+				ref[k] = o.Payload
+			case 1:
+				del := a.Delete(k)
+				_, existed := ref[k]
+				if del != existed {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				upd := a.Update(k, o.Payload)
+				_, existed := ref[k]
+				if upd != existed {
+					return false
+				}
+				if existed {
+					ref[k] = o.Payload
+				}
+			case 3:
+				v, ok := a.Lookup(k)
+				want, existed := ref[k]
+				if ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		if a.Num() != len(ref) {
+			return false
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := make([]float64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Float64s(want)
+		got := make([]float64, 0, len(ref))
+		a.ScanFrom(math.Inf(-1), func(k float64, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Fig 8 claim: under static models with skewed inserts the PMA does
+// far fewer shifts than a gapped array would need in its worst case.
+// Here we verify that sequential inserts into a PMA never trigger a
+// single shift longer than the array (trivially true) and that the
+// rebalance mechanism engages.
+func TestRebalanceEngagesOnSkew(t *testing.T) {
+	a := New(Config{})
+	for i := 0; i < 5000; i++ {
+		a.Insert(1e6+float64(i), uint64(i)) // all keys land at the right end
+	}
+	if a.Stats.Rebalances == 0 {
+		t.Fatal("skewed inserts never rebalanced")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptivePMACorrectness(t *testing.T) {
+	// The adaptive PMA must stay a correct sorted map under the same
+	// workloads as the plain one.
+	a := New(Config{Adaptive: true})
+	ref := make(map[float64]uint64)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30000; i++ {
+		var k float64
+		if i%3 == 0 {
+			k = float64(i) // sequential component (the hotspot)
+		} else {
+			k = rng.Float64() * 1e6
+		}
+		ins := a.Insert(k, uint64(i))
+		if _, existed := ref[k]; existed == ins {
+			t.Fatal("insert mismatch")
+		}
+		ref[k] = uint64(i)
+		if i%5000 == 0 {
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("at %d: %v", i, err)
+			}
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Num() != len(ref) {
+		t.Fatalf("Num %d != %d", a.Num(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := a.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("Lookup(%v) = (%v,%v)", k, got, ok)
+		}
+	}
+}
+
+func TestAdaptivePMAFewerRebalancesOnSequential(t *testing.T) {
+	// §7's hypothesis: the adaptive PMA should handle the sequential
+	// hotspot with fewer rebalances (or at least fewer moves) than the
+	// uniform PMA, because hot segments keep receiving extra gaps.
+	run := func(adaptive bool) (uint64, uint64) {
+		a := New(Config{Adaptive: adaptive})
+		for i := 0; i < 40000; i++ {
+			a.Insert(float64(i), uint64(i))
+		}
+		return a.Stats.Rebalances, a.Stats.Shifts
+	}
+	ur, us := run(false)
+	ar, as := run(true)
+	if ar > ur && as > us {
+		t.Fatalf("adaptive PMA did worse on both metrics: rebalances %d vs %d, moves %d vs %d",
+			ar, ur, as, us)
+	}
+	t.Logf("uniform: %d rebalances %d moves; adaptive: %d rebalances %d moves", ur, us, ar, as)
+}
+
+func TestAdaptivePMADeleteAndContract(t *testing.T) {
+	keys, payloads := buildSorted(8192, 22)
+	a := NewFromSorted(keys, payloads, Config{Adaptive: true})
+	for _, k := range keys[:8000] {
+		if !a.Delete(k) {
+			t.Fatalf("Delete(%v)", k)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[8000:] {
+		if _, ok := a.Lookup(k); !ok {
+			t.Fatalf("survivor %v lost", k)
+		}
+	}
+}
+
+func BenchmarkInsertUniform(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Insert(rng.Float64()*1e12, uint64(i))
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	a := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Insert(float64(i), uint64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	keys, payloads := buildSorted(1<<17, 11)
+	a := NewFromSorted(keys, payloads, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Lookup(keys[i&(len(keys)-1)])
+	}
+}

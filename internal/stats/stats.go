@@ -1,0 +1,270 @@
+// Package stats provides the measurement substrate for the experiment
+// drivers: power-of-two histograms (the prediction-error plots of
+// Fig 7), latency recorders with percentiles (the tail-latency study of
+// Fig 9), and a fixed-width table printer shared by every experiment's
+// output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram buckets non-negative integer samples into power-of-two
+// ranges: bucket 0 holds exactly 0, bucket i>0 holds [2^(i-1), 2^i).
+// This matches the x-axis of the paper's prediction-error plots.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, 1, 40)}
+}
+
+// bucketOf returns the bucket index for v.
+func bucketOf(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for limit := 1; v >= limit; limit <<= 1 {
+		b++
+	}
+	return b - 1
+}
+
+// Observe records one sample. Negative samples count as zero.
+func (h *Histogram) Observe(v int) {
+	b := bucketOf(v)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.total++
+	if v > 0 {
+		h.sum += float64(v)
+	}
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// ZeroFraction returns the fraction of samples equal to zero ("no
+// prediction error" in Fig 7b).
+func (h *Histogram) ZeroFraction() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[0]) / float64(h.total)
+}
+
+// Buckets returns (label, count) pairs for non-empty tail-trimmed output.
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.counts))
+	for i, c := range h.counts {
+		var label string
+		if i == 0 {
+			label = "0"
+		} else if i == 1 {
+			label = "1"
+		} else {
+			label = fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
+		}
+		out = append(out, BucketCount{Label: label, Lo: loOf(i), Count: c})
+	}
+	return out
+}
+
+func loOf(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketCount is one histogram bar.
+type BucketCount struct {
+	Label string
+	Lo    int
+	Count uint64
+}
+
+// Render draws the histogram as ASCII bars of at most width characters.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	var maxC uint64
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty)\n"
+	}
+	for _, bc := range h.Buckets() {
+		bar := int(float64(bc.Count) / float64(maxC) * float64(width))
+		fmt.Fprintf(&b, "%12s │%-*s %d\n", bc.Label, width, strings.Repeat("█", bar), bc.Count)
+	}
+	return b.String()
+}
+
+// LatencyRecorder collects durations and reports percentiles (Fig 9).
+type LatencyRecorder struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder with capacity hint n.
+func NewLatencyRecorder(n int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]time.Duration, 0, n)}
+}
+
+// Observe records one duration.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// Median returns the 50th percentile.
+func (r *LatencyRecorder) Median() time.Duration { return r.Percentile(50) }
+
+// Max returns the largest sample.
+func (r *LatencyRecorder) Max() time.Duration { return r.Percentile(100) }
+
+// Mean returns the mean duration.
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Table accumulates rows and prints them with aligned columns; every
+// experiment driver reports through it so outputs look uniform.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	parts := strings.Split(fmt.Sprintf(format, cells...), "\t")
+	t.AddRow(parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count in human units.
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// FormatOps renders an operations-per-second figure compactly.
+func FormatOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2f Mops/s", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1f Kops/s", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f ops/s", opsPerSec)
+	}
+}

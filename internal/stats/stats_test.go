@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(7)
+	h.Observe(8)
+	h.Observe(1000)
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	b := h.Buckets()
+	// bucket 0: {0,0}; bucket 1: {1}; bucket 2: {2,3}; bucket 3: {4,7};
+	// bucket 4: {8}; ... bucket for 1000 is [512,1023].
+	if b[0].Count != 2 || b[1].Count != 1 || b[2].Count != 2 || b[3].Count != 2 || b[4].Count != 1 {
+		t.Fatalf("buckets = %+v", b)
+	}
+	last := b[len(b)-1]
+	if last.Lo != 512 || last.Count != 1 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+	if zf := h.ZeroFraction(); zf < 0.22 || zf > 0.23 {
+		t.Fatalf("ZeroFraction = %v", zf)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	h.Observe(-5) // counts as zero
+	if h.Mean() != 2 {
+		t.Fatalf("Mean with negative = %v", h.Mean())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram()
+	if out := h.Render(20); out != "(empty)\n" {
+		t.Fatalf("empty render = %q", out)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(i % 16)
+	}
+	out := h.Render(30)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "8-15") {
+		t.Fatalf("render missing bars or labels:\n%s", out)
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	r := NewLatencyRecorder(100)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := r.Median(); got != 50*time.Microsecond {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := r.Percentile(99); got != 99*time.Microsecond {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := r.Max(); got != 100*time.Microsecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := r.Percentile(1); got != 1*time.Microsecond {
+		t.Fatalf("P1 = %v", got)
+	}
+	if got := r.Mean(); got != 50500*time.Nanosecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	if r.Median() != 0 || r.Max() != 0 || r.Mean() != 0 {
+		t.Fatal("empty recorder must return zeros")
+	}
+}
+
+func TestLatencyRecorderObserveAfterQuery(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	r.Observe(3 * time.Second)
+	_ = r.Median()
+	r.Observe(1 * time.Second) // must re-sort
+	if got := r.Percentile(0); got != 1*time.Second {
+		t.Fatalf("min after late observe = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("dataset", "throughput", "index size")
+	tb.AddRow("ycsb", "1.2 Mops/s", "4 KiB")
+	tb.AddRowf("longlat\t%s\t%s", "0.8 Mops/s", "12 KiB")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "dataset") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "ycsb") || !strings.Contains(lines[3], "longlat") {
+		t.Fatalf("rows:\n%s", out)
+	}
+	// Columns align: "throughput" starts at the same offset everywhere.
+	off := strings.Index(lines[0], "throughput")
+	if strings.Index(lines[2], "1.2") != off {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRowWiderThanHeaderDropped(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "overflow")
+	if strings.Contains(tb.String(), "overflow") {
+		t.Fatal("overflow cell kept")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		512:      "512 B",
+		2048:     "2.00 KiB",
+		3 << 20:  "3.00 MiB",
+		5 << 30:  "5.00 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	if got := FormatOps(2.5e6); got != "2.50 Mops/s" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FormatOps(1500); got != "1.5 Kops/s" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FormatOps(50); got != "50 ops/s" {
+		t.Fatalf("got %q", got)
+	}
+}

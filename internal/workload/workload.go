@@ -1,0 +1,262 @@
+// Package workload implements the YCSB-style benchmark workloads of
+// §5.1.2: read-only, read-heavy (95% reads / 5% inserts), write-heavy
+// (50/50), and range-scan (95% scans+reads / 5% inserts, scan length
+// uniform up to 100). Reads pick keys from the set of *existing* keys
+// with a scrambled Zipfian distribution, so lookups always hit. Reads
+// and inserts are interleaved in fixed cycles exactly as the paper
+// describes (19 reads / 1 insert for the 95/5 mixes; 1/1 for 50/50).
+//
+// The runner is index-agnostic: anything satisfying Index (ALEX, the
+// B+Tree, the Learned Index) can be driven, and the result carries
+// throughput plus enough counters to populate the Fig 4 tables.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+// Index is the operation surface the runner drives. All three index
+// implementations in this repository satisfy it.
+type Index interface {
+	Get(key float64) (uint64, bool)
+	Insert(key float64, payload uint64) bool
+	Delete(key float64) bool
+	ScanCount(start float64, max int) int
+	IndexSizeBytes() int
+	DataSizeBytes() int
+	Len() int
+}
+
+// Kind enumerates the four workloads.
+type Kind int
+
+const (
+	// ReadOnly is YCSB Workload C.
+	ReadOnly Kind = iota
+	// ReadHeavy is YCSB Workload B: 95% reads, 5% inserts.
+	ReadHeavy
+	// WriteHeavy is YCSB Workload A (with inserts instead of updates,
+	// as the paper does): 50% reads, 50% inserts.
+	WriteHeavy
+	// RangeScan is YCSB Workload E: 95% scans, 5% inserts.
+	RangeScan
+	// DeleteHeavy is an extension beyond the paper's four workloads
+	// (§3.2 argues deletes are strictly simpler than inserts — this
+	// workload verifies the index under churn): 50% reads, 25% inserts,
+	// 25% deletes, so the index size stays roughly constant.
+	DeleteHeavy
+)
+
+// String returns the workload's name.
+func (k Kind) String() string {
+	switch k {
+	case ReadOnly:
+		return "read-only"
+	case ReadHeavy:
+		return "read-heavy"
+	case WriteHeavy:
+		return "write-heavy"
+	case RangeScan:
+		return "range-scan"
+	case DeleteHeavy:
+		return "delete-heavy"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// mix returns reads, inserts and deletes per cycle (§5.1.2: "for the
+// read-heavy workload and range scan workload, we perform 19
+// reads/scans, then 1 insert ... for the write-heavy workload, we
+// perform 1 read, then 1 insert").
+func (k Kind) mix() (reads, inserts, deletes int) {
+	switch k {
+	case ReadOnly:
+		return 1, 0, 0
+	case ReadHeavy, RangeScan:
+		return 19, 1, 0
+	case WriteHeavy:
+		return 1, 1, 0
+	case DeleteHeavy:
+		return 2, 1, 1
+	default:
+		return 1, 0, 0
+	}
+}
+
+// Kinds lists the paper's workloads in its order (C, B, A, E).
+var Kinds = []Kind{ReadOnly, ReadHeavy, WriteHeavy, RangeScan}
+
+// AllKinds additionally includes the delete-heavy extension workload.
+var AllKinds = []Kind{ReadOnly, ReadHeavy, WriteHeavy, RangeScan, DeleteHeavy}
+
+// Spec describes one benchmark run. The index must already contain
+// InitKeys (the runner does not bulk load — loading strategy is the
+// experiment's concern).
+type Spec struct {
+	Kind Kind
+	// InitKeys are the keys present at the start; lookups draw from
+	// these plus whatever has been inserted so far.
+	InitKeys []float64
+	// InsertStream supplies keys for insert operations in order. When
+	// exhausted, the cycle continues with reads only.
+	InsertStream []float64
+	// Ops is the total number of operations to perform. Default 100000.
+	Ops int
+	// MaxScanLen bounds range scans; lengths are uniform in
+	// [1, MaxScanLen]. Default 100 (§5.1.2).
+	MaxScanLen int
+	// Seed drives key selection and scan lengths.
+	Seed int64
+	// InsertLatencies, when non-nil, receives one sample per minibatch
+	// of MinibatchSize inserts (Fig 9). MinibatchSize defaults to 1000.
+	InsertLatencies *stats.LatencyRecorder
+	MinibatchSize   int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Kind         Kind
+	Ops          int
+	Reads        int
+	Inserts      int
+	Deletes      int
+	Scans        int
+	Misses       int // reads or deletes that failed (should stay 0)
+	ScannedElems int
+	Elapsed      time.Duration
+	Throughput   float64 // ops per second
+	IndexBytes   int
+	DataBytes    int
+	FinalLen     int
+	// Checksum defeats dead-code elimination and doubles as a
+	// reproducibility check across index implementations.
+	Checksum uint64
+}
+
+// Run drives the workload against idx and returns the measurements.
+func Run(idx Index, spec Spec) Result {
+	if spec.Ops <= 0 {
+		spec.Ops = 100000
+	}
+	if spec.MaxScanLen <= 0 {
+		spec.MaxScanLen = 100
+	}
+	if spec.MinibatchSize <= 0 {
+		spec.MinibatchSize = 1000
+	}
+	reads, inserts, deletes := spec.Kind.mix()
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// present holds every key currently in the index, in arrival order;
+	// the scrambled Zipfian picks indexes into it (deletes swap-remove,
+	// so selection stays O(1)).
+	present := make([]float64, len(spec.InitKeys), len(spec.InitKeys)+len(spec.InsertStream))
+	copy(present, spec.InitKeys)
+	zipf := datasets.NewZipfian(rng, maxInt(len(present), 1), datasets.ZipfTheta)
+
+	res := Result{Kind: spec.Kind}
+	insertPos := 0
+	payload := uint64(1)
+
+	var batchStart time.Time
+	batchCount := 0
+	recording := spec.InsertLatencies != nil
+
+	start := time.Now()
+	if recording {
+		batchStart = start
+	}
+	for res.Ops < spec.Ops {
+		// Read (or scan) phase of the cycle.
+		for r := 0; r < reads && res.Ops < spec.Ops; r++ {
+			if len(present) == 0 {
+				break
+			}
+			key := present[zipf.Scrambled()%len(present)]
+			if spec.Kind == RangeScan {
+				n := rng.Intn(spec.MaxScanLen) + 1
+				got := idx.ScanCount(key, n)
+				res.ScannedElems += got
+				res.Scans++
+				res.Checksum += uint64(got)
+			} else {
+				v, ok := idx.Get(key)
+				if !ok {
+					res.Misses++
+				}
+				res.Checksum += v
+				res.Reads++
+			}
+			res.Ops++
+		}
+		// Insert phase.
+		for w := 0; w < inserts && res.Ops < spec.Ops; w++ {
+			if insertPos >= len(spec.InsertStream) {
+				break
+			}
+			key := spec.InsertStream[insertPos]
+			insertPos++
+			if idx.Insert(key, payload) {
+				present = append(present, key)
+				zipf.SetN(len(present))
+			}
+			payload++
+			res.Inserts++
+			res.Ops++
+			if recording {
+				batchCount++
+				if batchCount == spec.MinibatchSize {
+					now := time.Now()
+					spec.InsertLatencies.Observe(now.Sub(batchStart))
+					batchStart = now
+					batchCount = 0
+				}
+			}
+		}
+		// Delete phase (extension workload): remove Zipf-chosen live keys.
+		for d := 0; d < deletes && res.Ops < spec.Ops; d++ {
+			if len(present) == 0 {
+				break
+			}
+			i := zipf.Scrambled() % len(present)
+			key := present[i]
+			if !idx.Delete(key) {
+				res.Misses++
+			}
+			last := len(present) - 1
+			present[i] = present[last]
+			present = present[:last]
+			res.Deletes++
+			res.Ops++
+		}
+		if inserts == 0 && reads == 0 && deletes == 0 {
+			break
+		}
+		// A cycle with no possible progress (no keys, stream exhausted,
+		// read-only with empty index) must terminate.
+		if len(present) == 0 && insertPos >= len(spec.InsertStream) {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	res.IndexBytes = idx.IndexSizeBytes()
+	res.DataBytes = idx.DataSizeBytes()
+	res.FinalLen = idx.Len()
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

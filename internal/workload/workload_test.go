@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/learned"
+	"repro/internal/stats"
+)
+
+// Compile-time checks: all three indexes satisfy Index.
+var (
+	_ Index = (*core.Tree)(nil)
+	_ Index = (*btree.Tree)(nil)
+	_ Index = (*learned.Index)(nil)
+)
+
+func initKeys(n int) ([]float64, []float64) {
+	keys := datasets.GenYCSB(n*2, 42)
+	return keys[:n], keys[n:]
+}
+
+func TestKindStringsAndMixes(t *testing.T) {
+	want := map[Kind]string{
+		ReadOnly: "read-only", ReadHeavy: "read-heavy",
+		WriteHeavy: "write-heavy", RangeScan: "range-scan",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if r, i, d := ReadOnly.mix(); r != 1 || i != 0 || d != 0 {
+		t.Fatal("read-only mix")
+	}
+	if r, i, d := ReadHeavy.mix(); r != 19 || i != 1 || d != 0 {
+		t.Fatal("read-heavy mix")
+	}
+	if r, i, d := WriteHeavy.mix(); r != 1 || i != 1 || d != 0 {
+		t.Fatal("write-heavy mix")
+	}
+	if r, i, d := RangeScan.mix(); r != 19 || i != 1 || d != 0 {
+		t.Fatal("range-scan mix")
+	}
+	if r, i, d := DeleteHeavy.mix(); r != 2 || i != 1 || d != 1 {
+		t.Fatal("delete-heavy mix")
+	}
+	if DeleteHeavy.String() != "delete-heavy" {
+		t.Fatal("delete-heavy name")
+	}
+	if len(AllKinds) != len(Kinds)+1 {
+		t.Fatal("AllKinds should add exactly the delete-heavy extension")
+	}
+}
+
+func TestDeleteHeavyChurn(t *testing.T) {
+	init, stream := initKeys(10000)
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	res := Run(tr, Spec{Kind: DeleteHeavy, InitKeys: init, InsertStream: stream, Ops: 20000, Seed: 11})
+	if res.Deletes == 0 || res.Inserts == 0 {
+		t.Fatalf("deletes=%d inserts=%d", res.Deletes, res.Inserts)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d; reads and deletes must always hit", res.Misses)
+	}
+	// Inserts ≈ deletes, so the index size stays near the initial size.
+	if res.FinalLen != len(init)+res.Inserts-res.Deletes {
+		t.Fatalf("FinalLen %d != %d+%d-%d", res.FinalLen, len(init), res.Inserts, res.Deletes)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Same churn against the B+Tree must agree on final contents.
+	bt := btree.BulkLoad(datasets.Sorted(init), nil, btree.Config{})
+	res2 := Run(bt, Spec{Kind: DeleteHeavy, InitKeys: init, InsertStream: stream, Ops: 20000, Seed: 11})
+	if res2.FinalLen != res.FinalLen || res2.Checksum != res.Checksum {
+		t.Fatalf("btree churn diverged: len %d vs %d, sum %d vs %d",
+			res2.FinalLen, res.FinalLen, res2.Checksum, res.Checksum)
+	}
+}
+
+func TestReadOnlyNeverMisses(t *testing.T) {
+	init, _ := initKeys(20000)
+	tr, err := core.BulkLoad(init, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(tr, Spec{Kind: ReadOnly, InitKeys: init, Ops: 50000, Seed: 1})
+	if res.Ops != 50000 || res.Reads != 50000 {
+		t.Fatalf("ops=%d reads=%d", res.Ops, res.Reads)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d; lookups must always hit (§5.1.2)", res.Misses)
+	}
+	if res.Inserts != 0 {
+		t.Fatalf("read-only performed %d inserts", res.Inserts)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestMixRatiosRespected(t *testing.T) {
+	init, stream := initKeys(10000)
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	res := Run(tr, Spec{Kind: ReadHeavy, InitKeys: init, InsertStream: stream, Ops: 40000, Seed: 2})
+	frac := float64(res.Inserts) / float64(res.Ops)
+	if frac < 0.04 || frac > 0.06 {
+		t.Fatalf("read-heavy insert fraction = %v, want ~0.05", frac)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d", res.Misses)
+	}
+	tr2, _ := core.BulkLoad(init, nil, core.Config{})
+	res2 := Run(tr2, Spec{Kind: WriteHeavy, InitKeys: init, InsertStream: stream, Ops: 15000, Seed: 3})
+	frac2 := float64(res2.Inserts) / float64(res2.Ops)
+	if frac2 < 0.45 || frac2 > 0.55 {
+		t.Fatalf("write-heavy insert fraction = %v, want ~0.5", frac2)
+	}
+	if res2.FinalLen != len(init)+res2.Inserts {
+		t.Fatalf("FinalLen %d != init %d + inserts %d", res2.FinalLen, len(init), res2.Inserts)
+	}
+}
+
+func TestInsertStreamExhaustionFallsBackToReads(t *testing.T) {
+	init, _ := initKeys(5000)
+	stream := init[:0] // empty stream
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	res := Run(tr, Spec{Kind: WriteHeavy, InitKeys: init, InsertStream: stream, Ops: 10000, Seed: 4})
+	if res.Inserts != 0 {
+		t.Fatalf("inserted %d with empty stream", res.Inserts)
+	}
+	if res.Ops != 10000 {
+		t.Fatalf("ops = %d; should continue with reads", res.Ops)
+	}
+}
+
+func TestEmptyIndexReadOnlyTerminates(t *testing.T) {
+	tr := core.New(core.Config{})
+	res := Run(tr, Spec{Kind: ReadOnly, Ops: 1000, Seed: 5})
+	if res.Ops != 0 {
+		t.Fatalf("ops = %d on empty index", res.Ops)
+	}
+}
+
+func TestRangeScanCountsElements(t *testing.T) {
+	init, stream := initKeys(20000)
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	res := Run(tr, Spec{Kind: RangeScan, InitKeys: init, InsertStream: stream, Ops: 5000, Seed: 6, MaxScanLen: 100})
+	if res.Scans == 0 {
+		t.Fatal("no scans")
+	}
+	if res.ScannedElems == 0 {
+		t.Fatal("no scanned elements")
+	}
+	avg := float64(res.ScannedElems) / float64(res.Scans)
+	if avg < 25 || avg > 75 {
+		t.Fatalf("mean scan length %v, want ~50 for uniform [1,100]", avg)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	init, stream := initKeys(10000)
+	run := func() Result {
+		tr, _ := core.BulkLoad(init, nil, core.Config{})
+		return Run(tr, Spec{Kind: ReadHeavy, InitKeys: init, InsertStream: stream, Ops: 20000, Seed: 7})
+	}
+	a, b := run(), run()
+	if a.Checksum != b.Checksum || a.Ops != b.Ops || a.Inserts != b.Inserts {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSameChecksumAcrossIndexes(t *testing.T) {
+	// The workload result must be index-independent: ALEX and B+Tree
+	// return the same payloads for the same op sequence.
+	init, stream := initKeys(10000)
+	sorted := datasets.Sorted(init)
+	alexT, _ := core.BulkLoad(init, nil, core.Config{})
+	btreeT := btree.BulkLoad(sorted, nil, btree.Config{})
+	spec := Spec{Kind: WriteHeavy, InitKeys: init, InsertStream: stream, Ops: 20000, Seed: 8}
+	ra := Run(alexT, spec)
+	rb := Run(btreeT, spec)
+	if ra.Checksum != rb.Checksum {
+		t.Fatalf("checksum mismatch: alex %d vs btree %d", ra.Checksum, rb.Checksum)
+	}
+	if ra.FinalLen != rb.FinalLen {
+		t.Fatalf("final length mismatch: %d vs %d", ra.FinalLen, rb.FinalLen)
+	}
+}
+
+func TestInsertLatencyRecording(t *testing.T) {
+	init, stream := initKeys(3000)
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	rec := stats.NewLatencyRecorder(16)
+	Run(tr, Spec{
+		Kind: WriteHeavy, InitKeys: init, InsertStream: stream,
+		Ops: 6000, Seed: 9, InsertLatencies: rec, MinibatchSize: 500,
+	})
+	if rec.Count() < 4 {
+		t.Fatalf("recorded %d minibatches, want several", rec.Count())
+	}
+	if rec.Max() <= 0 {
+		t.Fatal("non-positive latency")
+	}
+}
+
+func TestSizesReported(t *testing.T) {
+	init, _ := initKeys(10000)
+	tr, _ := core.BulkLoad(init, nil, core.Config{})
+	res := Run(tr, Spec{Kind: ReadOnly, InitKeys: init, Ops: 1000, Seed: 10})
+	if res.IndexBytes <= 0 || res.DataBytes <= 0 {
+		t.Fatalf("sizes: %d / %d", res.IndexBytes, res.DataBytes)
+	}
+}

@@ -1,0 +1,138 @@
+package alex
+
+// MultiIndex supports duplicate keys on top of Index — the limitation §7
+// calls out ("The difficulty is in dealing with duplicate keys, which
+// ALEX currently does not support"). The underlying index still stores
+// one entry per distinct key; its payload either holds the single value
+// directly or, once a key has two or more values, an overflow-table
+// handle whose slot accumulates the values in insertion order.
+//
+// The encoding steals the payload's top bit for the handle tag, so
+// direct values are limited to 63 bits; Add rejects values with the top
+// bit set.
+type MultiIndex struct {
+	idx      *Index
+	overflow [][]uint64
+	count    int
+}
+
+const multiTag = uint64(1) << 63
+
+// NewMulti returns an empty duplicate-friendly index.
+func NewMulti(opts ...Option) *MultiIndex {
+	return &MultiIndex{idx: New(opts...)}
+}
+
+// Add associates value with key, allowing duplicates. It reports whether
+// this is the first value for the key. Values must fit in 63 bits.
+func (m *MultiIndex) Add(key float64, value uint64) bool {
+	if value&multiTag != 0 {
+		panic("alex: MultiIndex values must fit in 63 bits")
+	}
+	existing, ok := m.idx.Get(key)
+	m.count++
+	if !ok {
+		m.idx.Insert(key, value)
+		return true
+	}
+	if existing&multiTag == 0 {
+		// Second value: promote to an overflow slot.
+		slot := uint64(len(m.overflow))
+		m.overflow = append(m.overflow, []uint64{existing, value})
+		m.idx.Update(key, multiTag|slot)
+		return false
+	}
+	slot := existing &^ multiTag
+	m.overflow[slot] = append(m.overflow[slot], value)
+	return false
+}
+
+// Get returns the values stored for key in insertion order. The returned
+// slice must not be mutated.
+func (m *MultiIndex) Get(key float64) []uint64 {
+	v, ok := m.idx.Get(key)
+	if !ok {
+		return nil
+	}
+	if v&multiTag == 0 {
+		return []uint64{v}
+	}
+	return m.overflow[v&^multiTag]
+}
+
+// Count returns the number of values stored for key.
+func (m *MultiIndex) Count(key float64) int { return len(m.Get(key)) }
+
+// Remove deletes one occurrence of value under key, reporting whether it
+// was found.
+func (m *MultiIndex) Remove(key float64, value uint64) bool {
+	v, ok := m.idx.Get(key)
+	if !ok {
+		return false
+	}
+	if v&multiTag == 0 {
+		if v != value {
+			return false
+		}
+		m.idx.Delete(key)
+		m.count--
+		return true
+	}
+	slot := v &^ multiTag
+	vals := m.overflow[slot]
+	for i, got := range vals {
+		if got != value {
+			continue
+		}
+		vals = append(vals[:i], vals[i+1:]...)
+		m.overflow[slot] = vals
+		m.count--
+		switch len(vals) {
+		case 1:
+			// Demote back to a direct value; the slot leaks until the
+			// next compaction, a deliberate simplicity trade-off.
+			m.idx.Update(key, vals[0])
+		case 0:
+			m.idx.Delete(key)
+		}
+		return true
+	}
+	return false
+}
+
+// RemoveAll deletes every value under key, returning how many were
+// removed.
+func (m *MultiIndex) RemoveAll(key float64) int {
+	n := len(m.Get(key))
+	if n > 0 {
+		m.idx.Delete(key)
+		m.count -= n
+	}
+	return n
+}
+
+// Len returns the total number of stored values (counting duplicates).
+func (m *MultiIndex) Len() int { return m.count }
+
+// KeyLen returns the number of distinct keys.
+func (m *MultiIndex) KeyLen() int { return m.idx.Len() }
+
+// Scan visits every (key, value) pair with key >= start in key order
+// (values of one key in insertion order) until visit returns false.
+func (m *MultiIndex) Scan(start float64, visit func(key float64, value uint64) bool) {
+	m.idx.Scan(start, func(k float64, v uint64) bool {
+		if v&multiTag == 0 {
+			return visit(k, v)
+		}
+		for _, val := range m.overflow[v&^multiTag] {
+			if !visit(k, val) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Unwrap exposes the underlying Index (for size accounting and stats);
+// mutating it directly breaks the MultiIndex's bookkeeping.
+func (m *MultiIndex) Unwrap() *Index { return m.idx }

@@ -1,0 +1,228 @@
+package alex_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	alex "repro"
+)
+
+func TestMultiBasics(t *testing.T) {
+	m := alex.NewMulti()
+	if !m.Add(1, 10) {
+		t.Fatal("first add")
+	}
+	if m.Add(1, 11) || m.Add(1, 12) {
+		t.Fatal("duplicate adds must return false")
+	}
+	if got := m.Get(1); len(got) != 3 || got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Fatalf("Get = %v", got)
+	}
+	if m.Count(1) != 3 || m.Count(2) != 0 {
+		t.Fatal("Count")
+	}
+	if m.Len() != 3 || m.KeyLen() != 1 {
+		t.Fatalf("Len=%d KeyLen=%d", m.Len(), m.KeyLen())
+	}
+	if m.Get(99) != nil {
+		t.Fatal("absent key")
+	}
+}
+
+func TestMultiRemove(t *testing.T) {
+	m := alex.NewMulti()
+	m.Add(5, 1)
+	m.Add(5, 2)
+	m.Add(5, 3)
+	if !m.Remove(5, 2) {
+		t.Fatal("remove middle")
+	}
+	if got := m.Get(5); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if m.Remove(5, 2) {
+		t.Fatal("double remove")
+	}
+	// Demotion back to a direct value.
+	if !m.Remove(5, 1) {
+		t.Fatal("remove to single")
+	}
+	if got := m.Get(5); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after demote: %v", got)
+	}
+	if !m.Remove(5, 3) {
+		t.Fatal("remove last")
+	}
+	if m.Count(5) != 0 || m.Len() != 0 {
+		t.Fatal("not empty")
+	}
+	if m.Remove(5, 3) || m.Remove(9, 1) {
+		t.Fatal("remove from empty")
+	}
+}
+
+func TestMultiRemoveAll(t *testing.T) {
+	m := alex.NewMulti()
+	m.Add(1, 10)
+	m.Add(2, 20)
+	m.Add(2, 21)
+	if n := m.RemoveAll(2); n != 2 {
+		t.Fatalf("RemoveAll = %d", n)
+	}
+	if m.Len() != 1 || m.KeyLen() != 1 {
+		t.Fatalf("Len=%d KeyLen=%d", m.Len(), m.KeyLen())
+	}
+	if n := m.RemoveAll(2); n != 0 {
+		t.Fatalf("second RemoveAll = %d", n)
+	}
+}
+
+func TestMultiSingleValueRemoveWrongValue(t *testing.T) {
+	m := alex.NewMulti()
+	m.Add(1, 10)
+	if m.Remove(1, 99) {
+		t.Fatal("removed wrong value")
+	}
+	if m.Count(1) != 1 {
+		t.Fatal("count changed")
+	}
+}
+
+func TestMultiScanOrder(t *testing.T) {
+	m := alex.NewMulti()
+	m.Add(3, 30)
+	m.Add(1, 10)
+	m.Add(2, 20)
+	m.Add(2, 21)
+	var keys []float64
+	var vals []uint64
+	m.Scan(0, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	wantK := []float64{1, 2, 2, 3}
+	wantV := []uint64{10, 20, 21, 30}
+	if len(keys) != 4 {
+		t.Fatalf("scan = %v", keys)
+	}
+	for i := range wantK {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("scan[%d] = (%v,%v), want (%v,%v)", i, keys[i], vals[i], wantK[i], wantV[i])
+		}
+	}
+	// Early stop mid-duplicates.
+	n := 0
+	m.Scan(0, func(k float64, v uint64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMultiRejectsTopBit(t *testing.T) {
+	m := alex.NewMulti()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 64-bit value")
+		}
+	}()
+	m.Add(1, 1<<63)
+}
+
+// Property: MultiIndex behaves like a map[float64][]uint64 (as a
+// multiset per key) under random adds and removes.
+func TestQuickMultiAgainstMap(t *testing.T) {
+	type op struct {
+		Add   bool
+		Key   uint8
+		Value uint16
+	}
+	f := func(ops []op) bool {
+		m := alex.NewMulti(alex.WithMaxKeysPerLeaf(64))
+		ref := make(map[float64][]uint64)
+		total := 0
+		for _, o := range ops {
+			k := float64(o.Key % 32)
+			v := uint64(o.Value % 8) // force duplicate values too
+			if o.Add {
+				first := m.Add(k, v)
+				if first != (len(ref[k]) == 0) {
+					return false
+				}
+				ref[k] = append(ref[k], v)
+				total++
+			} else {
+				removed := m.Remove(k, v)
+				wantRemoved := false
+				for i, got := range ref[k] {
+					if got == v {
+						ref[k] = append(ref[k][:i], ref[k][i+1:]...)
+						if len(ref[k]) == 0 {
+							delete(ref, k)
+						}
+						wantRemoved = true
+						total--
+						break
+					}
+				}
+				if removed != wantRemoved {
+					return false
+				}
+			}
+		}
+		if m.Len() != total || m.KeyLen() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got := m.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+			// Same multiset (insertion order is preserved by both, but
+			// removal reshuffles ref differently; compare sorted).
+			a := append([]uint64(nil), got...)
+			b := append([]uint64(nil), want...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiLargeChurn(t *testing.T) {
+	m := alex.NewMulti()
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 50000; i++ {
+		m.Add(float64(rng.Intn(1000)), uint64(rng.Intn(1<<20)))
+	}
+	if m.Len() != 50000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.KeyLen() > 1000 {
+		t.Fatalf("KeyLen = %d", m.KeyLen())
+	}
+	if err := m.Unwrap().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every key's value count sums to the total.
+	sum := 0
+	for k := 0; k < 1000; k++ {
+		sum += m.Count(float64(k))
+	}
+	if sum != 50000 {
+		t.Fatalf("counts sum to %d", sum)
+	}
+}

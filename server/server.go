@@ -1,0 +1,188 @@
+// Package server implements the line-oriented KV protocol of cmd/alexkv
+// on top of alex.SyncIndex. It lives outside internal/ so the protocol
+// handling is testable and reusable by embedders.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	alex "repro"
+)
+
+// Server handles connections speaking the alexkv protocol against one
+// shared thread-safe index.
+type Server struct {
+	idx *alex.SyncIndex
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// New returns a server over idx.
+func New(idx *alex.SyncIndex) *Server {
+	return &Server{idx: idx, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener is closed; each
+// connection is handled on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.Handle(conn)
+		}()
+	}
+}
+
+// Close terminates all active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Handle speaks the protocol on one stream until EOF or QUIT. Exposed
+// for tests (net.Pipe) and embedding.
+func (s *Server) Handle(rw io.ReadWriter) {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	w := bufio.NewWriter(rw)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if quit := s.dispatch(w, line); quit {
+			break
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one command line; it reports whether the client quit.
+func (s *Server) dispatch(w *bufio.Writer, line string) bool {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "GET":
+		key, err := wantKey(args, 1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		if v, ok := s.idx.Get(key); ok {
+			fmt.Fprintf(w, "VALUE %d\n", v)
+		} else {
+			fmt.Fprintln(w, "NOTFOUND")
+		}
+	case "SET":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: SET <key> <value>")
+			return false
+		}
+		key, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad key: %v\n", err)
+			return false
+		}
+		val, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad value: %v\n", err)
+			return false
+		}
+		if s.idx.Insert(key, val) {
+			fmt.Fprintln(w, "OK inserted")
+		} else {
+			fmt.Fprintln(w, "OK updated")
+		}
+	case "DEL":
+		key, err := wantKey(args, 1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		if s.idx.Delete(key) {
+			fmt.Fprintln(w, "OK")
+		} else {
+			fmt.Fprintln(w, "NOTFOUND")
+		}
+	case "SCAN":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
+			return false
+		}
+		start, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad start: %v\n", err)
+			return false
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			fmt.Fprintln(w, "ERR bad count")
+			return false
+		}
+		const maxScan = 10000
+		if n > maxScan {
+			n = maxScan
+		}
+		keys, vals := s.idx.ScanN(start, n)
+		for i := range keys {
+			fmt.Fprintf(w, "KEY %.17g %d\n", keys[i], vals[i])
+		}
+		fmt.Fprintln(w, "END")
+	case "LEN":
+		fmt.Fprintf(w, "LEN %d\n", s.idx.Len())
+	case "STATS":
+		st := s.idx.Stats()
+		fmt.Fprintf(w, "STATS %d %d %d %d\n",
+			st.NumLeaves, st.Height, s.idx.IndexSizeBytes(), s.idx.DataSizeBytes())
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+func wantKey(args []string, n int) (float64, error) {
+	if len(args) != n {
+		return 0, errors.New("wrong argument count")
+	}
+	return strconv.ParseFloat(args[0], 64)
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	alex "repro"
+)
+
+// client wraps one side of a connection with line-level send/expect.
+type client struct {
+	t  *testing.T
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &client{t: t, c: c, br: bufio.NewReader(c)}
+}
+
+func (cl *client) send(line string) {
+	cl.t.Helper()
+	if _, err := fmt.Fprintln(cl.c, line); err != nil {
+		cl.t.Fatal(err)
+	}
+}
+
+func (cl *client) recv() string {
+	cl.t.Helper()
+	line, err := cl.br.ReadString('\n')
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\n")
+}
+
+func (cl *client) roundTrip(cmd string) string {
+	cl.send(cmd)
+	return cl.recv()
+}
+
+func startServer(t *testing.T) (string, *Server) {
+	t.Helper()
+	idx := alex.NewSync(alex.WithSplitOnInsert())
+	srv := New(idx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func TestProtocolBasics(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+
+	if got := cl.roundTrip("GET 1"); got != "NOTFOUND" {
+		t.Fatalf("GET on empty = %q", got)
+	}
+	if got := cl.roundTrip("SET 1 100"); got != "OK inserted" {
+		t.Fatalf("SET = %q", got)
+	}
+	if got := cl.roundTrip("SET 1 200"); got != "OK updated" {
+		t.Fatalf("re-SET = %q", got)
+	}
+	if got := cl.roundTrip("GET 1"); got != "VALUE 200" {
+		t.Fatalf("GET = %q", got)
+	}
+	if got := cl.roundTrip("LEN"); got != "LEN 1" {
+		t.Fatalf("LEN = %q", got)
+	}
+	if got := cl.roundTrip("DEL 1"); got != "OK" {
+		t.Fatalf("DEL = %q", got)
+	}
+	if got := cl.roundTrip("DEL 1"); got != "NOTFOUND" {
+		t.Fatalf("re-DEL = %q", got)
+	}
+	if got := cl.roundTrip("QUIT"); got != "BYE" {
+		t.Fatalf("QUIT = %q", got)
+	}
+}
+
+func TestProtocolScan(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	for i := 0; i < 20; i++ {
+		if got := cl.roundTrip(fmt.Sprintf("SET %d %d", i*10, i)); !strings.HasPrefix(got, "OK") {
+			t.Fatalf("SET = %q", got)
+		}
+	}
+	cl.send("SCAN 45 3")
+	want := []string{"KEY 50 5", "KEY 60 6", "KEY 70 7", "END"}
+	for _, w := range want {
+		if got := cl.recv(); got != w {
+			t.Fatalf("scan line = %q, want %q", got, w)
+		}
+	}
+	// Empty scan.
+	cl.send("SCAN 1000 5")
+	if got := cl.recv(); got != "END" {
+		t.Fatalf("empty scan = %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	cases := []string{
+		"BOGUS",
+		"GET",
+		"GET abc",
+		"SET 1",
+		"SET abc 1",
+		"SET 1 notanumber",
+		"DEL",
+		"SCAN 1",
+		"SCAN abc 5",
+		"SCAN 1 -2",
+	}
+	for _, c := range cases {
+		if got := cl.roundTrip(c); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", c, got)
+		}
+	}
+	// The connection stays usable after errors.
+	if got := cl.roundTrip("SET 5 5"); got != "OK inserted" {
+		t.Fatalf("after errors: %q", got)
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	cl.roundTrip("SET 1 1")
+	got := cl.roundTrip("STATS")
+	var leaves, height, idxB, dataB int
+	if _, err := fmt.Sscanf(got, "STATS %d %d %d %d", &leaves, &height, &idxB, &dataB); err != nil {
+		t.Fatalf("STATS = %q: %v", got, err)
+	}
+	if leaves < 1 || height < 1 || idxB <= 0 || dataB <= 0 {
+		t.Fatalf("STATS values: %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startServer(t)
+	const clients = 8
+	const perClient = 300
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			cl := dial(t, addr)
+			for i := 0; i < perClient; i++ {
+				key := base*perClient + i
+				if got := cl.roundTrip(fmt.Sprintf("SET %d %d", key, key)); got != "OK inserted" {
+					t.Errorf("SET %d = %q", key, got)
+					return
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				key := base*perClient + i
+				if got := cl.roundTrip(fmt.Sprintf("GET %d", key)); got != fmt.Sprintf("VALUE %d", key) {
+					t.Errorf("GET %d = %q", key, got)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	cl := dial(t, addr)
+	if got := cl.roundTrip("LEN"); got != fmt.Sprintf("LEN %d", clients*perClient) {
+		t.Fatalf("final LEN = %q", got)
+	}
+}
+
+func TestScanCapAndBlankLines(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	cl.roundTrip("SET 1 1")
+	// Blank lines are ignored, not errors.
+	cl.send("")
+	cl.send("LEN")
+	if got := cl.recv(); got != "LEN 1" {
+		t.Fatalf("after blank line: %q", got)
+	}
+	// Oversized scans are capped server-side, not rejected.
+	cl.send("SCAN 0 999999")
+	if got := cl.recv(); got != "KEY 1 1" {
+		t.Fatalf("capped scan first line = %q", got)
+	}
+	if got := cl.recv(); got != "END" {
+		t.Fatalf("capped scan end = %q", got)
+	}
+}

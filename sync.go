@@ -1,0 +1,146 @@
+package alex
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncIndex wraps Index with a readers-writer lock so concurrent readers
+// and a serialized writer can share one index safely.
+//
+// The paper (§7, "Concurrency Control") sketches lock-coupling over the
+// RMI as the fine-grained design; that requires per-node latches and is
+// left future work there too. This wrapper is the coarse-grained option:
+// correct under any interleaving, scales for read-mostly workloads
+// (readers only share the RWMutex read path), and serializes writers.
+type SyncIndex struct {
+	mu  sync.RWMutex
+	idx *Index
+}
+
+// NewSync returns an empty thread-safe index.
+func NewSync(opts ...Option) *SyncIndex {
+	return &SyncIndex{idx: New(opts...)}
+}
+
+// LoadSync bulk loads a thread-safe index.
+func LoadSync(keys []float64, payloads []uint64, opts ...Option) (*SyncIndex, error) {
+	idx, err := Load(keys, payloads, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncIndex{idx: idx}, nil
+}
+
+// Get returns the payload stored for key.
+func (s *SyncIndex) Get(key float64) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Get(key)
+}
+
+// Contains reports whether key is present.
+func (s *SyncIndex) Contains(key float64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Contains(key)
+}
+
+// Insert adds key with payload; see Index.Insert.
+func (s *SyncIndex) Insert(key float64, payload uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Insert(key, payload)
+}
+
+// Delete removes key.
+func (s *SyncIndex) Delete(key float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Delete(key)
+}
+
+// Update overwrites the payload of an existing key. It takes the write
+// lock: payload stores mutate the data node arrays.
+func (s *SyncIndex) Update(key float64, payload uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Update(key, payload)
+}
+
+// Len returns the number of stored elements.
+func (s *SyncIndex) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Len()
+}
+
+// Scan visits elements with key >= start under the read lock; visit must
+// not call back into the index (it would deadlock on a write method and
+// is unnecessary on read methods — the data is already in hand).
+func (s *SyncIndex) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Scan(start, visit)
+}
+
+// ScanN collects up to max elements from the first key >= start.
+func (s *SyncIndex) ScanN(start float64, max int) ([]float64, []uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.ScanN(start, max)
+}
+
+// MinKey returns the smallest key.
+func (s *SyncIndex) MinKey() (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.MinKey()
+}
+
+// MaxKey returns the largest key.
+func (s *SyncIndex) MaxKey() (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.MaxKey()
+}
+
+// Stats returns aggregated counters.
+func (s *SyncIndex) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Stats()
+}
+
+// IndexSizeBytes accounts the RMI structure.
+func (s *SyncIndex) IndexSizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.IndexSizeBytes()
+}
+
+// DataSizeBytes accounts data node storage.
+func (s *SyncIndex) DataSizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.DataSizeBytes()
+}
+
+// WriteTo serializes the index under the read lock.
+func (s *SyncIndex) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.WriteTo(w)
+}
+
+// CheckInvariants verifies the tree under the read lock.
+func (s *SyncIndex) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.CheckInvariants()
+}
+
+// Unwrap returns the underlying Index for single-threaded phases (bulk
+// analysis, iteration); the caller must ensure no concurrent access
+// while using it.
+func (s *SyncIndex) Unwrap() *Index { return s.idx }
