@@ -15,6 +15,22 @@
 //		return k < hi
 //	})
 //
+// The public API is batch-first: multi-key variants of every point
+// operation amortize the per-key costs across a batch. A sorted batch
+// is grouped by destination data node, so it pays one RMI descent per
+// leaf instead of per key, and each node makes at most one
+// expand/retrain/split decision per batch:
+//
+//	vals, found := idx.GetBatch(keys)            // amortized lookups
+//	idx.InsertBatch(keys, payloads)              // amortized inserts
+//	idx.DeleteBatch(keys)                        // amortized deletes
+//	idx.Merge(keys, payloads)                    // bulk-load-speed merge
+//
+// Unsorted batches remain correct (they fall back to per-key
+// application; Merge sorts first), but sorted input is what unlocks the
+// amortization. Batch results are always identical in content to the
+// equivalent loop of single-key calls.
+//
 // The four variants the paper evaluates are expressed through options:
 // the data node layout (gapped array vs packed memory array), the model
 // hierarchy (adaptive vs static RMI), and node splitting on inserts.
@@ -177,6 +193,40 @@ func (ix *Index) Delete(key float64) bool { return ix.t.Delete(key) }
 
 // Update overwrites the payload of an existing key.
 func (ix *Index) Update(key float64, payload uint64) bool { return ix.t.Update(key, payload) }
+
+// GetBatch looks up many keys at once. It returns parallel slices:
+// payloads[i] and found[i] describe keys[i]. A non-decreasing batch
+// shares one tree descent per data node and amortizes the in-node
+// searches; unsorted batches fall back to per-key lookups.
+func (ix *Index) GetBatch(keys []float64) (payloads []uint64, found []bool) {
+	return ix.t.GetBatch(keys)
+}
+
+// InsertBatch adds many key/payload pairs, returning how many keys were
+// new. Existing keys have their payloads overwritten, and a key
+// duplicated within the batch keeps its last payload — the same end
+// state as the equivalent loop of Insert calls. A non-decreasing batch
+// pays one descent per data node and at most one expand/retrain/split
+// decision per node; unsorted batches fall back to per-key inserts.
+// len(payloads) must equal len(keys); keys must be finite.
+func (ix *Index) InsertBatch(keys []float64, payloads []uint64) int {
+	return ix.t.InsertBatch(keys, payloads)
+}
+
+// DeleteBatch removes many keys at once, returning how many were
+// present. A non-decreasing batch shares one descent per data node and
+// applies contraction policies once per batch; unsorted batches fall
+// back to per-key deletes.
+func (ix *Index) DeleteBatch(keys []float64) int { return ix.t.DeleteBatch(keys) }
+
+// Merge bulk-merges key/payload pairs, returning how many keys were
+// new. It is the fastest way to add a large batch: every touched data
+// node is rebuilt once from a sorted merge of its elements and its
+// slice of the batch — one retrain per node, no per-key shifting — so
+// large batches approach bulk-load speed. Unsorted input is sorted
+// first (the last occurrence of a duplicated key wins); merging into
+// an empty index is exactly a bulk load. payloads may be nil.
+func (ix *Index) Merge(keys []float64, payloads []uint64) int { return ix.t.Merge(keys, payloads) }
 
 // Len returns the number of stored elements.
 func (ix *Index) Len() int { return ix.t.Len() }

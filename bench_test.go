@@ -219,6 +219,101 @@ func counterVisitor(n int) func(float64, uint64) bool {
 	}
 }
 
+// --- Batch API: one sorted 10k-key batch vs the equivalent loop ---
+
+const batchBenchSize = 10000
+
+// batchBenchData returns a bulk-load set at the read-write experiment
+// scale (benchOpts().RWInit, "so that we capture the throughput as the
+// index grows") and a sorted batch for insert benchmarks (duplicates
+// only overwrite).
+func batchBenchData() (init, batch []float64, pays []uint64) {
+	initN := benchOpts().RWInit
+	all := datasets.GenLongitudes(initN+batchBenchSize, 21)
+	init = all[:initN]
+	batch = datasets.Sorted(all[initN:])
+	pays = make([]uint64, len(batch))
+	for i := range pays {
+		pays[i] = uint64(i)
+	}
+	return init, batch, pays
+}
+
+func BenchmarkInsert10kLoop(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, _ := alex.Load(init, nil)
+		b.StartTimer()
+		for j, k := range batch {
+			idx.Insert(k, pays[j])
+		}
+	}
+}
+
+func BenchmarkInsert10kBatch(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, _ := alex.Load(init, nil)
+		b.StartTimer()
+		idx.InsertBatch(batch, pays)
+	}
+}
+
+func BenchmarkMerge10k(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, _ := alex.Load(init, nil)
+		b.StartTimer()
+		idx.Merge(batch, pays)
+	}
+}
+
+func BenchmarkGet10kLoop(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	idx, _ := alex.Load(init, nil)
+	idx.InsertBatch(batch, pays)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, k := range batch {
+			v, _ := idx.Get(k)
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkGet10kBatch(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	idx, _ := alex.Load(init, nil)
+	idx.InsertBatch(batch, pays)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		vals, _ := idx.GetBatch(batch)
+		sink += vals[0]
+	}
+	_ = sink
+}
+
+func BenchmarkDelete10kBatch(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, _ := alex.Load(init, nil)
+		idx.InsertBatch(batch, pays)
+		b.StartTimer()
+		idx.DeleteBatch(batch)
+	}
+}
+
 func BenchmarkBulkLoad(b *testing.B) {
 	keys := datasets.GenLongitudes(1<<17, 10)
 	b.ResetTimer()

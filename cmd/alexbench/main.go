@@ -7,7 +7,11 @@
 //	alexbench [flags] <experiment>
 //
 // Experiments: table1, fig4, fig4a, fig4b, fig4c, fig4d, fig5a, fig5b,
-// fig5c, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, all.
+// fig5c, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, all, plus
+// extensions beyond the paper (ablation-leaf, ablation-fanout,
+// ablation-split, ext-delete, ext-theory, ext-apma, ext-disk, and
+// ext-batch — the batched-workload mode comparing sorted batch calls
+// against single-key loops).
 //
 // Flags scale the run; the defaults finish on a laptop in minutes while
 // preserving the comparative shapes of the paper's results:

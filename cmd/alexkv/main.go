@@ -5,12 +5,19 @@
 //	GET <key>            -> VALUE <v> | NOTFOUND
 //	SET <key> <value>    -> OK inserted|updated
 //	DEL <key>            -> OK | NOTFOUND
+//	MGET <k1> <k2> ...   -> one "VALUE <v>" or "NOTFOUND" line per key, then END
+//	MSET <k1> <v1> <k2> <v2> ... -> OK <newly inserted count>
+//	MDEL <k1> <k2> ...   -> OK <deleted count>
 //	SCAN <start> <n>     -> n lines "KEY <k> <v>", then END
 //	LEN                  -> LEN <n>
 //	STATS                -> STATS <leaves> <height> <indexBytes> <dataBytes>
 //	QUIT                 -> closes the connection
 //
-// Keys are decimal floats, values unsigned integers.
+// Keys are decimal floats, values unsigned integers. The M* commands
+// are the pipelined batch forms: one protocol round-trip, one index
+// lock acquisition, and (for sorted key lists) one amortized tree
+// descent per data node for the whole batch — use them for bulk
+// traffic.
 //
 // Usage: alexkv [-addr host:port] [-load N]
 //

@@ -36,6 +36,7 @@ var Experiments = map[string]func(w io.Writer, o Options){
 	"ext-theory":      func(w io.Writer, o Options) { ExtTheory(w, o) },
 	"ext-apma":        func(w io.Writer, o Options) { ExtAdaptivePMA(w, o) },
 	"ext-disk":        func(w io.Writer, o Options) { ExtDisk(w, o) },
+	"ext-batch":       func(w io.Writer, o Options) { ExtBatch(w, o) },
 }
 
 // Order is the canonical experiment ordering for `alexbench all`.
@@ -44,7 +45,7 @@ var Order = []string{
 	"fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "fig11", "fig12", "fig13",
 	"ablation-leaf", "ablation-fanout", "ablation-split",
-	"ext-delete", "ext-theory", "ext-apma", "ext-disk",
+	"ext-delete", "ext-theory", "ext-apma", "ext-disk", "ext-batch",
 }
 
 // RunAll executes every experiment in order.

@@ -13,12 +13,12 @@ import (
 // Fig12Result summarizes the leaf-size distributions of static vs
 // adaptive RMI after bulk load.
 type Fig12Result struct {
-	StaticSizes   []int
-	AdaptiveSizes []int
-	StaticWasted  int // leaves with < 1% of the bound
+	StaticSizes    []int
+	AdaptiveSizes  []int
+	StaticWasted   int // leaves with < 1% of the bound
 	AdaptiveWasted int
-	StaticOver    int // leaves above the max-keys bound
-	AdaptiveOver  int
+	StaticOver     int // leaves above the max-keys bound
+	AdaptiveOver   int
 }
 
 // Fig12 regenerates Appendix B / Fig 12: bulk load longitudes with both

@@ -15,7 +15,7 @@ import (
 // Fig6Point is one sample of the lifetime study: cumulative insert and
 // lookup costs at a given index size.
 type Fig6Point struct {
-	Keys         int
+	Keys          int
 	InsertNsPerOp float64
 	LookupNsPerOp float64
 }

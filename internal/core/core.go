@@ -125,12 +125,19 @@ func (c Config) VariantName() string {
 	return "ALEX-" + c.Layout.String() + "-" + c.RMI.String()
 }
 
-// DataNode is the contract both leaf layouts satisfy.
+// DataNode is the contract both leaf layouts satisfy. The batch
+// methods take non-decreasing key runs (the tree groups a sorted batch
+// by destination node before calling them) and amortize the per-key
+// growth/contraction decisions to once per batch.
 type DataNode interface {
 	Insert(key float64, payload uint64) bool
 	Lookup(key float64) (uint64, bool)
 	Update(key float64, payload uint64) bool
 	Delete(key float64) bool
+	LookupBatch(keys []float64, vals []uint64, found []bool)
+	InsertSortedBatch(keys []float64, payloads []uint64) int
+	DeleteSortedBatch(keys []float64) int
+	MergeSorted(keys []float64, payloads []uint64) int
 	Num() int
 	Cap() int
 	Collect(keys []float64, payloads []uint64) ([]float64, []uint64)

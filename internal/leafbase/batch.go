@@ -1,0 +1,100 @@
+package leafbase
+
+import "repro/internal/search"
+
+// This file implements the data-node half of the batch API: amortized
+// multi-key primitives that the tree layer invokes once per leaf after
+// grouping a sorted batch by destination node. The amortizations are
+// the ones batching makes possible inside a node: successive searches
+// start from the previous hit instead of from scratch, and a merge
+// rebuild replaces per-key shifting with one model retrain and one
+// model-based placement pass (Algorithm 3 run once for the whole
+// batch instead of once per expansion).
+
+// LookupBatch resolves keys against the node, filling the parallel
+// result slices (vals[i], found[i] describe keys[i]; all three must
+// have equal length). Results are correct for any key order, but a
+// non-decreasing batch is amortized: each search starts at the later
+// of the model's prediction and the previous key's slot, so runs of
+// nearby keys cost a few probes each instead of a full search.
+func (b *Base) LookupBatch(keys []float64, vals []uint64, found []bool) {
+	hint := 0
+	for i, k := range keys {
+		pos := hint
+		if b.HasModel {
+			if p := b.Model.PredictClamped(k, len(b.Keys)); p > pos {
+				pos = p
+			}
+		}
+		slot := search.Exponential(b.Keys, k, pos)
+		hint = slot
+		if slot >= len(b.Keys) || b.Keys[slot] != k {
+			continue
+		}
+		if occ := b.Occ.NextSet(slot); occ >= 0 && b.Keys[occ] == k {
+			vals[i] = b.Payloads[occ]
+			found[i] = true
+		}
+	}
+}
+
+// MergeSorted merges a non-decreasing batch with the node's current
+// elements into fresh sorted slices, without touching the node. A batch
+// key equal to an existing key overwrites its payload; within the batch
+// the last occurrence of a duplicated key wins. added is the number of
+// batch keys that were not already present. The caller rebuilds the
+// node from the returned slices with its own capacity policy.
+func (b *Base) MergeSorted(keys []float64, payloads []uint64) (mk []float64, mp []uint64, added int) {
+	ek, ep := b.Collect(nil, nil)
+	mk = make([]float64, 0, len(ek)+len(keys))
+	mp = make([]uint64, 0, len(ek)+len(keys))
+	i, j := 0, 0
+	for i < len(ek) && j < len(keys) {
+		// Collapse an intra-batch duplicate run to its last occurrence.
+		for j+1 < len(keys) && keys[j+1] == keys[j] {
+			j++
+		}
+		switch {
+		case ek[i] < keys[j]:
+			mk = append(mk, ek[i])
+			mp = append(mp, ep[i])
+			i++
+		case ek[i] > keys[j]:
+			mk = append(mk, keys[j])
+			mp = append(mp, payloads[j])
+			j++
+			added++
+		default:
+			mk = append(mk, keys[j])
+			mp = append(mp, payloads[j])
+			i++
+			j++
+		}
+	}
+	mk = append(mk, ek[i:]...)
+	mp = append(mp, ep[i:]...)
+	for j < len(keys) {
+		for j+1 < len(keys) && keys[j+1] == keys[j] {
+			j++
+		}
+		mk = append(mk, keys[j])
+		mp = append(mp, payloads[j])
+		j++
+		added++
+	}
+	return mk, mp, added
+}
+
+// DeleteSortedNoRepack removes every present key of a non-decreasing
+// batch, returning how many were removed. It never contracts the node;
+// layouts wrap it and apply their contraction policy once per batch
+// instead of once per key.
+func (b *Base) DeleteSortedNoRepack(keys []float64) int {
+	n := 0
+	for _, k := range keys {
+		if b.Delete(k) {
+			n++
+		}
+	}
+	return n
+}

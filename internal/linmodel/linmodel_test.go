@@ -37,7 +37,8 @@ func TestTrainPerfectLine(t *testing.T) {
 	}
 	m := Train(keys)
 	if !almostEqual(m.Slope, 0.5, 1e-9) || !almostEqual(m.Intercept, -5, 1e-6) {
-		t.Fatalf("Train = %+v, want slope 0.5 intercept -5", m)	}
+		t.Fatalf("Train = %+v, want slope 0.5 intercept -5", m)
+	}
 	for i, k := range keys {
 		if got := m.PredictClamped(k, len(keys)); got != i {
 			t.Fatalf("PredictClamped(%v) = %d, want %d", k, got, i)

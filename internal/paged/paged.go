@@ -85,14 +85,14 @@ type leaf struct {
 
 // Index is a paged ALEX: in-memory RMI over on-storage data pages.
 type Index struct {
-	cfg   Config
-	cache *pagestore.Cache
-	root  child
-	head  *leaf
-	count int
-	buf   []byte // page scratch, single-writer
-	keys  []float64
-	vals  []uint64
+	cfg    Config
+	cache  *pagestore.Cache
+	root   child
+	head   *leaf
+	count  int
+	buf    []byte // page scratch, single-writer
+	keys   []float64
+	vals   []uint64
 	splits uint64
 }
 

@@ -157,9 +157,9 @@ func (s *FileStore) Close() error { return s.f.Close() }
 
 // Stats counts cache and I/O activity.
 type Stats struct {
-	Hits, Misses       uint64
+	Hits, Misses          uint64
 	PhysReads, PhysWrites uint64
-	Evictions          uint64
+	Evictions             uint64
 }
 
 // Cache is a write-through LRU page cache in front of a Store. It is

@@ -1,0 +1,68 @@
+package pma
+
+import "math"
+
+// InsertSortedBatch adds a non-decreasing batch of keys in one pass,
+// reporting how many were new (existing keys have their payloads
+// overwritten). The resize decision is made once per batch: a batch
+// that would push the whole array past its root density bound takes a
+// single merge rebuild — one retrain, one model-based placement pass —
+// instead of a doubling per overflow; a batch that fits runs the
+// normal Algorithm 2 per element, whose rebalances stay window-local.
+func (a *Array) InsertSortedBatch(keys []float64, payloads []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	checkFiniteBatch(keys)
+	if float64(a.NumKeys+len(keys)) > a.cfg.TauRoot*float64(a.Cap()) {
+		return a.MergeSorted(keys, payloads)
+	}
+	n := 0
+	for i := range keys {
+		if a.Insert(keys[i], payloads[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeSorted bulk-merges a non-decreasing batch into the node: the
+// existing elements and the batch are merged into one sorted run and
+// the node is rebuilt at the bulk-load capacity (root-bound midpoint
+// density), exactly as NewFromSorted would build it. It returns the
+// number of keys that were not already present.
+func (a *Array) MergeSorted(keys []float64, payloads []uint64) int {
+	checkFiniteBatch(keys)
+	mk, mp, added := a.Base.MergeSorted(keys, payloads)
+	newCap := a.capacityFor(len(mk))
+	if newCap > a.Cap() {
+		a.Stats.Expands++
+	} else if newCap < a.Cap() {
+		a.Stats.Contracts++
+	}
+	a.rebuildInto(mk, mp, newCap)
+	return added
+}
+
+// DeleteSortedBatch removes a non-decreasing batch of keys, reporting
+// how many were present. The contraction decision is made once per
+// batch rather than once per key.
+func (a *Array) DeleteSortedBatch(keys []float64) int {
+	n := a.DeleteSortedNoRepack(keys)
+	if n > 0 && a.Cap() > minCapacity && a.Density() < a.cfg.RhoRoot/2 {
+		a.Stats.Contracts++
+		ks, ps := a.Collect(nil, nil)
+		a.rebuildInto(ks, ps, a.capacityFor(a.NumKeys))
+	}
+	return n
+}
+
+// checkFiniteBatch guards batch entry points the way Insert guards its
+// single key.
+func checkFiniteBatch(keys []float64) {
+	for _, k := range keys {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			panic("pma: key must be finite")
+		}
+	}
+}

@@ -136,10 +136,10 @@ func TestTableRowWiderThanHeaderDropped(t *testing.T) {
 
 func TestFormatBytes(t *testing.T) {
 	cases := map[int]string{
-		512:      "512 B",
-		2048:     "2.00 KiB",
-		3 << 20:  "3.00 MiB",
-		5 << 30:  "5.00 GiB",
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
 	}
 	for in, want := range cases {
 		if got := FormatBytes(in); got != want {

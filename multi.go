@@ -13,6 +13,7 @@ package alex
 type MultiIndex struct {
 	idx      *Index
 	overflow [][]uint64
+	free     []uint64 // overflow slots released by demotion, ready for reuse
 	count    int
 }
 
@@ -36,9 +37,21 @@ func (m *MultiIndex) Add(key float64, value uint64) bool {
 		return true
 	}
 	if existing&multiTag == 0 {
-		// Second value: promote to an overflow slot.
-		slot := uint64(len(m.overflow))
-		m.overflow = append(m.overflow, []uint64{existing, value})
+		// Second value: promote to an overflow slot, reusing a freed one
+		// when available.
+		var slot uint64
+		if n := len(m.free); n > 0 {
+			slot = m.free[n-1]
+			m.free = m.free[:n-1]
+			// Fresh backing array: a recycled slot must not write another
+			// key's values into arrays that Get results may still alias.
+			// (Remove of a non-last value still shifts in place, as it
+			// always has — Get's contract only covers caller mutation.)
+			m.overflow[slot] = []uint64{existing, value}
+		} else {
+			slot = uint64(len(m.overflow))
+			m.overflow = append(m.overflow, []uint64{existing, value})
+		}
 		m.idx.Update(key, multiTag|slot)
 		return false
 	}
@@ -89,11 +102,12 @@ func (m *MultiIndex) Remove(key float64, value uint64) bool {
 		m.count--
 		switch len(vals) {
 		case 1:
-			// Demote back to a direct value; the slot leaks until the
-			// next compaction, a deliberate simplicity trade-off.
+			// Demote back to a direct value and recycle the slot.
 			m.idx.Update(key, vals[0])
+			m.releaseSlot(slot)
 		case 0:
 			m.idx.Delete(key)
+			m.releaseSlot(slot)
 		}
 		return true
 	}
@@ -103,12 +117,27 @@ func (m *MultiIndex) Remove(key float64, value uint64) bool {
 // RemoveAll deletes every value under key, returning how many were
 // removed.
 func (m *MultiIndex) RemoveAll(key float64) int {
-	n := len(m.Get(key))
-	if n > 0 {
-		m.idx.Delete(key)
-		m.count -= n
+	v, ok := m.idx.Get(key)
+	if !ok {
+		return 0
 	}
+	n := 1
+	if v&multiTag != 0 {
+		slot := v &^ multiTag
+		n = len(m.overflow[slot])
+		m.releaseSlot(slot)
+	}
+	m.idx.Delete(key)
+	m.count -= n
 	return n
+}
+
+// releaseSlot frees an overflow slot and queues it for reuse. The
+// backing array is dropped, not truncated: slices returned by Get may
+// still alias it.
+func (m *MultiIndex) releaseSlot(slot uint64) {
+	m.overflow[slot] = nil
+	m.free = append(m.free, slot)
 }
 
 // Len returns the total number of stored values (counting duplicates).

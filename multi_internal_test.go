@@ -1,0 +1,71 @@
+package alex
+
+import "testing"
+
+// TestMultiOverflowSlotReuse verifies the overflow free-list: churn
+// that repeatedly promotes keys to overflow slots and demotes them
+// again must not grow the overflow table without bound.
+func TestMultiOverflowSlotReuse(t *testing.T) {
+	m := NewMulti()
+	for round := 0; round < 100; round++ {
+		k := float64(round % 7)
+		m.Add(k, 1)
+		m.Add(k, 2)
+		m.Add(k, 3)
+		if got := m.Count(k); got != 3 {
+			t.Fatalf("round %d: Count = %d, want 3", round, got)
+		}
+		// Demote back to a direct value, then remove entirely.
+		if !m.Remove(k, 2) || !m.Remove(k, 3) {
+			t.Fatalf("round %d: Remove failed", round)
+		}
+		if got := m.Get(k); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("round %d: Get = %v, want [1]", round, got)
+		}
+		if !m.Remove(k, 1) {
+			t.Fatalf("round %d: final Remove failed", round)
+		}
+	}
+	if len(m.overflow) > 1 {
+		t.Fatalf("overflow table grew to %d slots; demoted slots are not reused", len(m.overflow))
+	}
+
+	// RemoveAll on an overflowed key must release its slot too.
+	for i := 0; i < 50; i++ {
+		m.Add(9, uint64(i))
+		m.Add(9, uint64(i)+100)
+		if got := m.RemoveAll(9); got != 2 {
+			t.Fatalf("RemoveAll = %d, want 2", got)
+		}
+	}
+	if len(m.overflow) > 1 {
+		t.Fatalf("overflow table grew to %d slots after RemoveAll churn", len(m.overflow))
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+// TestMultiGetSlicesSurviveSlotReuse pins down that slices returned by
+// Get keep their contents when their overflow slot is later released
+// and recycled for another key.
+func TestMultiGetSlicesSurviveSlotReuse(t *testing.T) {
+	m := NewMulti()
+	m.Add(1, 10)
+	m.Add(1, 11)
+	got := m.Get(1)
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("Get(1) = %v", got)
+	}
+	// Demote key 1 (releases its slot), then promote key 2 into the
+	// recycled slot.
+	m.Remove(1, 11)
+	m.Add(2, 20)
+	m.Add(2, 21)
+	if got[0] != 10 || got[1] != 11 {
+		t.Fatalf("held Get(1) slice changed to %v after slot reuse", got)
+	}
+	if g2 := m.Get(2); len(g2) != 2 || g2[0] != 20 || g2[1] != 21 {
+		t.Fatalf("Get(2) = %v", g2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -76,7 +77,9 @@ func (s *Server) Close() {
 // for tests (net.Pipe) and embedding.
 func (s *Server) Handle(rw io.ReadWriter) {
 	sc := bufio.NewScanner(rw)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	// 1 MiB lines: a pipelined MSET of tens of thousands of pairs is the
+	// workload the batch commands exist for.
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	w := bufio.NewWriter(rw)
 	defer w.Flush()
 	for sc.Scan() {
@@ -89,6 +92,16 @@ func (s *Server) Handle(rw io.ReadWriter) {
 		}
 		if err := w.Flush(); err != nil {
 			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Tell the client why the connection is going away (e.g. a
+		// command line beyond the buffer limit) instead of a bare reset,
+		// then drain a bounded amount of the already-sent input so the
+		// close doesn't RST the reply away before the client reads it.
+		fmt.Fprintf(w, "ERR %v\n", err)
+		if w.Flush() == nil {
+			io.Copy(io.Discard, io.LimitReader(rw, 1<<20))
 		}
 	}
 }
@@ -115,9 +128,9 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			fmt.Fprintln(w, "ERR usage: SET <key> <value>")
 			return false
 		}
-		key, err := strconv.ParseFloat(args[0], 64)
+		key, err := parseKey(args[0])
 		if err != nil {
-			fmt.Fprintf(w, "ERR bad key: %v\n", err)
+			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
 		val, err := strconv.ParseUint(args[1], 10, 64)
@@ -141,12 +154,56 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		} else {
 			fmt.Fprintln(w, "NOTFOUND")
 		}
+	case "MGET":
+		keys, err := parseKeys(args, 1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		vals, found := s.idx.GetBatch(keys)
+		for i := range keys {
+			if found[i] {
+				fmt.Fprintf(w, "VALUE %d\n", vals[i])
+			} else {
+				fmt.Fprintln(w, "NOTFOUND")
+			}
+		}
+		fmt.Fprintln(w, "END")
+	case "MSET":
+		if len(args) < 2 || len(args)%2 != 0 {
+			fmt.Fprintln(w, "ERR usage: MSET <key> <value> [<key> <value> ...]")
+			return false
+		}
+		keys := make([]float64, 0, len(args)/2)
+		vals := make([]uint64, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			key, err := parseKey(args[i])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				return false
+			}
+			val, err := strconv.ParseUint(args[i+1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad value: %v\n", err)
+				return false
+			}
+			keys = append(keys, key)
+			vals = append(vals, val)
+		}
+		fmt.Fprintf(w, "OK %d\n", s.idx.InsertBatch(keys, vals))
+	case "MDEL":
+		keys, err := parseKeys(args, 1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK %d\n", s.idx.DeleteBatch(keys))
 	case "SCAN":
 		if len(args) != 2 {
 			fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
 			return false
 		}
-		start, err := strconv.ParseFloat(args[0], 64)
+		start, err := parseKey(args[0])
 		if err != nil {
 			fmt.Fprintf(w, "ERR bad start: %v\n", err)
 			return false
@@ -184,5 +241,34 @@ func wantKey(args []string, n int) (float64, error) {
 	if len(args) != n {
 		return 0, errors.New("wrong argument count")
 	}
-	return strconv.ParseFloat(args[0], 64)
+	return parseKey(args[0])
+}
+
+// parseKey parses one key, rejecting the non-finite values the index
+// panics on ("NaN", "Inf" and friends parse as valid floats).
+func parseKey(arg string) (float64, error) {
+	k, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key: %v", err)
+	}
+	if math.IsNaN(k) || math.IsInf(k, 0) {
+		return 0, fmt.Errorf("bad key: %q is not finite", arg)
+	}
+	return k, nil
+}
+
+// parseKeys parses at least min keys from args.
+func parseKeys(args []string, min int) ([]float64, error) {
+	if len(args) < min {
+		return nil, errors.New("wrong argument count")
+	}
+	keys := make([]float64, len(args))
+	for i, a := range args {
+		k, err := parseKey(a)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	return keys, nil
 }

@@ -209,3 +209,109 @@ func TestScanCapAndBlankLines(t *testing.T) {
 		t.Fatalf("capped scan end = %q", got)
 	}
 }
+
+func TestProtocolBatch(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+
+	if got := cl.roundTrip("MSET 10 1 20 2 30 3"); got != "OK 3" {
+		t.Fatalf("MSET = %q", got)
+	}
+	// Re-setting existing keys inserts nothing new.
+	if got := cl.roundTrip("MSET 10 100 40 4"); got != "OK 1" {
+		t.Fatalf("MSET overwrite = %q", got)
+	}
+	cl.send("MGET 10 20 25 40")
+	want := []string{"VALUE 100", "VALUE 2", "NOTFOUND", "VALUE 4", "END"}
+	for _, w := range want {
+		if got := cl.recv(); got != w {
+			t.Fatalf("MGET line = %q, want %q", got, w)
+		}
+	}
+	if got := cl.roundTrip("MDEL 10 25 30"); got != "OK 2" {
+		t.Fatalf("MDEL = %q", got)
+	}
+	if got := cl.roundTrip("LEN"); got != "LEN 2" {
+		t.Fatalf("LEN after MDEL = %q", got)
+	}
+	// Unsorted batches remain correct (fallback path).
+	if got := cl.roundTrip("MSET 9 9 5 5 7 7"); got != "OK 3" {
+		t.Fatalf("unsorted MSET = %q", got)
+	}
+	cl.send("MGET 7 5 9")
+	for _, w := range []string{"VALUE 7", "VALUE 5", "VALUE 9", "END"} {
+		if got := cl.recv(); got != w {
+			t.Fatalf("unsorted MGET line = %q, want %q", got, w)
+		}
+	}
+}
+
+func TestProtocolBatchErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	cases := []string{
+		"MGET",
+		"MGET abc",
+		"MSET",
+		"MSET 1",
+		"MSET 1 2 3",
+		"MSET abc 1",
+		"MSET 1 notanumber",
+		"MDEL",
+		"MDEL abc",
+	}
+	for _, c := range cases {
+		if got := cl.roundTrip(c); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", c, got)
+		}
+	}
+	if got := cl.roundTrip("MSET 1 1"); got != "OK 1" {
+		t.Fatalf("after errors: %q", got)
+	}
+}
+
+func TestProtocolRejectsNonFiniteKeys(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	// "NaN"/"Inf" parse as floats but the index panics on them; the
+	// server must reject them instead of dying (a crash here killed the
+	// whole process, not just the connection).
+	for _, c := range []string{
+		"SET NaN 1", "SET Inf 1", "SET -Inf 1",
+		"MSET NaN 1", "MSET 1 1 Inf 2",
+		"MGET NaN", "MDEL Inf", "GET NaN", "DEL Inf", "SCAN NaN 5", "SCAN Inf 5",
+	} {
+		if got := cl.roundTrip(c); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", c, got)
+		}
+	}
+	if got := cl.roundTrip("LEN"); got != "LEN 0" {
+		t.Fatalf("LEN after non-finite rejects = %q", got)
+	}
+}
+
+func TestProtocolLargeBatchLine(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	// A 10k-pair MSET (~200 KiB line) must fit in the scanner buffer.
+	var sb strings.Builder
+	sb.WriteString("MSET")
+	for i := 0; i < 10000; i++ {
+		fmt.Fprintf(&sb, " %d.5 %d", i, i)
+	}
+	if got := cl.roundTrip(sb.String()); got != "OK 10000" {
+		t.Fatalf("large MSET = %q", got)
+	}
+	if got := cl.roundTrip("LEN"); got != "LEN 10000" {
+		t.Fatalf("LEN = %q", got)
+	}
+	// Beyond the 1 MiB cap the client gets an ERR line, not a bare reset.
+	sb.Reset()
+	sb.WriteString("MGET")
+	for i := 0; i < 300000; i++ {
+		sb.WriteString(" 1.5")
+	}
+	if got := cl.roundTrip(sb.String()); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("over-limit line -> %q, want ERR", got)
+	}
+}

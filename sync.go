@@ -68,6 +68,40 @@ func (s *SyncIndex) Update(key float64, payload uint64) bool {
 	return s.idx.Update(key, payload)
 }
 
+// GetBatch looks up many keys under a single read-lock acquisition;
+// see Index.GetBatch. Batching is what makes the wrapper scale: the
+// lock (and, for sorted batches, the RMI descent) is paid once per
+// batch instead of once per key.
+func (s *SyncIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.GetBatch(keys)
+}
+
+// InsertBatch adds many key/payload pairs under a single write-lock
+// acquisition; see Index.InsertBatch.
+func (s *SyncIndex) InsertBatch(keys []float64, payloads []uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.InsertBatch(keys, payloads)
+}
+
+// DeleteBatch removes many keys under a single write-lock acquisition;
+// see Index.DeleteBatch.
+func (s *SyncIndex) DeleteBatch(keys []float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.DeleteBatch(keys)
+}
+
+// Merge bulk-merges key/payload pairs under a single write-lock
+// acquisition; see Index.Merge.
+func (s *SyncIndex) Merge(keys []float64, payloads []uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Merge(keys, payloads)
+}
+
 // Len returns the number of stored elements.
 func (s *SyncIndex) Len() int {
 	s.mu.RLock()
