@@ -41,6 +41,11 @@
 // (store an offset or pointer-equivalent for larger values). The index
 // is not safe for concurrent mutation — like the system evaluated in
 // the paper, it is single-writer (§7 lists concurrency as future work).
+// Two wrappers add concurrency on top: SyncIndex guards one index with
+// a readers-writer lock (simple, read-mostly), and ShardedIndex
+// partitions the key space across per-core shards behind a learned
+// quantile router so reads and writes to different regions run in
+// parallel (write-heavy, multi-core).
 package alex
 
 import (
@@ -243,7 +248,11 @@ func (ix *Index) ScanN(start float64, max int) ([]float64, []uint64) {
 }
 
 // ScanRange visits all elements with start <= key < end in order.
+// Empty or unordered ranges (end <= start, NaN bounds) visit nothing.
 func (ix *Index) ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int {
+	if !(start < end) {
+		return 0
+	}
 	n := 0
 	ix.t.Scan(start, func(k float64, v uint64) bool {
 		if k >= end {

@@ -323,3 +323,71 @@ func BenchmarkBulkLoad(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent throughput: SyncIndex vs ShardedIndex, 1/4/8 goroutines ---
+
+// benchConcurrentMix runs b.N operations (split across g goroutines)
+// of bench.RunConcurrentMix — the same mixed workload the
+// ext-concurrent driver measures, so CI's BENCH_ci.json and the
+// printed table report one workload. writePct is the write
+// percentage: 10 for the read-heavy mix, 50 for the write-heavy
+// (mixed) one. The Sharded-vs-Sync ns/op ratio at equal g is the
+// scaling headline the CI bench-smoke job records.
+func benchConcurrentMix(b *testing.B, mk func(init []float64) bench.ConcurrentIndex, g, writePct int) {
+	initN := benchOpts().RWInit
+	all := datasets.GenLongitudes(initN+1<<17, 42)
+	init, pool := all[:initN], all[initN:]
+	idx := mk(init)
+	b.ResetTimer()
+	bench.RunConcurrentMix(idx, init, pool, g, b.N, writePct, 1)
+}
+
+func newSyncBench(init []float64) bench.ConcurrentIndex {
+	s, err := alex.LoadSync(init, nil, alex.WithSplitOnInsert())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func newShardedBench(init []float64) bench.ConcurrentIndex {
+	s, err := alex.LoadSharded(8, init, nil, alex.WithSplitOnInsert())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func BenchmarkConcurrentSyncReadHeavy1(b *testing.B) { benchConcurrentMix(b, newSyncBench, 1, 10) }
+func BenchmarkConcurrentSyncReadHeavy4(b *testing.B) { benchConcurrentMix(b, newSyncBench, 4, 10) }
+func BenchmarkConcurrentSyncReadHeavy8(b *testing.B) { benchConcurrentMix(b, newSyncBench, 8, 10) }
+
+func BenchmarkConcurrentSyncWriteHeavy1(b *testing.B) { benchConcurrentMix(b, newSyncBench, 1, 50) }
+func BenchmarkConcurrentSyncWriteHeavy4(b *testing.B) { benchConcurrentMix(b, newSyncBench, 4, 50) }
+func BenchmarkConcurrentSyncWriteHeavy8(b *testing.B) { benchConcurrentMix(b, newSyncBench, 8, 50) }
+
+func BenchmarkConcurrentShardedReadHeavy1(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 1, 10)
+}
+func BenchmarkConcurrentShardedReadHeavy4(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 4, 10)
+}
+func BenchmarkConcurrentShardedReadHeavy8(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 8, 10)
+}
+
+func BenchmarkConcurrentShardedWriteHeavy1(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 1, 50)
+}
+func BenchmarkConcurrentShardedWriteHeavy4(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 4, 50)
+}
+func BenchmarkConcurrentShardedWriteHeavy8(b *testing.B) {
+	benchConcurrentMix(b, newShardedBench, 8, 50)
+}
+
+func BenchmarkExtConcurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtConcurrent(io.Discard, benchOpts())
+	}
+}

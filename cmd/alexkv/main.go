@@ -1,6 +1,8 @@
 // Command alexkv serves an ALEX index over TCP with a line-oriented
-// text protocol, demonstrating the thread-safe wrapper (alex.SyncIndex)
-// under concurrent clients. One command per line, space-separated:
+// text protocol. The index is sharded across key-space partitions
+// (alex.ShardedIndex), so concurrent clients writing to different key
+// regions run in parallel instead of serializing behind one lock. One
+// command per line, space-separated:
 //
 //	GET <key>            -> VALUE <v> | NOTFOUND
 //	SET <key> <value>    -> OK inserted|updated
@@ -14,14 +16,18 @@
 //	QUIT                 -> closes the connection
 //
 // Keys are decimal floats, values unsigned integers. The M* commands
-// are the pipelined batch forms: one protocol round-trip, one index
-// lock acquisition, and (for sorted key lists) one amortized tree
-// descent per data node for the whole batch — use them for bulk
-// traffic.
+// are the pipelined batch forms: one protocol round-trip, and (for
+// sorted key lists) one amortized tree descent per data node for the
+// whole batch, fanned out across the shards in parallel — use them for
+// bulk traffic.
 //
-// Usage: alexkv [-addr host:port] [-load N]
+// Usage: alexkv [-addr host:port] [-load N] [-shards N]
 //
 // -load N preloads N synthetic YCSB keys so GET/SCAN have data to hit.
+// -shards N partitions the key space across N shards (0 = one per
+// CPU); shard boundaries sit at key-sample quantiles and retrain as
+// the distribution drifts. -shards 1 degenerates to a single index
+// behind one lock, useful for A/B-ing the sharding win.
 package main
 
 import (
@@ -39,9 +45,10 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	load := flag.Int("load", 0, "preload this many synthetic keys")
+	shards := flag.Int("shards", 0, "key-space shards (0 = one per CPU)")
 	flag.Parse()
 
-	var idx *alex.SyncIndex
+	var idx *alex.ShardedIndex
 	if *load > 0 {
 		keys := datasets.GenYCSB(*load, 1)
 		payloads := make([]uint64, len(keys))
@@ -49,15 +56,16 @@ func main() {
 			payloads[i] = uint64(i)
 		}
 		var err error
-		idx, err = alex.LoadSync(keys, payloads, alex.WithSplitOnInsert())
+		idx, err = alex.LoadSharded(*shards, keys, payloads, alex.WithSplitOnInsert())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		log.Printf("preloaded %d keys", *load)
 	} else {
-		idx = alex.NewSync(alex.WithSplitOnInsert())
+		idx = alex.NewSharded(*shards, alex.WithSplitOnInsert())
 	}
+	log.Printf("index sharded %d ways", idx.NumShards())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a machine-readable JSON document (stdout), so CI can archive every
+// run's numbers as an artifact (BENCH_ci.json) and the perf trajectory
+// is tracked per PR instead of eyeballed from logs.
+//
+//	go test -run '^$' -bench Concurrent -benchtime=100x . | benchjson > BENCH_ci.json
+//
+// Lines that are not benchmark results (headers, PASS, ok) are folded
+// into the environment block when recognized and skipped otherwise.
+// Derived sharded/sync speedups are computed for benchmark pairs that
+// differ only by the index name, e.g. ConcurrentShardedWriteHeavy8 vs
+// ConcurrentSyncWriteHeavy8 — the ratio the ISSUE's acceptance bar
+// reads.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the whole artifact.
+type Doc struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Result           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"sharded_over_sync_speedups,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+func main() {
+	doc := Doc{Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		r.Metrics = parseMetrics(m[5])
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// Derived ratios: for every ConcurrentSharded* result with a
+	// ConcurrentSync* sibling, speedup = sync ns/op / sharded ns/op.
+	byName := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		byName[r.Name] = r.NsPerOp
+	}
+	for name, ns := range byName {
+		if !strings.Contains(name, "Sharded") || ns == 0 {
+			continue
+		}
+		sibling := strings.Replace(name, "Sharded", "Sync", 1)
+		if syncNs, ok := byName[sibling]; ok {
+			doc.Speedups[name] = syncNs / ns
+		}
+	}
+	if len(doc.Speedups) == 0 {
+		doc.Speedups = nil
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMetrics decodes the trailing "<value> <unit>" pairs of a
+// benchmark line (B/op, allocs/op, and any b.ReportMetric extras).
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil
+	}
+	m := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}

@@ -37,6 +37,7 @@ var Experiments = map[string]func(w io.Writer, o Options){
 	"ext-apma":        func(w io.Writer, o Options) { ExtAdaptivePMA(w, o) },
 	"ext-disk":        func(w io.Writer, o Options) { ExtDisk(w, o) },
 	"ext-batch":       func(w io.Writer, o Options) { ExtBatch(w, o) },
+	"ext-concurrent":  func(w io.Writer, o Options) { ExtConcurrent(w, o) },
 }
 
 // Order is the canonical experiment ordering for `alexbench all`.
@@ -46,6 +47,7 @@ var Order = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13",
 	"ablation-leaf", "ablation-fanout", "ablation-split",
 	"ext-delete", "ext-theory", "ext-apma", "ext-disk", "ext-batch",
+	"ext-concurrent",
 }
 
 // RunAll executes every experiment in order.

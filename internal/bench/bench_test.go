@@ -419,3 +419,22 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		t.Fatalf("registry has %d entries, want %d", len(Experiments), len(Order)+1)
 	}
 }
+
+func TestExtConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	rows := ExtConcurrent(&buf, tiny())
+	if len(rows) != 6 { // 2 mixes x 3 goroutine counts
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SyncOpsPerS <= 0 || r.ShardedOpsPerS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.Goroutines != 1 && r.Goroutines != 4 && r.Goroutines != 8 {
+			t.Fatalf("unexpected goroutine count %d", r.Goroutines)
+		}
+	}
+	if !strings.Contains(buf.String(), "ShardedIndex") {
+		t.Fatal("sharded column missing from output")
+	}
+}

@@ -213,37 +213,46 @@ func New(cfg Config) *Tree {
 // payloads are stored; otherwise len(payloads) must equal len(keys).
 func BulkLoad(keys []float64, payloads []uint64, cfg Config) (*Tree, error) {
 	cfg = cfg.withDefaults()
+	sortedK, sortedP, err := SortPairs(keys, payloads)
+	if err != nil {
+		return nil, err
+	}
+	return bulkLoadSorted(sortedK, sortedP, cfg), nil
+}
+
+// SortPairs copies keys (with their payloads riding along) into sorted
+// order and validates the bulk-load contract: keys unique and finite.
+// payloads may be nil, in which case zero payloads are returned. Every
+// entry point that accepts unsorted user keys shares this one
+// implementation of the acceptance rules.
+func SortPairs(keys []float64, payloads []uint64) ([]float64, []uint64, error) {
 	if payloads != nil && len(payloads) != len(keys) {
-		return nil, errors.New("core: len(payloads) != len(keys)")
+		return nil, nil, errors.New("core: len(payloads) != len(keys)")
 	}
-	ks := make([]float64, len(keys))
-	copy(ks, keys)
-	ps := make([]uint64, len(keys))
-	if payloads != nil {
-		copy(ps, payloads)
-	}
-	idx := make([]int, len(ks))
+	idx := make([]int, len(keys))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
-	sortedK := make([]float64, len(ks))
-	sortedP := make([]uint64, len(ks))
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sortedK := make([]float64, len(keys))
+	sortedP := make([]uint64, len(keys))
 	for i, j := range idx {
-		sortedK[i] = ks[j]
-		sortedP[i] = ps[j]
+		sortedK[i] = keys[j]
+		if payloads != nil {
+			sortedP[i] = payloads[j]
+		}
 	}
 	for i := 1; i < len(sortedK); i++ {
 		if sortedK[i] == sortedK[i-1] {
-			return nil, fmt.Errorf("core: duplicate key %v", sortedK[i])
+			return nil, nil, fmt.Errorf("core: duplicate key %v", sortedK[i])
 		}
 	}
 	for _, k := range sortedK {
 		if math.IsNaN(k) || math.IsInf(k, 0) {
-			return nil, fmt.Errorf("core: non-finite key %v", k)
+			return nil, nil, fmt.Errorf("core: non-finite key %v", k)
 		}
 	}
-	return bulkLoadSorted(sortedK, sortedP, cfg), nil
+	return sortedK, sortedP, nil
 }
 
 // BulkLoadSorted builds an index over keys that are already sorted and

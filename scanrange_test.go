@@ -1,0 +1,92 @@
+package alex_test
+
+import (
+	"math"
+	"testing"
+
+	alex "repro"
+)
+
+// scanRanger is the ScanRange surface shared by all three index
+// flavors.
+type scanRanger interface {
+	ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int
+}
+
+// TestScanRangeEdgeCases pins the range contract on every flavor:
+// start <= key < end, and empty or unordered ranges (end <= start, NaN
+// bounds) visit nothing instead of scanning to the end of the index.
+func TestScanRangeEdgeCases(t *testing.T) {
+	keys := []float64{1, 2, 3, 5, 8, 13, 21, 34}
+	nan := math.NaN()
+	cases := []struct {
+		name       string
+		start, end float64
+		want       int
+	}{
+		{"normal", 2, 13, 4},        // 2,3,5,8
+		{"exclusive-end", 1, 34, 7}, // 34 excluded
+		{"full", math.Inf(-1), math.Inf(1), 8},
+		{"empty-equal", 5, 5, 0},
+		{"inverted", 21, 3, 0},
+		{"nan-start", nan, 13, 0},
+		{"nan-end", 2, nan, 0},
+		{"nan-both", nan, nan, 0},
+		{"below-all", -10, 0, 0},
+		{"above-all", 100, 200, 0},
+		{"single", 8, 9, 1},
+	}
+
+	plain, err := alex.Load(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced, err := alex.LoadSync(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := alex.LoadSharded(3, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flavors := []struct {
+		name string
+		idx  scanRanger
+	}{
+		{"Index", plain},
+		{"SyncIndex", synced},
+		{"ShardedIndex", sharded},
+	}
+
+	for _, f := range flavors {
+		for _, c := range cases {
+			t.Run(f.name+"/"+c.name, func(t *testing.T) {
+				visited := 0
+				n := f.idx.ScanRange(c.start, c.end, func(k float64, v uint64) bool {
+					if !(k >= c.start && k < c.end) {
+						t.Fatalf("visited %v outside [%v, %v)", k, c.start, c.end)
+					}
+					visited++
+					return true
+				})
+				if n != c.want || visited != c.want {
+					t.Fatalf("ScanRange(%v, %v) = %d (visited %d), want %d",
+						c.start, c.end, n, visited, c.want)
+				}
+			})
+		}
+	}
+}
+
+// TestScanRangeEarlyStop pins the visited count when the callback
+// stops the scan: the element that received false still counts.
+func TestScanRangeEarlyStop(t *testing.T) {
+	idx, err := alex.Load([]float64{1, 2, 3, 4, 5, 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := idx.ScanRange(1, 7, func(k float64, v uint64) bool { return k < 3 })
+	if n != 3 {
+		t.Fatalf("early-stopped ScanRange = %d, want 3", n)
+	}
+}

@@ -1,6 +1,8 @@
 // Package server implements the line-oriented KV protocol of cmd/alexkv
-// on top of alex.SyncIndex. It lives outside internal/ so the protocol
-// handling is testable and reusable by embedders.
+// on top of any thread-safe index (alex.ShardedIndex for multi-core
+// parallelism, alex.SyncIndex for the coarse-grained wrapper). It lives
+// outside internal/ so the protocol handling is testable and reusable
+// by embedders.
 package server
 
 import (
@@ -17,10 +19,28 @@ import (
 	alex "repro"
 )
 
+// Store is the thread-safe index surface the protocol needs; both
+// *alex.SyncIndex and *alex.ShardedIndex satisfy it. Implementations
+// must be safe for concurrent use — every connection runs on its own
+// goroutine.
+type Store interface {
+	Get(key float64) (uint64, bool)
+	Insert(key float64, payload uint64) bool
+	Delete(key float64) bool
+	GetBatch(keys []float64) (payloads []uint64, found []bool)
+	InsertBatch(keys []float64, payloads []uint64) int
+	DeleteBatch(keys []float64) int
+	ScanN(start float64, max int) ([]float64, []uint64)
+	Len() int
+	Stats() alex.Stats
+	IndexSizeBytes() int
+	DataSizeBytes() int
+}
+
 // Server handles connections speaking the alexkv protocol against one
 // shared thread-safe index.
 type Server struct {
-	idx *alex.SyncIndex
+	idx Store
 
 	mu     sync.Mutex
 	closed bool
@@ -28,7 +48,7 @@ type Server struct {
 }
 
 // New returns a server over idx.
-func New(idx *alex.SyncIndex) *Server {
+func New(idx Store) *Server {
 	return &Server{idx: idx, conns: make(map[net.Conn]struct{})}
 }
 

@@ -315,3 +315,88 @@ func TestProtocolLargeBatchLine(t *testing.T) {
 		t.Fatalf("over-limit line -> %q, want ERR", got)
 	}
 }
+
+// TestShardedStoreConcurrentClients serves a ShardedIndex and hammers
+// it from parallel connections writing disjoint key regions — the
+// deployment shape cmd/alexkv now defaults to.
+func TestShardedStoreConcurrentClients(t *testing.T) {
+	idx := alex.NewSharded(4, alex.WithSplitOnInsert())
+	srv := New(idx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); srv.Close() })
+	addr := ln.Addr().String()
+
+	const clients, perClient = 4, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			base := c * 100000
+			for i := 0; i < perClient; i++ {
+				fmt.Fprintf(conn, "SET %d %d\n", base+i, base+i)
+				if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK") {
+					errs <- fmt.Errorf("SET -> %q %v", line, err)
+					return
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				fmt.Fprintf(conn, "GET %d\n", base+i)
+				want := fmt.Sprintf("VALUE %d\n", base+i)
+				if line, err := br.ReadString('\n'); err != nil || line != want {
+					errs <- fmt.Errorf("GET -> %q %v, want %q", line, err, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cl := dial(t, addr)
+	if got := cl.roundTrip("LEN"); got != fmt.Sprintf("LEN %d", clients*perClient) {
+		t.Fatalf("LEN = %q", got)
+	}
+	// Ordered SCAN stitches shard seams: keys arrive sorted.
+	cl.send("SCAN -1e18 1000")
+	prev := ""
+	for {
+		line := cl.recv()
+		if line == "END" {
+			break
+		}
+		if !strings.HasPrefix(line, "KEY ") {
+			t.Fatalf("scan line %q", line)
+		}
+		if prev != "" && len(line) > 0 {
+			// keys are emitted in ascending order; a lexical check on
+			// the formatted float is not reliable, so parse.
+			var k float64
+			var v uint64
+			if _, err := fmt.Sscanf(line, "KEY %g %d", &k, &v); err != nil {
+				t.Fatalf("bad scan line %q: %v", line, err)
+			}
+			var pk float64
+			fmt.Sscanf(prev, "KEY %g", &pk)
+			if k <= pk {
+				t.Fatalf("scan out of order: %q after %q", line, prev)
+			}
+		}
+		prev = line
+	}
+}

@@ -1,0 +1,825 @@
+package alex
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ShardedIndex partitions the key space across N independent Index
+// shards, each guarded by its own RWMutex, so reads and writes that
+// touch different regions of the key space proceed in parallel. It is
+// the scale-out counterpart to SyncIndex, whose single lock serializes
+// every writer (and, under write pressure, starves readers too).
+//
+// Routing mirrors the paper's adaptive-model philosophy at the
+// partition level: shard boundaries are the empirical quantiles of the
+// stored keys, so each shard holds an equal slice of the data rather
+// than an equal slice of the key range. As the distribution drifts and
+// shards grow lopsided, the router is retrained opportunistically on a
+// background goroutine — the whole key set is re-partitioned at fresh
+// quantiles and each shard is re-bulk-loaded — just as ALEX retrains a
+// data node's model when its cost drifts from the prediction.
+//
+// Batch operations fan sub-batches out to their shards and run the
+// shards in parallel; a sorted batch stays sorted within each shard
+// (shards cover contiguous key ranges), so the one-descent-per-leaf
+// amortization of the batch API is preserved inside every shard.
+// Ordered operations (Scan, ScanN, ScanRange, Iter) visit shards in
+// key order and stitch the results, so callers observe one globally
+// sorted sequence.
+//
+// Consistency: point and batch operations are linearizable per key.
+// Multi-shard reads (Scan, Len, Stats, ...) hold a shared gate that
+// excludes router retrains but not per-shard writers on shards they
+// have not reached yet, so they observe a weakly consistent view —
+// the same contract as iterating any concurrently-mutated map.
+type ShardedIndex struct {
+	tab atomic.Pointer[shardTable]
+	// cfg is the effective per-shard configuration; kept as the
+	// resolved core.Config (not the option list) so a ShardedIndex
+	// restored from a serialized stream preserves the stream's config.
+	cfg core.Config
+
+	// gate is read-held by multi-shard operations and write-held by
+	// router retrains, so a retrain never swaps the table out from under
+	// a scan or batch fan-out.
+	gate sync.RWMutex
+	// retrainMu serializes retrains (TryLock makes the opportunistic
+	// path non-blocking: if a retrain is already running, skip).
+	retrainMu sync.Mutex
+
+	writeTick    atomic.Uint64 // writes since the last drift check
+	retrains     atomic.Uint64 // completed router retrains
+	lastdistSize atomic.Int64  // Len() at the last (re)partition
+}
+
+// shard is one key-space partition: an Index plus its lock.
+type shard struct {
+	mu  sync.RWMutex
+	idx *Index
+	// moved is set (under mu) when a retrain supersedes this shard: its
+	// contents live in the new table, so lock-free routers that raced
+	// the swap must reload the table and retry.
+	moved bool
+}
+
+// shardTable is one immutable routing epoch: bounds[i] is the exclusive
+// upper key bound of shards[i] (the last shard is unbounded). Retrains
+// install a whole new table; an installed table is never mutated.
+type shardTable struct {
+	bounds []float64 // len(shards)-1, non-decreasing
+	shards []*shard
+}
+
+// locate returns the shard index owning key: the first i with
+// key < bounds[i], else the last shard.
+func (t *shardTable) locate(key float64) int {
+	return sort.Search(len(t.bounds), func(i int) bool { return key < t.bounds[i] })
+}
+
+const (
+	// driftCheckEvery spaces the opportunistic imbalance checks.
+	driftCheckEvery = 1024
+	// minRetrainLen is the smallest index worth re-partitioning.
+	minRetrainLen = 1024
+	// retrainSlack triggers a retrain when the largest shard exceeds
+	// this multiple of the ideal per-shard share.
+	retrainSlack = 2
+	// shardIterChunk is the snapshot chunk size of ShardedIterator.
+	shardIterChunk = 256
+)
+
+// NewSharded returns an empty sharded index with the given shard count
+// (<= 0 selects GOMAXPROCS). A cold-started index routes everything to
+// the first shard until enough keys accumulate for the first quantile
+// retrain to spread them out.
+func NewSharded(shards int, opts ...Option) *ShardedIndex {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedIndex{cfg: buildConfig(opts)}
+	s.tab.Store(buildShardTable(shards, nil, nil, s.cfg))
+	return s
+}
+
+// LoadSharded bulk loads a sharded index: keys are sorted, boundaries
+// are picked at the keys' quantiles, and each shard is bulk-loaded with
+// its slice. keys need not be sorted; duplicates and non-finite keys
+// are rejected. payloads may be nil; shards <= 0 selects GOMAXPROCS.
+func LoadSharded(shards int, keys []float64, payloads []uint64, opts ...Option) (*ShardedIndex, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// Same copy/sort/validation as Load, shared via internal/core.
+	ks, ps, err := core.SortPairs(keys, payloads)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedIndex{cfg: buildConfig(opts)}
+	s.tab.Store(buildShardTable(shards, ks, ps, s.cfg))
+	s.lastdistSize.Store(int64(len(ks)))
+	return s, nil
+}
+
+// buildShardTable partitions sorted unique keys at their quantiles into
+// nsh shards. Surplus shards (more shards than keys) sit empty at the
+// tail behind +Inf bounds.
+func buildShardTable(nsh int, keys []float64, payloads []uint64, cfg core.Config) *shardTable {
+	t := &shardTable{bounds: make([]float64, nsh-1), shards: make([]*shard, nsh)}
+	n := len(keys)
+	prev := 0
+	for i := 0; i < nsh; i++ {
+		hi := n
+		if i < nsh-1 {
+			hi = (i + 1) * n / nsh
+			b := math.Inf(1)
+			if hi < n {
+				b = keys[hi]
+			}
+			t.bounds[i] = b
+		}
+		var sub []uint64
+		if payloads != nil {
+			sub = payloads[prev:hi]
+		}
+		t.shards[i] = &shard{idx: &Index{t: core.BulkLoadSorted(keys[prev:hi], sub, cfg)}}
+		prev = hi
+	}
+	return t
+}
+
+// readShard routes key to its shard and returns it read-locked. The
+// moved check makes the lock-free routing safe against a concurrent
+// retrain: a stale table's shard flags itself and the caller retries
+// against the freshly installed table.
+func (s *ShardedIndex) readShard(key float64) *shard {
+	for {
+		t := s.tab.Load()
+		sh := t.shards[t.locate(key)]
+		sh.mu.RLock()
+		if !sh.moved {
+			return sh
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// writeShard routes key to its shard and returns it write-locked.
+func (s *ShardedIndex) writeShard(key float64) *shard {
+	for {
+		t := s.tab.Load()
+		sh := t.shards[t.locate(key)]
+		sh.mu.Lock()
+		if !sh.moved {
+			return sh
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Get returns the payload stored for key.
+func (s *ShardedIndex) Get(key float64) (uint64, bool) {
+	sh := s.readShard(key)
+	v, ok := sh.idx.Get(key)
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Contains reports whether key is present.
+func (s *ShardedIndex) Contains(key float64) bool {
+	sh := s.readShard(key)
+	ok := sh.idx.Contains(key)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Insert adds key with payload; see Index.Insert. Only the owning
+// shard is locked, so inserts to different shards run in parallel.
+func (s *ShardedIndex) Insert(key float64, payload uint64) bool {
+	sh := s.writeShard(key)
+	added := sh.idx.Insert(key, payload)
+	sh.mu.Unlock()
+	s.noteWrites(1)
+	return added
+}
+
+// Delete removes key.
+func (s *ShardedIndex) Delete(key float64) bool {
+	sh := s.writeShard(key)
+	ok := sh.idx.Delete(key)
+	sh.mu.Unlock()
+	s.noteWrites(1)
+	return ok
+}
+
+// Update overwrites the payload of an existing key.
+func (s *ShardedIndex) Update(key float64, payload uint64) bool {
+	sh := s.writeShard(key)
+	ok := sh.idx.Update(key, payload)
+	sh.mu.Unlock()
+	return ok
+}
+
+// partition splits keys into per-shard sub-batches. Input order is
+// preserved within each sub-batch, so a sorted batch yields sorted
+// sub-batches (shards own contiguous ranges) and duplicate keys keep
+// their relative order. When withPos is set, pos maps sub-batch slots
+// back to input slots (ops that don't scatter results skip the cost).
+func (t *shardTable) partition(keys []float64, withPos bool) (sub [][]float64, pos [][]int) {
+	sub = make([][]float64, len(t.shards))
+	if withPos {
+		pos = make([][]int, len(t.shards))
+	}
+	for i, k := range keys {
+		j := t.locate(k)
+		sub[j] = append(sub[j], k)
+		if withPos {
+			pos[j] = append(pos[j], i)
+		}
+	}
+	return sub, pos
+}
+
+// GetBatch looks up many keys, fanning per-shard sub-batches out to
+// parallel workers; see Index.GetBatch for the batch semantics.
+func (s *ShardedIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
+	payloads = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	s.fanOut(keys, true, true, func(sh *shard, ks []float64, at []int) int {
+		vs, fs := sh.idx.GetBatch(ks)
+		for j, p := range at {
+			payloads[p], found[p] = vs[j], fs[j]
+		}
+		return 0
+	})
+	return payloads, found
+}
+
+// soleShard returns the index of the only non-empty sub-batch, or -1
+// if zero or several shards are involved.
+func soleShard(sub [][]float64) int {
+	only := -1
+	for i := range sub {
+		if len(sub[i]) == 0 {
+			continue
+		}
+		if only >= 0 {
+			return -1
+		}
+		only = i
+	}
+	return only
+}
+
+// InsertBatch adds many key/payload pairs, returning how many were new;
+// see Index.InsertBatch. Sub-batches run on their shards in parallel.
+// len(payloads) must equal len(keys).
+func (s *ShardedIndex) InsertBatch(keys []float64, payloads []uint64) int {
+	if len(payloads) != len(keys) {
+		panic("alex: len(payloads) != len(keys)")
+	}
+	n := s.fanOut(keys, false, true, func(sh *shard, ks []float64, at []int) int {
+		ps := make([]uint64, len(ks))
+		for j, p := range at {
+			ps[j] = payloads[p]
+		}
+		return sh.idx.InsertBatch(ks, ps)
+	})
+	s.noteWrites(len(keys))
+	return n
+}
+
+// DeleteBatch removes many keys, returning how many were present; see
+// Index.DeleteBatch.
+func (s *ShardedIndex) DeleteBatch(keys []float64) int {
+	n := s.fanOut(keys, false, false, func(sh *shard, ks []float64, _ []int) int {
+		return sh.idx.DeleteBatch(ks)
+	})
+	s.noteWrites(len(keys))
+	return n
+}
+
+// Merge bulk-merges key/payload pairs at near-bulk-load speed,
+// returning how many were new; see Index.Merge. payloads may be nil.
+func (s *ShardedIndex) Merge(keys []float64, payloads []uint64) int {
+	if payloads != nil && len(payloads) != len(keys) {
+		panic("alex: len(payloads) != len(keys)")
+	}
+	n := s.fanOut(keys, false, true, func(sh *shard, ks []float64, at []int) int {
+		var ps []uint64
+		if payloads != nil {
+			ps = make([]uint64, len(ks))
+			for j, p := range at {
+				ps[j] = payloads[p]
+			}
+		}
+		return sh.idx.Merge(ks, ps)
+	})
+	s.noteWrites(len(keys))
+	return n
+}
+
+// fanOut partitions keys and applies op to each involved shard under
+// its lock (read or write per readOnly), summing the results. When a
+// single shard is involved — the common case for small batches — op
+// runs inline on the caller; otherwise each shard gets its own worker
+// goroutine. withPos selects whether per-key input positions are
+// tracked for ops that scatter results or payloads (at is nil
+// otherwise). The whole fan-out holds the gate shared, so a router
+// retrain or snapshot never interleaves with a half-applied batch.
+func (s *ShardedIndex) fanOut(keys []float64, readOnly, withPos bool, op func(sh *shard, ks []float64, at []int) int) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	t := s.tab.Load()
+	sub, pos := t.partition(keys, withPos)
+	apply := func(i int) int {
+		sh := t.shards[i]
+		if readOnly {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+		} else {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+		}
+		var at []int
+		if withPos {
+			at = pos[i]
+		}
+		return op(sh, sub[i], at)
+	}
+	if only := soleShard(sub); only >= 0 {
+		return apply(only)
+	}
+	counts := make([]int, len(sub))
+	var wg sync.WaitGroup
+	for i := range sub {
+		if len(sub[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counts[i] = apply(i)
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Scan visits elements with key >= start in ascending key order until
+// visit returns false, stitching shards in key order; it returns the
+// number of elements visited. visit runs under shard read locks and
+// must not call back into the index.
+func (s *ShardedIndex) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	t := s.tab.Load()
+	total := 0
+	stopped := false
+	wrapped := func(k float64, v uint64) bool {
+		total++
+		if !visit(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	from := start
+	for i := t.locate(start); i < len(t.shards); i++ {
+		sh := t.shards[i]
+		sh.mu.RLock()
+		sh.idx.Scan(from, wrapped)
+		sh.mu.RUnlock()
+		if stopped {
+			break
+		}
+		from = math.Inf(-1)
+	}
+	return total
+}
+
+// ScanN collects up to max elements from the first key >= start.
+func (s *ShardedIndex) ScanN(start float64, max int) ([]float64, []uint64) {
+	if max <= 0 {
+		return []float64{}, []uint64{}
+	}
+	keys := make([]float64, 0, max)
+	payloads := make([]uint64, 0, max)
+	s.Scan(start, func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		payloads = append(payloads, v)
+		return len(keys) < max
+	})
+	return keys, payloads
+}
+
+// ScanRange visits all elements with start <= key < end in order.
+// Empty or unordered ranges (end <= start, NaN bounds) visit nothing.
+func (s *ShardedIndex) ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int {
+	if !(start < end) {
+		return 0
+	}
+	n := 0
+	s.Scan(start, func(k float64, v uint64) bool {
+		if k >= end {
+			return false
+		}
+		n++
+		return visit(k, v)
+	})
+	return n
+}
+
+// ShardedIterator is a cursor over a ShardedIndex in ascending key
+// order. Unlike Index.Iterator it is safe under concurrent mutation:
+// it buffers chunks of elements under the shard locks and serves from
+// the snapshot, resuming after the last returned key. Iteration is
+// weakly consistent — elements inserted or deleted behind the cursor
+// are not revisited, elements ahead may or may not appear.
+type ShardedIterator struct {
+	s    *ShardedIndex
+	keys []float64
+	vals []uint64
+	pos  int
+	next float64 // start key of the next chunk fetch
+	key  float64
+	val  uint64
+	ok   bool
+	done bool
+}
+
+// Iter returns a cursor positioned before the first element.
+func (s *ShardedIndex) Iter() *ShardedIterator { return s.IterFrom(math.Inf(-1)) }
+
+// IterFrom returns a cursor positioned before the first element whose
+// key is >= start.
+func (s *ShardedIndex) IterFrom(start float64) *ShardedIterator {
+	return &ShardedIterator{s: s, next: start, pos: -1}
+}
+
+// Next advances to the next element, reporting whether one exists.
+func (it *ShardedIterator) Next() bool {
+	it.pos++
+	if it.pos >= len(it.keys) {
+		if it.done {
+			it.ok = false
+			return false
+		}
+		keys, vals := it.s.ScanN(it.next, shardIterChunk)
+		if len(keys) < shardIterChunk {
+			it.done = true
+		}
+		if len(keys) == 0 {
+			it.ok = false
+			return false
+		}
+		it.keys, it.vals, it.pos = keys, vals, 0
+		// Resume strictly after the last buffered key.
+		it.next = math.Nextafter(keys[len(keys)-1], math.Inf(1))
+	}
+	it.key, it.val = it.keys[it.pos], it.vals[it.pos]
+	it.ok = true
+	return true
+}
+
+// Key returns the current element's key; valid only after Next
+// returned true.
+func (it *ShardedIterator) Key() float64 { return it.key }
+
+// Payload returns the current element's payload; valid only after Next
+// returned true.
+func (it *ShardedIterator) Payload() uint64 { return it.val }
+
+// Valid reports whether the iterator currently points at an element.
+func (it *ShardedIterator) Valid() bool { return it.ok }
+
+// Len returns the number of stored elements across all shards.
+func (s *ShardedIndex) Len() int {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	n := 0
+	for _, sh := range s.tab.Load().shards {
+		sh.mu.RLock()
+		n += sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MinKey returns the smallest key.
+func (s *ShardedIndex) MinKey() (float64, bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for _, sh := range s.tab.Load().shards {
+		sh.mu.RLock()
+		k, ok := sh.idx.MinKey()
+		sh.mu.RUnlock()
+		if ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MaxKey returns the largest key.
+func (s *ShardedIndex) MaxKey() (float64, bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	shards := s.tab.Load().shards
+	for i := len(shards) - 1; i >= 0; i-- {
+		sh := shards[i]
+		sh.mu.RLock()
+		k, ok := sh.idx.MaxKey()
+		sh.mu.RUnlock()
+		if ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Stats returns counters aggregated across shards: work counters and
+// node counts sum; Height is the tallest shard's.
+func (s *ShardedIndex) Stats() Stats {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	var agg Stats
+	for _, sh := range s.tab.Load().shards {
+		sh.mu.RLock()
+		st := sh.idx.Stats()
+		sh.mu.RUnlock()
+		agg.Stats.Add(&st.Stats)
+		agg.Splits += st.Splits
+		agg.NumLeaves += st.NumLeaves
+		agg.NumInner += st.NumInner
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+	}
+	return agg
+}
+
+// IndexSizeBytes accounts the RMI structures of all shards.
+func (s *ShardedIndex) IndexSizeBytes() int {
+	return s.sumShards(func(ix *Index) int { return ix.IndexSizeBytes() })
+}
+
+// DataSizeBytes accounts the data node storage of all shards.
+func (s *ShardedIndex) DataSizeBytes() int {
+	return s.sumShards(func(ix *Index) int { return ix.DataSizeBytes() })
+}
+
+func (s *ShardedIndex) sumShards(f func(*Index) int) int {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	n := 0
+	for _, sh := range s.tab.Load().shards {
+		sh.mu.RLock()
+		n += f(sh.idx)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NumShards returns the shard count.
+func (s *ShardedIndex) NumShards() int { return len(s.tab.Load().shards) }
+
+// ShardLens returns the element count of every shard in key order —
+// the router's balance, useful for monitoring and tests.
+func (s *ShardedIndex) ShardLens() []int {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	shards := s.tab.Load().shards
+	lens := make([]int, len(shards))
+	for i, sh := range shards {
+		sh.mu.RLock()
+		lens[i] = sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return lens
+}
+
+// Retrains returns how many times the router has re-partitioned the
+// key space.
+func (s *ShardedIndex) Retrains() uint64 { return s.retrains.Load() }
+
+// WriteTo serializes a point-in-time snapshot of the whole index in
+// the single-Index format (configuration included), so ReadFrom /
+// ReadFromSharded can restore it with any shard count. The snapshot
+// is materialized and bulk-loaded into a temporary single index before
+// streaming — the format embeds exact inner-node models, so there is
+// no way to emit it without building the tree — which transiently
+// costs roughly the index's own data size in extra memory.
+func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	keys, vals := s.snapshot()
+	merged := &Index{t: core.BulkLoadSorted(keys, vals, s.cfg)}
+	return merged.WriteTo(w)
+}
+
+// ReadFromSharded deserializes an index written by Index.WriteTo or
+// ShardedIndex.WriteTo into a sharded index (shards <= 0 selects
+// GOMAXPROCS). The configuration comes from the stream, exactly as
+// with ReadFrom.
+func ReadFromSharded(r io.Reader, shards int) (*ShardedIndex, error) {
+	ix, err := ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	keys := make([]float64, 0, ix.Len())
+	vals := make([]uint64, 0, ix.Len())
+	ix.Scan(math.Inf(-1), func(k float64, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	s := &ShardedIndex{cfg: ix.t.Config()}
+	s.tab.Store(buildShardTable(shards, keys, vals, s.cfg))
+	s.lastdistSize.Store(int64(len(keys)))
+	return s, nil
+}
+
+// snapshot collects all elements in key order. It takes the gate
+// exclusively — multi-shard batch fan-outs hold the gate shared for
+// their whole run, so none can be mid-flight — and read-locks every
+// shard up front (in index order, the same order the retrain path
+// uses). The result is therefore a true point-in-time cut: a batch
+// spanning several shards is either wholly present or wholly absent.
+func (s *ShardedIndex) snapshot() ([]float64, []uint64) {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	t := s.tab.Load()
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+	}
+	keys, vals := collectAll(t)
+	for _, sh := range t.shards {
+		sh.mu.RUnlock()
+	}
+	return keys, vals
+}
+
+// collectAll gathers every element of the table in key order. The
+// caller must hold a lock (read or write) on every shard.
+func collectAll(t *shardTable) ([]float64, []uint64) {
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.idx.Len()
+	}
+	keys := make([]float64, 0, n)
+	vals := make([]uint64, 0, n)
+	for _, sh := range t.shards {
+		sh.idx.Scan(math.Inf(-1), func(k float64, v uint64) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+	}
+	return keys, vals
+}
+
+// CheckInvariants verifies every shard's tree plus the router's
+// invariants: bounds are non-decreasing and every shard's keys lie
+// inside its bound window.
+func (s *ShardedIndex) CheckInvariants() error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	t := s.tab.Load()
+	lower := math.Inf(-1)
+	for i, sh := range t.shards {
+		upper := math.Inf(1)
+		if i < len(t.bounds) {
+			upper = t.bounds[i]
+		}
+		if upper < lower {
+			return fmt.Errorf("alex: shard %d bound %v below previous %v", i, upper, lower)
+		}
+		sh.mu.RLock()
+		err := sh.idx.CheckInvariants()
+		if err == nil {
+			if k, ok := sh.idx.MinKey(); ok && k < lower {
+				err = fmt.Errorf("alex: shard %d min key %v below bound %v", i, k, lower)
+			}
+		}
+		if err == nil {
+			if k, ok := sh.idx.MaxKey(); ok && k >= upper {
+				err = fmt.Errorf("alex: shard %d max key %v at or above bound %v", i, k, upper)
+			}
+		}
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		lower = upper
+	}
+	return nil
+}
+
+// Rebalance re-partitions the key space at fresh quantiles immediately,
+// blocking until done. Normally the router retrains itself when writes
+// skew the shards; this is the manual trigger.
+func (s *ShardedIndex) Rebalance() {
+	s.retrainMu.Lock()
+	s.retrainLocked()
+	s.retrainMu.Unlock()
+}
+
+// noteWrites advances the drift clock and, every driftCheckEvery
+// writes, checks shard balance. Callers must not hold the gate or any
+// shard lock.
+func (s *ShardedIndex) noteWrites(n int) {
+	if n == 0 {
+		return
+	}
+	c := s.writeTick.Add(uint64(n))
+	if c >= driftCheckEvery && s.writeTick.CompareAndSwap(c, 0) {
+		s.maybeRetrain()
+	}
+}
+
+// maybeRetrain retrains the router if the largest shard has drifted
+// past retrainSlack times its fair share. Non-blocking twice over: if
+// a retrain is already running it returns immediately, and when one is
+// needed the rebuild runs on its own goroutine so the writer that
+// tripped the drift check doesn't absorb an O(n) re-partition stall.
+func (s *ShardedIndex) maybeRetrain() {
+	if !s.retrainMu.TryLock() {
+		return
+	}
+	t := s.tab.Load()
+	if len(t.shards) == 1 {
+		s.retrainMu.Unlock()
+		return
+	}
+	total, biggest := 0, 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		l := sh.idx.Len()
+		sh.mu.RUnlock()
+		total += l
+		if l > biggest {
+			biggest = l
+		}
+	}
+	need := total >= minRetrainLen
+	if need {
+		// Require some growth since the last partition so a static
+		// imbalance (e.g. many deletes in one region) cannot retrain
+		// in a tight loop; a severe skew retrains regardless.
+		if int64(total) < s.lastdistSize.Load()+driftCheckEvery/2 &&
+			biggest*len(t.shards) <= 2*retrainSlack*total {
+			need = false
+		} else if biggest*len(t.shards) <= retrainSlack*total {
+			need = false
+		}
+	}
+	if !need {
+		s.retrainMu.Unlock()
+		return
+	}
+	// Hand the held retrainMu to the rebuild goroutine (Go mutexes are
+	// not goroutine-owned); it is released when the retrain finishes.
+	go func() {
+		defer s.retrainMu.Unlock()
+		s.retrainLocked()
+	}()
+}
+
+// retrainLocked re-partitions all elements at fresh quantiles. Caller
+// holds retrainMu. It write-locks the gate and every shard, copies the
+// (globally sorted) contents, installs the new table, and marks the
+// old shards moved so racing lock-free routers retry.
+func (s *ShardedIndex) retrainLocked() {
+	s.gate.Lock()
+	t := s.tab.Load()
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+	}
+	keys, vals := collectAll(t)
+	s.tab.Store(buildShardTable(len(t.shards), keys, vals, s.cfg))
+	for _, sh := range t.shards {
+		sh.moved = true
+	}
+	for _, sh := range t.shards {
+		sh.mu.Unlock()
+	}
+	s.gate.Unlock()
+	s.lastdistSize.Store(int64(len(keys)))
+	s.retrains.Add(1)
+}

@@ -13,6 +13,8 @@ import (
 // left future work there too. This wrapper is the coarse-grained option:
 // correct under any interleaving, scales for read-mostly workloads
 // (readers only share the RWMutex read path), and serializes writers.
+// For write-heavy workloads on multiple cores, ShardedIndex partitions
+// the key space so writers stop contending on one lock.
 type SyncIndex struct {
 	mu  sync.RWMutex
 	idx *Index
@@ -123,6 +125,15 @@ func (s *SyncIndex) ScanN(start float64, max int) ([]float64, []uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.idx.ScanN(start, max)
+}
+
+// ScanRange visits all elements with start <= key < end under the read
+// lock; the same callback restriction as Scan applies. Empty or
+// unordered ranges (end <= start, NaN bounds) visit nothing.
+func (s *SyncIndex) ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.ScanRange(start, end, visit)
 }
 
 // MinKey returns the smallest key.
