@@ -45,7 +45,12 @@
 // a readers-writer lock (simple, read-mostly), and ShardedIndex
 // partitions the key space across per-core shards behind a learned
 // quantile router so reads and writes to different regions run in
-// parallel (write-heavy, multi-core).
+// parallel (write-heavy, multi-core). DurableIndex adds crash safety
+// over either: every acknowledged mutation is written ahead to a
+// group-committed log, a background checkpointer snapshots the index
+// and truncates the log, and OpenDurable recovers the acknowledged
+// state after any crash by replaying the log tail through the batch
+// apply path.
 package alex
 
 import (

@@ -1,0 +1,60 @@
+package alex
+
+// This file defines the unified apply path for mutations. Point writes,
+// batch writes, and write-ahead-log replay all reduce to an Op and flow
+// through one Apply method per layer (Index, SyncIndex, ShardedIndex),
+// so every path shares the same locking, routing, amortization, and
+// retrain decisions. DurableIndex leans on this: logging happens once
+// in front of Apply, and crash recovery replays WAL records through the
+// very same entry point at batch speed.
+
+// OpKind discriminates the mutation kinds of the unified apply path.
+type OpKind uint8
+
+// Mutation kinds. OpInsert upserts (existing keys get their payloads
+// overwritten), OpDelete removes, OpMerge bulk-upserts through the
+// sorted-merge rebuild path — fastest for large batches.
+const (
+	OpInsert OpKind = iota + 1
+	OpDelete
+	OpMerge
+)
+
+// Op is one logical mutation: one or many keys, applied atomically with
+// respect to the layer's locking. A single-key Op takes the point fast
+// path; multi-key Ops take the amortized batch path (see InsertBatch /
+// DeleteBatch / Merge for the batch semantics).
+type Op struct {
+	Kind     OpKind
+	Keys     []float64
+	Payloads []uint64 // parallel to Keys for OpInsert/OpMerge (Merge may pass nil)
+}
+
+// Apply executes op on the index and returns the affected-key count:
+// newly inserted keys for OpInsert/OpMerge, removed keys for OpDelete.
+// It is the single mutation entry point the wrappers and WAL replay
+// share; Insert/Delete/InsertBatch/DeleteBatch/Merge are thin
+// constructors over it.
+func (ix *Index) Apply(op Op) int {
+	switch op.Kind {
+	case OpInsert:
+		if len(op.Keys) == 1 {
+			if ix.t.Insert(op.Keys[0], op.Payloads[0]) {
+				return 1
+			}
+			return 0
+		}
+		return ix.t.InsertBatch(op.Keys, op.Payloads)
+	case OpDelete:
+		if len(op.Keys) == 1 {
+			if ix.t.Delete(op.Keys[0]) {
+				return 1
+			}
+			return 0
+		}
+		return ix.t.DeleteBatch(op.Keys)
+	case OpMerge:
+		return ix.t.Merge(op.Keys, op.Payloads)
+	}
+	panic("alex: unknown op kind")
+}

@@ -10,6 +10,8 @@ package alex_test
 
 import (
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	alex "repro"
@@ -384,6 +386,93 @@ func BenchmarkConcurrentShardedWriteHeavy4(b *testing.B) {
 }
 func BenchmarkConcurrentShardedWriteHeavy8(b *testing.B) {
 	benchConcurrentMix(b, newShardedBench, 8, 50)
+}
+
+// --- Durability tax: WAL'd writes per fsync policy vs the in-memory
+// baseline. CI's BENCH_ci.json derives DurableWrite*/Baseline ratios
+// (the tax) and records the fsyncs/op metric, which drops below 1 under
+// group commit.
+
+func benchDurableWrite(b *testing.B, opts ...alex.DurableOption) {
+	base := []alex.DurableOption{alex.WithCheckpointEvery(0), alex.WithDurableShards(8)}
+	d, err := alex.OpenDurable(b.TempDir(), append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := datasets.GenLongitudes(1<<17, 33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Insert(keys[i%len(keys)], uint64(i))
+	}
+	b.StopTimer()
+	st := d.WALStats()
+	b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkDurableWriteAlways(b *testing.B) {
+	benchDurableWrite(b, alex.WithFsyncPolicy(alex.FsyncAlways))
+}
+
+func BenchmarkDurableWriteInterval(b *testing.B) {
+	benchDurableWrite(b, alex.WithFsyncPolicy(alex.FsyncInterval))
+}
+
+func BenchmarkDurableWriteNone(b *testing.B) {
+	benchDurableWrite(b, alex.WithFsyncPolicy(alex.FsyncNever))
+}
+
+// BenchmarkDurableWriteBaseline is the same write loop without the
+// durability layer — the denominator of the tax ratios.
+func BenchmarkDurableWriteBaseline(b *testing.B) {
+	idx := alex.NewSharded(8, alex.WithSplitOnInsert())
+	keys := datasets.GenLongitudes(1<<17, 33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Insert(keys[i%len(keys)], uint64(i))
+	}
+}
+
+// BenchmarkDurableWriteAlwaysParallel8 shows group commit: 8 writers
+// under FsyncAlways share fsyncs, so fsyncs/op and ns/op both drop well
+// below the single-writer numbers.
+func BenchmarkDurableWriteAlwaysParallel8(b *testing.B) {
+	d, err := alex.OpenDurable(b.TempDir(),
+		alex.WithCheckpointEvery(0), alex.WithDurableShards(8),
+		alex.WithFsyncPolicy(alex.FsyncAlways))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := datasets.GenLongitudes(1<<17, 33)
+	// Exactly 8 writer goroutines regardless of GOMAXPROCS, so the
+	// fsyncs/op numbers CI archives are comparable across machines
+	// (b.RunParallel's writer count is GOMAXPROCS-dependent).
+	const writers = 8
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				d.Insert(keys[uint64(i)%uint64(len(keys))], uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := d.WALStats()
+	b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkExtConcurrent(b *testing.B) {

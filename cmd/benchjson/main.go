@@ -40,6 +40,10 @@ type Doc struct {
 	CPU        string             `json:"cpu,omitempty"`
 	Benchmarks []Result           `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"sharded_over_sync_speedups,omitempty"`
+	// DurabilityTax is ns/op of each DurableWrite* benchmark over the
+	// DurableWriteBaseline (the same loop without the WAL) — the cost
+	// of each fsync policy, tracked per CI run.
+	DurabilityTax map[string]float64 `json:"durability_tax,omitempty"`
 }
 
 // benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ...".
@@ -100,6 +104,22 @@ func main() {
 	}
 	if len(doc.Speedups) == 0 {
 		doc.Speedups = nil
+	}
+
+	// Durability tax: each DurableWrite policy vs the WAL-less baseline.
+	if base, ok := byName["DurableWriteBaseline"]; ok && base > 0 {
+		doc.DurabilityTax = map[string]float64{}
+		for name, ns := range byName {
+			// Parallel variants are excluded: their wall-clock ns/op is
+			// not comparable against the single-writer baseline.
+			if strings.HasPrefix(name, "DurableWrite") && name != "DurableWriteBaseline" &&
+				!strings.Contains(name, "Parallel") {
+				doc.DurabilityTax[name] = ns / base
+			}
+		}
+		if len(doc.DurabilityTax) == 0 {
+			doc.DurabilityTax = nil
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

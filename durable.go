@@ -1,0 +1,719 @@
+package alex
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// DurableIndex makes an index survive process death: every acknowledged
+// mutation is appended to a write-ahead log before it is applied to the
+// wrapped in-memory index, a background checkpointer periodically
+// serializes the index to a snapshot and truncates the log, and
+// OpenDurable recovers by loading the latest snapshot and replaying the
+// log tail through the unified batch apply path — so recovery runs at
+// amortized one-descent-per-leaf speed rather than one descent per
+// logged key.
+//
+// The directory holds one snapshot (written atomically via a temp file
+// and rename) plus numbered WAL segments; a checkpoint rotates to a new
+// segment, snapshots, and deletes the sealed segments the snapshot now
+// covers. Both files are safe against torn writes: the snapshot is
+// replaced atomically and the WAL reader stops at the first invalid
+// record, so a mid-record crash loses nothing that was acknowledged.
+//
+// Durability is governed by the fsync policy: FsyncAlways acknowledges
+// a mutation only once its record is on stable storage (concurrent
+// writers group-commit, sharing fsyncs — see WALStats), FsyncInterval
+// bounds the loss window to the sync interval, FsyncNever leaves
+// flushing to the OS.
+//
+// Recovery replays the log in append order. For mutations that raced
+// on the same key, log order and in-memory apply order can differ, so
+// the recovered value is the last *logged* of the racing writes — a
+// valid linearization of operations that were concurrent, but possibly
+// not the one the pre-crash index settled on. Clients that serialize
+// their own writes per key (the common case) always recover exactly
+// what was acknowledged.
+//
+// The wrapped index is either a ShardedIndex (default) or a SyncIndex
+// (WithSyncBackend); all read methods delegate to it and are safe for
+// concurrent use, exactly as on the wrapped type. A WAL append failure
+// (disk full, I/O error) is unrecoverable by design: the mutation
+// cannot be acknowledged without durability, so the affected call
+// panics (fail-stop) and the process should restart and recover.
+type DurableIndex struct {
+	backend Backend
+	log     *wal.Log
+	dir     string
+	cfg     durableConfig
+
+	// opGate is held shared across each mutation's log-then-apply pair
+	// and exclusively around the checkpoint's segment rotation, so every
+	// record in a sealed (deletable) segment is fully applied before the
+	// snapshot that supersedes it is cut.
+	opGate sync.RWMutex
+	closed bool // guarded by opGate
+
+	ckptMu      sync.Mutex // serializes checkpoints
+	dirty       atomic.Int64
+	checkpoints atomic.Uint64
+	replayed    int
+	torn        bool
+	ckptErr     atomic.Pointer[error]
+
+	ckptCh chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Backend is the thread-safe index surface DurableIndex wraps; both
+// *SyncIndex and *ShardedIndex implement it. All mutations flow through
+// Apply — the unified path WAL replay reuses.
+type Backend interface {
+	Get(key float64) (uint64, bool)
+	Contains(key float64) bool
+	GetBatch(keys []float64) ([]uint64, []bool)
+	Scan(start float64, visit func(key float64, payload uint64) bool) int
+	ScanN(start float64, max int) ([]float64, []uint64)
+	ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int
+	MinKey() (float64, bool)
+	MaxKey() (float64, bool)
+	Len() int
+	Stats() Stats
+	IndexSizeBytes() int
+	DataSizeBytes() int
+	WriteTo(w io.Writer) (int64, error)
+	Apply(op Op) int
+	Update(key float64, payload uint64) bool
+	CheckInvariants() error
+}
+
+// Both concurrency wrappers implement the backend surface.
+var (
+	_ Backend = (*SyncIndex)(nil)
+	_ Backend = (*ShardedIndex)(nil)
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways: every mutation is fsynced before it is acknowledged.
+	// Concurrent writers group-commit: records appended while one fsync
+	// is in flight all share the next, so fsyncs per op drop well below
+	// one under load.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval: the WAL is fsynced on a timer; a crash loses at
+	// most one interval of acknowledged writes.
+	FsyncInterval
+	// FsyncNever: flushing is left to the OS page cache.
+	FsyncNever
+)
+
+func (p FsyncPolicy) walPolicy() wal.Policy {
+	switch p {
+	case FsyncInterval:
+		return wal.SyncInterval
+	case FsyncNever:
+		return wal.SyncNever
+	}
+	return wal.SyncAlways
+}
+
+// ParseFsyncPolicy converts the flag spellings "always", "interval",
+// "never" into a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("alex: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// ErrClosed is returned by lifecycle methods of a closed DurableIndex.
+var ErrClosed = errors.New("alex: durable index closed")
+
+type durableConfig struct {
+	policy          FsyncPolicy
+	interval        time.Duration
+	checkpointEvery int
+	shards          int
+	syncBackend     bool
+	indexOpts       []Option
+}
+
+// DurableOption configures OpenDurable.
+type DurableOption func(*durableConfig)
+
+// WithFsyncPolicy selects the WAL fsync policy (default FsyncAlways).
+func WithFsyncPolicy(p FsyncPolicy) DurableOption {
+	return func(c *durableConfig) { c.policy = p }
+}
+
+// WithFsyncInterval sets the timer of FsyncInterval (default 100ms).
+func WithFsyncInterval(d time.Duration) DurableOption {
+	return func(c *durableConfig) { c.interval = d }
+}
+
+// WithCheckpointEvery sets how many logged mutation records accumulate
+// before the background checkpointer snapshots the index and truncates
+// the log (default 1<<20; 0 disables automatic checkpoints — Checkpoint
+// and SAVE still work).
+func WithCheckpointEvery(n int) DurableOption {
+	return func(c *durableConfig) { c.checkpointEvery = n }
+}
+
+// WithDurableShards sets the shard count of the wrapped ShardedIndex
+// (default 0 = one per CPU). Ignored with WithSyncBackend.
+func WithDurableShards(n int) DurableOption {
+	return func(c *durableConfig) { c.shards = n }
+}
+
+// WithSyncBackend wraps a SyncIndex (one index behind a readers-writer
+// lock) instead of the default ShardedIndex.
+func WithSyncBackend() DurableOption {
+	return func(c *durableConfig) { c.syncBackend = true }
+}
+
+// WithIndexOptions passes index construction options through to the
+// wrapped index. When a snapshot exists, its embedded configuration
+// wins (exactly as with ReadFrom) and these are ignored.
+func WithIndexOptions(opts ...Option) DurableOption {
+	return func(c *durableConfig) { c.indexOpts = opts }
+}
+
+const (
+	snapshotName = "snapshot.alex"
+	snapshotTmp  = "snapshot.alex.tmp"
+)
+
+// OpenDurable opens (or creates) the durable index stored in dir. It
+// recovers the pre-crash state: the latest snapshot is loaded, then the
+// WAL tail is replayed through the batch apply path — consecutive
+// logged inserts coalesce into bulk merges and consecutive deletes into
+// sorted delete batches, so replay pays one tree descent per touched
+// leaf, not per logged key. Replay stops at the first invalid record (a
+// torn tail from a mid-write crash loses only unacknowledged tail
+// records). The directory must be owned by one process at a time.
+func OpenDurable(dir string, opts ...DurableOption) (*DurableIndex, error) {
+	cfg := durableConfig{
+		policy:          FsyncAlways,
+		interval:        100 * time.Millisecond,
+		checkpointEvery: 1 << 20,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A crash mid-checkpoint can leave a partial temp snapshot; the real
+	// snapshot (if any) is intact because the rename never happened.
+	os.Remove(filepath.Join(dir, snapshotTmp))
+
+	backend, err := openBackend(dir, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	replayed, torn, err := replayInto(dir, backend)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.OpenLog(dir, cfg.policy.walPolicy(), cfg.interval)
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableIndex{
+		backend:  backend,
+		log:      log,
+		dir:      dir,
+		cfg:      cfg,
+		replayed: replayed,
+		torn:     torn,
+		ckptCh:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	d.dirty.Store(int64(replayed))
+	d.wg.Add(1)
+	go d.checkpointLoop()
+	if cfg.checkpointEvery > 0 && replayed >= cfg.checkpointEvery {
+		d.TriggerCheckpoint()
+	}
+	return d, nil
+}
+
+// openBackend loads the snapshot into the configured backend kind, or
+// builds an empty one.
+func openBackend(dir string, cfg *durableConfig) (Backend, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotName))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		if cfg.syncBackend {
+			return NewSync(cfg.indexOpts...), nil
+		}
+		return NewSharded(cfg.shards, cfg.indexOpts...), nil
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	if cfg.syncBackend {
+		ix, err := ReadFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("alex: load snapshot: %w", err)
+		}
+		return &SyncIndex{idx: ix}, nil
+	}
+	s, err := ReadFromSharded(br, cfg.shards)
+	if err != nil {
+		return nil, fmt.Errorf("alex: load snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// replayInto applies the WAL tail to b through the batch apply path,
+// reporting how many records replayed and whether replay stopped at an
+// invalid record.
+func replayInto(dir string, b Backend) (int, bool, error) {
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	r := replayer{b: b}
+	n, torn, err := wal.ReplaySegments(segs, r.add)
+	if err != nil {
+		return n, torn, err
+	}
+	r.flush()
+	return n, torn, nil
+}
+
+// replayer coalesces consecutive same-kind WAL records into large
+// batches before applying them, converting a stream of point records
+// into the amortized batch path: inserts become bulk merges (the
+// sorted-merge rebuild, near bulk-load speed; last duplicate wins, the
+// same end state as sequential replay), deletes become sorted delete
+// batches (one descent per leaf).
+type replayer struct {
+	b    Backend
+	kind OpKind // 0 = nothing buffered
+	keys []float64
+	pays []uint64
+}
+
+// replayFlushAt bounds the coalescing buffer.
+const replayFlushAt = 1 << 16
+
+func (r *replayer) add(rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpInsert, wal.OpInsertBatch, wal.OpMerge:
+		r.buffer(OpInsert, rec.Keys, rec.Payloads)
+	case wal.OpDelete, wal.OpDeleteBatch:
+		r.buffer(OpDelete, rec.Keys, nil)
+	case wal.OpUpdate:
+		// Conditional: applied in log position (after anything
+		// buffered), touching the key only if present.
+		r.flush()
+		r.b.Update(rec.Keys[0], rec.Payloads[0])
+	case wal.OpCheckpoint:
+		// Marker only; the snapshot it announces was already loaded.
+	}
+	return nil
+}
+
+func (r *replayer) buffer(kind OpKind, keys []float64, pays []uint64) {
+	if r.kind != 0 && r.kind != kind {
+		r.flush()
+	}
+	r.kind = kind
+	r.keys = append(r.keys, keys...)
+	if kind == OpInsert {
+		r.pays = append(r.pays, pays...)
+	}
+	if len(r.keys) >= replayFlushAt {
+		r.flush()
+	}
+}
+
+func (r *replayer) flush() {
+	if r.kind != 0 && len(r.keys) > 0 {
+		switch r.kind {
+		case OpInsert:
+			r.b.Apply(Op{Kind: OpMerge, Keys: r.keys, Payloads: r.pays})
+		case OpDelete:
+			sort.Float64s(r.keys)
+			r.b.Apply(Op{Kind: OpDelete, Keys: r.keys})
+		}
+	}
+	r.keys, r.pays, r.kind = r.keys[:0], r.pays[:0], 0
+}
+
+// apply logs rec and then applies op to the backend, the write-ahead
+// ordering every acknowledged mutation follows. It panics on WAL I/O
+// failure (see the type comment) and on use after Close.
+func (d *DurableIndex) apply(rec *wal.Record, op Op) int {
+	d.opGate.RLock()
+	defer d.opGate.RUnlock()
+	if d.closed {
+		panic("alex: DurableIndex used after Close")
+	}
+	if err := d.log.Append(rec); err != nil {
+		panic(fmt.Sprintf("alex: WAL append failed: %v", err))
+	}
+	n := d.backend.Apply(op)
+	d.noteRecords(1)
+	return n
+}
+
+// applyChunked logs and applies a batch, splitting batches beyond the
+// WAL's per-record element bound into several records; each chunk is
+// atomic on replay, and chunks apply in order so duplicate resolution
+// matches the unchunked batch.
+func (d *DurableIndex) applyChunked(kind OpKind, walOp wal.Op, keys []float64, payloads []uint64) int {
+	total := 0
+	for start := 0; start < len(keys); start += wal.MaxRecordPairs {
+		end := min(start+wal.MaxRecordPairs, len(keys))
+		ks := keys[start:end]
+		var ps []uint64
+		if payloads != nil {
+			ps = payloads[start:end]
+		}
+		rec := wal.Record{Op: walOp, Keys: ks, Payloads: ps}
+		total += d.apply(&rec, Op{Kind: kind, Keys: ks, Payloads: ps})
+	}
+	return total
+}
+
+// Insert adds key with payload; see Index.Insert. With FsyncAlways it
+// returns only once the mutation is on stable storage.
+func (d *DurableIndex) Insert(key float64, payload uint64) bool {
+	k, p := [1]float64{key}, [1]uint64{payload}
+	rec := wal.Record{Op: wal.OpInsert, Keys: k[:], Payloads: p[:]}
+	return d.apply(&rec, Op{Kind: OpInsert, Keys: k[:], Payloads: p[:]}) > 0
+}
+
+// Delete removes key; see Index.Delete.
+func (d *DurableIndex) Delete(key float64) bool {
+	k := [1]float64{key}
+	rec := wal.Record{Op: wal.OpDelete, Keys: k[:]}
+	return d.apply(&rec, Op{Kind: OpDelete, Keys: k[:]}) > 0
+}
+
+// Update overwrites the payload of an existing key. Like every
+// mutation it is logged before it is applied — as a dedicated
+// update-if-present record, which replay applies conditionally, so a
+// missing key is never resurrected. An update of an absent key logs a
+// record that replays as a no-op.
+func (d *DurableIndex) Update(key float64, payload uint64) bool {
+	d.opGate.RLock()
+	defer d.opGate.RUnlock()
+	if d.closed {
+		panic("alex: DurableIndex used after Close")
+	}
+	k, p := [1]float64{key}, [1]uint64{payload}
+	rec := wal.Record{Op: wal.OpUpdate, Keys: k[:], Payloads: p[:]}
+	if err := d.log.Append(&rec); err != nil {
+		panic(fmt.Sprintf("alex: WAL append failed: %v", err))
+	}
+	ok := d.backend.Update(key, payload)
+	d.noteRecords(1)
+	return ok
+}
+
+// InsertBatch adds many key/payload pairs, returning how many were new;
+// see Index.InsertBatch. A batch of up to 2^20 pairs is logged as one
+// WAL record, so replay applies it atomically — a crash can never leave
+// it half-applied. Larger batches are logged and applied in 2^20-pair
+// chunks: each chunk is atomic and chunks recover strictly in order, so
+// a crash can truncate a giant batch only at a chunk boundary.
+func (d *DurableIndex) InsertBatch(keys []float64, payloads []uint64) int {
+	if len(payloads) != len(keys) {
+		panic("alex: len(payloads) != len(keys)")
+	}
+	return d.applyChunked(OpInsert, wal.OpInsertBatch, keys, payloads)
+}
+
+// DeleteBatch removes many keys, returning how many were present; see
+// Index.DeleteBatch. Logged as one record, like InsertBatch.
+func (d *DurableIndex) DeleteBatch(keys []float64) int {
+	return d.applyChunked(OpDelete, wal.OpDeleteBatch, keys, nil)
+}
+
+// Merge bulk-merges key/payload pairs, returning how many were new; see
+// Index.Merge. payloads may be nil. Logged as one record, like
+// InsertBatch.
+func (d *DurableIndex) Merge(keys []float64, payloads []uint64) int {
+	if payloads == nil {
+		payloads = make([]uint64, len(keys))
+	}
+	if len(payloads) != len(keys) {
+		panic("alex: len(payloads) != len(keys)")
+	}
+	return d.applyChunked(OpMerge, wal.OpMerge, keys, payloads)
+}
+
+// Get returns the payload stored for key.
+func (d *DurableIndex) Get(key float64) (uint64, bool) { return d.backend.Get(key) }
+
+// Contains reports whether key is present.
+func (d *DurableIndex) Contains(key float64) bool { return d.backend.Contains(key) }
+
+// GetBatch looks up many keys at once; see Index.GetBatch.
+func (d *DurableIndex) GetBatch(keys []float64) ([]uint64, []bool) {
+	return d.backend.GetBatch(keys)
+}
+
+// Scan visits elements with key >= start in ascending key order; see
+// the wrapped type's Scan for the callback restrictions.
+func (d *DurableIndex) Scan(start float64, visit func(key float64, payload uint64) bool) int {
+	return d.backend.Scan(start, visit)
+}
+
+// ScanN collects up to max elements from the first key >= start.
+func (d *DurableIndex) ScanN(start float64, max int) ([]float64, []uint64) {
+	return d.backend.ScanN(start, max)
+}
+
+// ScanRange visits all elements with start <= key < end in order.
+func (d *DurableIndex) ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int {
+	return d.backend.ScanRange(start, end, visit)
+}
+
+// MinKey returns the smallest key.
+func (d *DurableIndex) MinKey() (float64, bool) { return d.backend.MinKey() }
+
+// MaxKey returns the largest key.
+func (d *DurableIndex) MaxKey() (float64, bool) { return d.backend.MaxKey() }
+
+// Len returns the number of stored elements.
+func (d *DurableIndex) Len() int { return d.backend.Len() }
+
+// Stats returns the wrapped index's aggregated counters.
+func (d *DurableIndex) Stats() Stats { return d.backend.Stats() }
+
+// IndexSizeBytes accounts the RMI structure of the wrapped index.
+func (d *DurableIndex) IndexSizeBytes() int { return d.backend.IndexSizeBytes() }
+
+// DataSizeBytes accounts the wrapped index's data node storage.
+func (d *DurableIndex) DataSizeBytes() int { return d.backend.DataSizeBytes() }
+
+// CheckInvariants verifies the wrapped index.
+func (d *DurableIndex) CheckInvariants() error { return d.backend.CheckInvariants() }
+
+// Unwrap returns the wrapped backend for read-only phases; callers must
+// not mutate through it (those writes would bypass the WAL).
+func (d *DurableIndex) Unwrap() Backend { return d.backend }
+
+// WALStats reports durability activity: log records appended, fsyncs
+// issued (under group commit Syncs/Appends < 1 with concurrent
+// writers), bytes logged, checkpoints completed, and how many records
+// the last OpenDurable replayed.
+type WALStats struct {
+	Appends     uint64
+	Syncs       uint64
+	Bytes       uint64
+	Checkpoints uint64
+	Replayed    int
+	// TornTail reports that the last recovery stopped replay at an
+	// invalid record. After a crash this is the expected torn tail of
+	// the final segment; if it ever appears after a clean shutdown it
+	// indicates on-disk corruption, and any records past the tear were
+	// unrecoverable.
+	TornTail bool
+}
+
+// WALStats returns cumulative durability counters.
+func (d *DurableIndex) WALStats() WALStats {
+	st := d.log.Stats()
+	return WALStats{
+		Appends:     st.Appends,
+		Syncs:       st.Syncs,
+		Bytes:       st.Bytes,
+		Checkpoints: d.checkpoints.Load(),
+		Replayed:    d.replayed,
+		TornTail:    d.torn,
+	}
+}
+
+// Flush blocks until every acknowledged mutation is on stable storage,
+// regardless of the fsync policy.
+func (d *DurableIndex) Flush() error {
+	err := d.log.Sync()
+	if errors.Is(err, wal.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Checkpoint synchronously serializes the index to a fresh snapshot and
+// truncates the WAL segments the snapshot covers. Mutations continue
+// concurrently (they land in the new segment, which is replayed over
+// the snapshot on recovery; replay is idempotent, so overlap is
+// harmless). Safe to call at any time; concurrent checkpoints
+// serialize.
+func (d *DurableIndex) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	// Rotate under the exclusive gate: once no mutation is in flight,
+	// everything in the sealed segments is applied, so the snapshot cut
+	// after the rotation covers them all.
+	d.opGate.Lock()
+	if d.closed {
+		d.opGate.Unlock()
+		return ErrClosed
+	}
+	covered := d.dirty.Load()
+	err := d.log.Rotate()
+	d.opGate.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := d.writeSnapshot(); err != nil {
+		// Leave dirty untouched: the auto-checkpoint clock keeps
+		// ticking, so a transient failure (disk full) is retried as
+		// soon as the next trigger fires instead of after another full
+		// checkpointEvery records.
+		return err
+	}
+	// Discharge only the records the snapshot covers; mutations logged
+	// while it was being written stay on the clock.
+	d.dirty.Add(-covered)
+	// Advisory marker noting the snapshot; replay skips it.
+	_ = d.log.Append(&wal.Record{Op: wal.OpCheckpoint, Seq: d.log.CurrentSeq()})
+	if err := d.log.RemoveObsolete(); err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	return nil
+}
+
+// writeSnapshot atomically replaces the snapshot file with the current
+// index state.
+func (d *DurableIndex) writeSnapshot() error {
+	tmp := filepath.Join(d.dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	_, err = d.backend.WriteTo(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotName)); err != nil {
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+// syncDir fsyncs the directory so the snapshot rename and segment
+// creation are durable; best effort on platforms where directory fsync
+// is unsupported.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	_ = f.Sync()
+	return nil
+}
+
+// TriggerCheckpoint asks the background checkpointer for a checkpoint
+// without waiting for it (the BGSAVE path). A checkpoint already in
+// flight absorbs the request; errors are retrievable via
+// CheckpointError.
+func (d *DurableIndex) TriggerCheckpoint() {
+	select {
+	case d.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
+// CheckpointError returns the last background checkpoint failure, if
+// any.
+func (d *DurableIndex) CheckpointError() error {
+	if p := d.ckptErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Checkpoints returns how many checkpoints have completed.
+func (d *DurableIndex) Checkpoints() uint64 { return d.checkpoints.Load() }
+
+// noteRecords advances the auto-checkpoint clock.
+func (d *DurableIndex) noteRecords(n int) {
+	if d.cfg.checkpointEvery <= 0 {
+		return
+	}
+	if d.dirty.Add(int64(n)) >= int64(d.cfg.checkpointEvery) {
+		d.TriggerCheckpoint()
+	}
+}
+
+// checkpointLoop runs requested checkpoints off the mutation path.
+func (d *DurableIndex) checkpointLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-d.ckptCh:
+			if err := d.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+				d.ckptErr.Store(&err)
+			}
+		}
+	}
+}
+
+// Close flushes the WAL to stable storage, stops the background
+// checkpointer, and closes the log. It does not write a final
+// checkpoint — call Checkpoint first for an instant next open (as the
+// server's graceful shutdown does); recovery replays the log tail
+// either way. Mutations must not race with Close; after it, they panic
+// and lifecycle methods return ErrClosed.
+func (d *DurableIndex) Close() error {
+	d.opGate.Lock()
+	if d.closed {
+		d.opGate.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.opGate.Unlock()
+	close(d.done)
+	d.wg.Wait()
+	err := d.log.Close()
+	if errors.Is(err, wal.ErrClosed) {
+		return nil
+	}
+	return err
+}

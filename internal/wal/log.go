@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Segment names one on-disk log segment.
+type Segment struct {
+	Path string
+	Seq  uint64
+}
+
+const segPrefix, segSuffix = "wal-", ".log"
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix))
+}
+
+// Segments lists dir's log segments in ascending sequence order.
+func Segments(dir string) ([]Segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []Segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(segPrefix)+16+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || filepath.Ext(name) != segSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &seq); err != nil {
+			continue
+		}
+		segs = append(segs, Segment{Path: filepath.Join(dir, name), Seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// Log is a segmented write-ahead log: appends go to the newest segment,
+// Rotate starts a fresh one (so a checkpoint can truncate everything
+// older), and counters aggregate across segments.
+type Log struct {
+	dir      string
+	policy   Policy
+	interval time.Duration
+	stats    counters
+
+	mu     sync.RWMutex // appends share it; rotation/close take it exclusively
+	cur    *Writer
+	curSeq uint64
+	closed bool
+}
+
+// OpenLog opens dir's log for appending, always starting a fresh
+// segment numbered after the existing ones (old segments are replayed
+// by recovery and removed by the next checkpoint — never appended to).
+func OpenLog(dir string, policy Policy, interval time.Duration) (*Log, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].Seq + 1
+	}
+	l := &Log{dir: dir, policy: policy, interval: interval, curSeq: next}
+	l.cur, err = NewWriter(segmentPath(dir, next), policy, interval, &l.stats)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Append appends rec to the current segment, blocking per the sync
+// policy. Safe for concurrent use.
+func (l *Log) Append(rec *Record) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.cur.Append(rec)
+}
+
+// Sync blocks until every appended record is durable.
+func (l *Log) Sync() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.cur.Sync()
+}
+
+// Rotate seals the current segment (flushing and fsyncing it) and
+// starts the next one. On return every previously appended record is
+// durable in a sealed segment and new appends land in the new segment.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	next, err := NewWriter(segmentPath(l.dir, l.curSeq+1), l.policy, l.interval, &l.stats)
+	if err != nil {
+		return err
+	}
+	old := l.cur
+	l.cur, l.curSeq = next, l.curSeq+1
+	if err := old.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CurrentSeq returns the sequence number of the segment now accepting
+// appends.
+func (l *Log) CurrentSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.curSeq
+}
+
+// RemoveObsolete deletes every sealed segment older than the current
+// one. Callers invoke it after a snapshot covering those segments is
+// durable.
+func (l *Log) RemoveObsolete() error {
+	l.mu.RLock()
+	cur := l.curSeq
+	l.mu.RUnlock()
+	segs, err := Segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg.Seq >= cur {
+			continue
+		}
+		if err := os.Remove(seg.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close seals the current segment. Further appends return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.cur.Close()
+}
+
+// Stats returns counters cumulative across all segments of this Log.
+func (l *Log) Stats() Stats { return l.stats.snapshot() }

@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Reader iterates the records of one segment. Any invalid byte — a
+// torn tail after a crash, flipped bits, a bad length — stops iteration
+// with an error wrapping ErrCorrupt; everything decoded before it is
+// valid, so "replay until the first error" recovers the longest durable
+// prefix.
+type Reader struct {
+	r      *bufio.Reader
+	header [8]byte
+	buf    []byte
+}
+
+// NewReader wraps r, consuming and checking the segment magic. A short
+// or empty stream yields an empty reader (a segment created but never
+// fully written during a crash); wrong magic bytes are corruption.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		// Treat a truncated header as an empty segment, not an error:
+		// the process may have died between creating the file and
+		// writing the magic.
+		return &Reader{r: bufio.NewReader(emptyReader{})}, nil
+	}
+	if string(m[:]) != Magic {
+		return nil, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, m)
+	}
+	return &Reader{r: br}, nil
+}
+
+// emptyReader is an always-EOF source backing empty segments.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// Next returns the next record, io.EOF at a clean end, or an error
+// wrapping ErrCorrupt at the first invalid byte.
+func (rd *Reader) Next() (*Record, error) {
+	if _, err := io.ReadFull(rd.r, rd.header[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: torn record header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(rd.header[:4])
+	if n == 0 || n > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	if cap(rd.buf) < int(n) {
+		rd.buf = make([]byte, n)
+	}
+	payload := rd.buf[:n]
+	if _, err := io.ReadFull(rd.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn record payload", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(rd.header[4:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return decodeRecord(payload)
+}
+
+// ReplaySegments streams every record of segs in order to fn, stopping
+// without error at the first invalid record (torn indicates whether one
+// was hit). fn errors and file-open errors abort the replay.
+func ReplaySegments(segs []Segment, fn func(*Record) error) (n int, torn bool, err error) {
+	for _, seg := range segs {
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			return n, torn, err
+		}
+		rd, err := NewReader(f)
+		if err != nil {
+			f.Close()
+			if errors.Is(err, ErrCorrupt) {
+				return n, true, nil
+			}
+			return n, torn, err
+		}
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Corruption mid-log: stop replay entirely — records past
+				// this point may depend on the lost ones.
+				f.Close()
+				return n, true, nil
+			}
+			if err := fn(rec); err != nil {
+				f.Close()
+				return n, torn, err
+			}
+			n++
+		}
+		f.Close()
+	}
+	return n, torn, nil
+}

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy int
+
+const (
+	// SyncAlways makes every Append block until its record is on stable
+	// storage. Concurrent appenders group-commit: records buffered while
+	// one fsync is in flight are all covered by the next, so the cost is
+	// amortized across writers.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a timer; a crash loses at most one
+	// interval's worth of acknowledged records.
+	SyncInterval
+	// SyncNever writes records through to the OS but never fsyncs; an
+	// OS crash or power loss may lose records the kernel has not yet
+	// written back (a mere process crash loses nothing).
+	SyncNever
+)
+
+// Stats counts log activity. Counters are cumulative across segment
+// rotations when read from a Log.
+type Stats struct {
+	Appends uint64 // records appended
+	Syncs   uint64 // fsync calls issued
+	Bytes   uint64 // record bytes written
+}
+
+// counters is the shared mutable form of Stats, so rotated-out writers
+// keep contributing to one cumulative total.
+type counters struct {
+	appends atomic.Uint64
+	syncs   atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{Appends: c.appends.Load(), Syncs: c.syncs.Load(), Bytes: c.bytes.Load()}
+}
+
+// Writer appends records to one segment file. It is safe for
+// concurrent use; under SyncAlways, concurrent Appends coalesce into
+// shared fsyncs (group commit).
+type Writer struct {
+	policy   Policy
+	interval time.Duration
+	stats    *counters
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	buf     *bufio.Writer
+	seq     uint64 // records appended
+	synced  uint64 // records known durable
+	syncing bool   // a leader is mid-fsync
+	err     error  // sticky I/O error
+	closed  bool
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+// NewWriter creates path (which must not exist — segments are never
+// reopened for append) and returns a Writer over it. stats may be nil.
+func NewWriter(path string, policy Policy, interval time.Duration, stats *counters) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if stats == nil {
+		stats = &counters{}
+	}
+	w := &Writer{
+		policy:   policy,
+		interval: interval,
+		stats:    stats,
+		f:        f,
+		buf:      bufio.NewWriterSize(f, 1<<16),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	if policy == SyncInterval {
+		if interval <= 0 {
+			w.interval = 100 * time.Millisecond
+		}
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// Append encodes rec, writes it to the segment, and blocks per the sync
+// policy: until durable (SyncAlways) or just buffered (the others).
+func (w *Writer) Append(rec *Record) error {
+	enc, err := AppendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if _, err := w.buf.Write(enc); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		return err
+	}
+	w.seq++
+	w.stats.appends.Add(1)
+	w.stats.bytes.Add(uint64(len(enc)))
+	switch w.policy {
+	case SyncNever:
+		// Hand the record to the OS right away: "never" means the
+		// kernel decides when it reaches disk, so a process kill (as
+		// opposed to an OS crash) still loses nothing.
+		if err := w.buf.Flush(); err != nil {
+			w.err = err
+			w.cond.Broadcast()
+			return err
+		}
+		return nil
+	case SyncInterval:
+		// Buffered; the interval loop flushes and fsyncs.
+		return nil
+	}
+	return w.syncToLocked(w.seq)
+}
+
+// syncToLocked blocks until records up to lsn are durable, electing the
+// caller as the flush leader when no fsync is in flight. Followers wait;
+// the leader's fsync covers every record buffered before its flush, so
+// under concurrency many appends share one fsync. Caller holds w.mu.
+func (w *Writer) syncToLocked(lsn uint64) error {
+	for w.err == nil && w.synced < lsn {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		upTo := w.seq
+		err := w.buf.Flush()
+		if err == nil {
+			// fsync outside the lock: appenders keep buffering into the
+			// next commit group while the disk works.
+			w.mu.Unlock()
+			err = w.f.Sync()
+			w.mu.Lock()
+		}
+		w.syncing = false
+		if err != nil {
+			w.err = err
+		} else {
+			w.synced = upTo
+			w.stats.syncs.Add(1)
+		}
+		w.cond.Broadcast()
+	}
+	return w.err
+}
+
+// Sync flushes buffered records and blocks until everything appended so
+// far is durable, regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if w.synced >= w.seq {
+		return nil
+	}
+	return w.syncToLocked(w.seq)
+}
+
+// syncLoop is the SyncInterval flusher.
+func (w *Writer) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			// Errors stick in w.err and surface on the next Append.
+			_ = w.Sync()
+		}
+	}
+}
+
+// Close makes all appended records durable and closes the file. Further
+// appends return ErrClosed.
+func (w *Writer) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	var err error
+	if w.err == nil && w.synced < w.seq {
+		err = w.syncToLocked(w.seq)
+	}
+	w.closed = true
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close segment: %w", cerr)
+		w.err = err
+	}
+	w.cond.Broadcast()
+	return err
+}
+
+// Stats returns this writer's cumulative counters.
+func (w *Writer) Stats() Stats { return w.stats.snapshot() }

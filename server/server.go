@@ -19,10 +19,16 @@ import (
 	alex "repro"
 )
 
-// Store is the thread-safe index surface the protocol needs; both
-// *alex.SyncIndex and *alex.ShardedIndex satisfy it. Implementations
-// must be safe for concurrent use — every connection runs on its own
-// goroutine.
+// Store is the thread-safe index surface the protocol needs;
+// *alex.SyncIndex, *alex.ShardedIndex and *alex.DurableIndex all
+// satisfy it. Implementations must be safe for concurrent use — every
+// connection runs on its own goroutine.
+//
+// Flush and Close are the durability lifecycle: Flush blocks until
+// every acknowledged write is on stable storage and Close releases the
+// store's resources (for the in-memory indexes both are no-ops). The
+// server never calls them itself — the owner does, after Server.Close
+// has drained the connection handlers.
 type Store interface {
 	Get(key float64) (uint64, bool)
 	Insert(key float64, payload uint64) bool
@@ -35,16 +41,42 @@ type Store interface {
 	Stats() alex.Stats
 	IndexSizeBytes() int
 	DataSizeBytes() int
+	Flush() error
+	Close() error
 }
+
+// Checkpointer is the optional Store extension behind SAVE and BGSAVE;
+// *alex.DurableIndex implements it. SAVE runs a synchronous checkpoint,
+// BGSAVE hands the request to the store's background checkpointer.
+type Checkpointer interface {
+	Checkpoint() error
+	TriggerCheckpoint()
+}
+
+// WALStatser is the optional Store extension behind WALSTATS.
+type WALStatser interface {
+	WALStats() alex.WALStats
+}
+
+// The three index wrappers satisfy the Store surface.
+var (
+	_ Store = (*alex.SyncIndex)(nil)
+	_ Store = (*alex.ShardedIndex)(nil)
+	_ Store = (*alex.DurableIndex)(nil)
+
+	_ Checkpointer = (*alex.DurableIndex)(nil)
+	_ WALStatser   = (*alex.DurableIndex)(nil)
+)
 
 // Server handles connections speaking the alexkv protocol against one
 // shared thread-safe index.
 type Server struct {
 	idx Store
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
 }
 
 // New returns a server over idx.
@@ -70,6 +102,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer func() {
@@ -77,20 +110,24 @@ func (s *Server) Serve(ln net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.handlers.Done()
 			}()
 			s.Handle(conn)
 		}()
 	}
 }
 
-// Close terminates all active connections.
+// Close terminates all active connections and waits for their handlers
+// to finish the command in flight, so the caller can safely close the
+// Store afterwards (the graceful-shutdown sequence of cmd/alexkv).
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
+	s.handlers.Wait()
 }
 
 // Handle speaks the protocol on one stream until EOF or QUIT. Exposed
@@ -248,6 +285,40 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		st := s.idx.Stats()
 		fmt.Fprintf(w, "STATS %d %d %d %d\n",
 			st.NumLeaves, st.Height, s.idx.IndexSizeBytes(), s.idx.DataSizeBytes())
+	case "FLUSH":
+		if err := s.idx.Flush(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+	case "SAVE":
+		cp, ok := s.idx.(Checkpointer)
+		if !ok {
+			fmt.Fprintln(w, "ERR store is not durable")
+			return false
+		}
+		if err := cp.Checkpoint(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+	case "BGSAVE":
+		cp, ok := s.idx.(Checkpointer)
+		if !ok {
+			fmt.Fprintln(w, "ERR store is not durable")
+			return false
+		}
+		cp.TriggerCheckpoint()
+		fmt.Fprintln(w, "OK scheduled")
+	case "WALSTATS":
+		ws, ok := s.idx.(WALStatser)
+		if !ok {
+			fmt.Fprintln(w, "ERR store is not durable")
+			return false
+		}
+		st := ws.WALStats()
+		fmt.Fprintf(w, "WAL %d %d %d %d %d\n",
+			st.Appends, st.Syncs, st.Bytes, st.Checkpoints, st.Replayed)
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true

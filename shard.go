@@ -200,23 +200,87 @@ func (s *ShardedIndex) Contains(key float64) bool {
 	return ok
 }
 
+// Apply executes one mutation, routing it to the owning shard (point
+// ops) or fanning sub-batches out across shards in parallel (batch
+// ops). It is the single write path of the sharded index: the point and
+// batch write methods construct Ops over it, and DurableIndex replays
+// WAL records through it, so all three share the same routing, locking,
+// and drift accounting.
+func (s *ShardedIndex) Apply(op Op) int {
+	switch op.Kind {
+	case OpInsert:
+		if len(op.Payloads) != len(op.Keys) {
+			panic("alex: len(payloads) != len(keys)")
+		}
+		if len(op.Keys) == 1 {
+			return s.applyPoint(op.Keys[0], func(ix *Index) bool {
+				return ix.Insert(op.Keys[0], op.Payloads[0])
+			})
+		}
+		return s.applyBatch(op.Keys, func(sh *shard, ks []float64, at []int) int {
+			ps := make([]uint64, len(ks))
+			for j, p := range at {
+				ps[j] = op.Payloads[p]
+			}
+			return sh.idx.InsertBatch(ks, ps)
+		}, true)
+	case OpDelete:
+		if len(op.Keys) == 1 {
+			return s.applyPoint(op.Keys[0], func(ix *Index) bool {
+				return ix.Delete(op.Keys[0])
+			})
+		}
+		return s.applyBatch(op.Keys, func(sh *shard, ks []float64, _ []int) int {
+			return sh.idx.DeleteBatch(ks)
+		}, false)
+	case OpMerge:
+		if op.Payloads != nil && len(op.Payloads) != len(op.Keys) {
+			panic("alex: len(payloads) != len(keys)")
+		}
+		return s.applyBatch(op.Keys, func(sh *shard, ks []float64, at []int) int {
+			var ps []uint64
+			if op.Payloads != nil {
+				ps = make([]uint64, len(ks))
+				for j, p := range at {
+					ps[j] = op.Payloads[p]
+				}
+			}
+			return sh.idx.Merge(ks, ps)
+		}, true)
+	}
+	panic("alex: unknown op kind")
+}
+
+// applyPoint runs one single-key mutation on the owning shard.
+func (s *ShardedIndex) applyPoint(key float64, mut func(*Index) bool) int {
+	sh := s.writeShard(key)
+	changed := mut(sh.idx)
+	sh.mu.Unlock()
+	s.noteWrites(1)
+	if changed {
+		return 1
+	}
+	return 0
+}
+
+// applyBatch fans one multi-key mutation out across the owning shards.
+func (s *ShardedIndex) applyBatch(keys []float64, op func(sh *shard, ks []float64, at []int) int, withPos bool) int {
+	n := s.fanOut(keys, false, withPos, op)
+	s.noteWrites(len(keys))
+	return n
+}
+
 // Insert adds key with payload; see Index.Insert. Only the owning
 // shard is locked, so inserts to different shards run in parallel.
 func (s *ShardedIndex) Insert(key float64, payload uint64) bool {
-	sh := s.writeShard(key)
-	added := sh.idx.Insert(key, payload)
-	sh.mu.Unlock()
-	s.noteWrites(1)
-	return added
+	k, p := [1]float64{key}, [1]uint64{payload}
+	return s.Apply(Op{Kind: OpInsert, Keys: k[:], Payloads: p[:]}) > 0
 }
 
 // Delete removes key.
 func (s *ShardedIndex) Delete(key float64) bool {
-	sh := s.writeShard(key)
-	ok := sh.idx.Delete(key)
-	sh.mu.Unlock()
-	s.noteWrites(1)
-	return ok
+	k := [1]float64{key}
+	return s.Apply(Op{Kind: OpDelete, Keys: k[:]}) > 0
 }
 
 // Update overwrites the payload of an existing key.
@@ -282,48 +346,19 @@ func soleShard(sub [][]float64) int {
 // see Index.InsertBatch. Sub-batches run on their shards in parallel.
 // len(payloads) must equal len(keys).
 func (s *ShardedIndex) InsertBatch(keys []float64, payloads []uint64) int {
-	if len(payloads) != len(keys) {
-		panic("alex: len(payloads) != len(keys)")
-	}
-	n := s.fanOut(keys, false, true, func(sh *shard, ks []float64, at []int) int {
-		ps := make([]uint64, len(ks))
-		for j, p := range at {
-			ps[j] = payloads[p]
-		}
-		return sh.idx.InsertBatch(ks, ps)
-	})
-	s.noteWrites(len(keys))
-	return n
+	return s.Apply(Op{Kind: OpInsert, Keys: keys, Payloads: payloads})
 }
 
 // DeleteBatch removes many keys, returning how many were present; see
 // Index.DeleteBatch.
 func (s *ShardedIndex) DeleteBatch(keys []float64) int {
-	n := s.fanOut(keys, false, false, func(sh *shard, ks []float64, _ []int) int {
-		return sh.idx.DeleteBatch(ks)
-	})
-	s.noteWrites(len(keys))
-	return n
+	return s.Apply(Op{Kind: OpDelete, Keys: keys})
 }
 
 // Merge bulk-merges key/payload pairs at near-bulk-load speed,
 // returning how many were new; see Index.Merge. payloads may be nil.
 func (s *ShardedIndex) Merge(keys []float64, payloads []uint64) int {
-	if payloads != nil && len(payloads) != len(keys) {
-		panic("alex: len(payloads) != len(keys)")
-	}
-	n := s.fanOut(keys, false, true, func(sh *shard, ks []float64, at []int) int {
-		var ps []uint64
-		if payloads != nil {
-			ps = make([]uint64, len(ks))
-			for j, p := range at {
-				ps[j] = payloads[p]
-			}
-		}
-		return sh.idx.Merge(ks, ps)
-	})
-	s.noteWrites(len(keys))
-	return n
+	return s.Apply(Op{Kind: OpMerge, Keys: keys, Payloads: payloads})
 }
 
 // fanOut partitions keys and applies op to each involved shard under
@@ -612,6 +647,15 @@ func (s *ShardedIndex) ShardLens() []int {
 	}
 	return lens
 }
+
+// Flush implements the server.Store lifecycle; a purely in-memory
+// index has nothing to flush. DurableIndex overrides this with a real
+// WAL sync.
+func (s *ShardedIndex) Flush() error { return nil }
+
+// Close implements the server.Store lifecycle; a purely in-memory
+// index holds no resources.
+func (s *ShardedIndex) Close() error { return nil }
 
 // Retrains returns how many times the router has re-partitioned the
 // key space.

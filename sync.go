@@ -48,18 +48,26 @@ func (s *SyncIndex) Contains(key float64) bool {
 	return s.idx.Contains(key)
 }
 
-// Insert adds key with payload; see Index.Insert.
-func (s *SyncIndex) Insert(key float64, payload uint64) bool {
+// Apply executes one mutation under a single write-lock acquisition.
+// It is the only path that mutates the wrapped index: the point and
+// batch write methods construct Ops over it, and DurableIndex replays
+// WAL records through it, so all three share identical semantics.
+func (s *SyncIndex) Apply(op Op) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.idx.Insert(key, payload)
+	return s.idx.Apply(op)
+}
+
+// Insert adds key with payload; see Index.Insert.
+func (s *SyncIndex) Insert(key float64, payload uint64) bool {
+	k, p := [1]float64{key}, [1]uint64{payload}
+	return s.Apply(Op{Kind: OpInsert, Keys: k[:], Payloads: p[:]}) > 0
 }
 
 // Delete removes key.
 func (s *SyncIndex) Delete(key float64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.idx.Delete(key)
+	k := [1]float64{key}
+	return s.Apply(Op{Kind: OpDelete, Keys: k[:]}) > 0
 }
 
 // Update overwrites the payload of an existing key. It takes the write
@@ -83,25 +91,19 @@ func (s *SyncIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
 // InsertBatch adds many key/payload pairs under a single write-lock
 // acquisition; see Index.InsertBatch.
 func (s *SyncIndex) InsertBatch(keys []float64, payloads []uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.idx.InsertBatch(keys, payloads)
+	return s.Apply(Op{Kind: OpInsert, Keys: keys, Payloads: payloads})
 }
 
 // DeleteBatch removes many keys under a single write-lock acquisition;
 // see Index.DeleteBatch.
 func (s *SyncIndex) DeleteBatch(keys []float64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.idx.DeleteBatch(keys)
+	return s.Apply(Op{Kind: OpDelete, Keys: keys})
 }
 
 // Merge bulk-merges key/payload pairs under a single write-lock
 // acquisition; see Index.Merge.
 func (s *SyncIndex) Merge(keys []float64, payloads []uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.idx.Merge(keys, payloads)
+	return s.Apply(Op{Kind: OpMerge, Keys: keys, Payloads: payloads})
 }
 
 // Len returns the number of stored elements.
@@ -184,6 +186,15 @@ func (s *SyncIndex) CheckInvariants() error {
 	defer s.mu.RUnlock()
 	return s.idx.CheckInvariants()
 }
+
+// Flush implements the server.Store lifecycle; a purely in-memory
+// index has nothing to flush. DurableIndex overrides this with a real
+// WAL sync.
+func (s *SyncIndex) Flush() error { return nil }
+
+// Close implements the server.Store lifecycle; a purely in-memory
+// index holds no resources.
+func (s *SyncIndex) Close() error { return nil }
 
 // Unwrap returns the underlying Index for single-threaded phases (bulk
 // analysis, iteration); the caller must ensure no concurrent access
