@@ -212,6 +212,15 @@ func (ix *Index) GetBatch(keys []float64) (payloads []uint64, found []bool) {
 	return ix.t.GetBatch(keys)
 }
 
+// GetBatchInto is GetBatch into caller-supplied result slices:
+// payloads and found must have len(keys) elements and every slot is
+// overwritten. It is the zero-allocation form — the batch is resolved
+// by streaming the sorted keys leaf by leaf, with no intermediate
+// grouping structures.
+func (ix *Index) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
+	ix.t.GetBatchInto(keys, payloads, found)
+}
+
 // InsertBatch adds many key/payload pairs, returning how many keys were
 // new. Existing keys have their payloads overwritten, and a key
 // duplicated within the batch keeps its last payload — the same end
@@ -250,6 +259,13 @@ func (ix *Index) Scan(start float64, visit func(key float64, payload uint64) boo
 // ScanN collects up to max elements starting from the first key >= start.
 func (ix *Index) ScanN(start float64, max int) ([]float64, []uint64) {
 	return ix.t.ScanN(start, max)
+}
+
+// ScanNInto is ScanN appending into caller-supplied slices (reset to
+// length 0 first) and returning them; with capacity for max elements
+// the whole scan allocates nothing.
+func (ix *Index) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	return ix.t.ScanNInto(start, max, keys, payloads)
 }
 
 // ScanRange visits all elements with start <= key < end in order.

@@ -326,6 +326,103 @@ func BenchmarkBulkLoad(b *testing.B) {
 	}
 }
 
+// --- Read path: optimistic (lock-free) vs locked, and the *Into
+// zero-allocation variants. The Get/GetLocked (and ShardedGet/
+// ShardedGetLocked) pairs measure the same probe with the seqlock
+// fast path on and off; benchjson derives the locked/optimistic ratio
+// into BENCH_ci.json's read_path block, and the CI gate compares Get
+// ns/op against the committed BENCH_baseline.json. Run with -benchmem:
+// the 0 allocs/op column is part of the contract (see
+// TestZeroAllocReadPaths for the hard assertion). ---
+
+func readPathSync(b *testing.B) (*alex.SyncIndex, []float64) {
+	b.Helper()
+	keys := datasets.Generate(datasets.Longitudes, 1<<17, 7)
+	idx, err := alex.LoadSync(keys, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, keys
+}
+
+func readPathSharded(b *testing.B) (*alex.ShardedIndex, []float64) {
+	b.Helper()
+	keys := datasets.Generate(datasets.Longitudes, 1<<17, 7)
+	idx, err := alex.LoadSharded(8, keys, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, keys
+}
+
+func benchPointGet(b *testing.B, idx interface {
+	Get(key float64) (uint64, bool)
+}, keys []float64) {
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := idx.Get(keys[i&(len(keys)-1)])
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkGet is the headline single-threaded point read: SyncIndex
+// with the optimistic path on (the default).
+func BenchmarkGet(b *testing.B) {
+	idx, keys := readPathSync(b)
+	benchPointGet(b, idx, keys)
+}
+
+// BenchmarkGetLocked forces every read through the RLock fallback —
+// the pre-seqlock behavior, kept as the in-tree locked baseline.
+func BenchmarkGetLocked(b *testing.B) {
+	idx, keys := readPathSync(b)
+	idx.SetOptimisticReads(false)
+	benchPointGet(b, idx, keys)
+}
+
+func BenchmarkShardedGet(b *testing.B) {
+	idx, keys := readPathSharded(b)
+	benchPointGet(b, idx, keys)
+}
+
+func BenchmarkShardedGetLocked(b *testing.B) {
+	idx, keys := readPathSharded(b)
+	idx.SetOptimisticReads(false)
+	benchPointGet(b, idx, keys)
+}
+
+// BenchmarkGetBatchInto is the zero-allocation batch read: one sorted
+// 10k-key batch per iteration into reused destination slices.
+func BenchmarkGetBatchInto(b *testing.B) {
+	init, batch, pays := batchBenchData()
+	idx, err := alex.LoadSync(init, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.InsertBatch(batch, pays)
+	vals := make([]uint64, len(batch))
+	found := make([]bool, len(batch))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.GetBatchInto(batch, vals, found)
+	}
+}
+
+// BenchmarkScanNInto is the zero-allocation bounded scan: 100 elements
+// per iteration into reused destination slices, stitched across the
+// shards of a ShardedIndex.
+func BenchmarkScanNInto(b *testing.B) {
+	idx, keys := readPathSharded(b)
+	scanK := make([]float64, 0, 100)
+	scanV := make([]uint64, 0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanK, scanV = idx.ScanNInto(keys[i&(len(keys)-1)], 100, scanK, scanV)
+	}
+}
+
 // --- Concurrent throughput: SyncIndex vs ShardedIndex, 1/4/8 goroutines ---
 
 // benchConcurrentMix runs b.N operations (split across g goroutines)
@@ -376,6 +473,29 @@ func BenchmarkConcurrentShardedReadHeavy4(b *testing.B) {
 }
 func BenchmarkConcurrentShardedReadHeavy8(b *testing.B) {
 	benchConcurrentMix(b, newShardedBench, 8, 10)
+}
+
+// The Locked variants force the read path through the per-shard (or
+// per-index) RLock — the pre-seqlock behavior — so the optimistic
+// win under concurrency is measured, not assumed.
+func newSyncLockedBench(init []float64) bench.ConcurrentIndex {
+	s := newSyncBench(init).(*alex.SyncIndex)
+	s.SetOptimisticReads(false)
+	return s
+}
+
+func newShardedLockedBench(init []float64) bench.ConcurrentIndex {
+	s := newShardedBench(init).(*alex.ShardedIndex)
+	s.SetOptimisticReads(false)
+	return s
+}
+
+func BenchmarkConcurrentSyncReadHeavy8Locked(b *testing.B) {
+	benchConcurrentMix(b, newSyncLockedBench, 8, 10)
+}
+
+func BenchmarkConcurrentShardedReadHeavy8Locked(b *testing.B) {
+	benchConcurrentMix(b, newShardedLockedBench, 8, 10)
 }
 
 func BenchmarkConcurrentShardedWriteHeavy1(b *testing.B) {

@@ -29,6 +29,7 @@
 //
 // Usage: alexkv [-addr host:port] [-load N] [-shards N] [-data-dir DIR]
 // [-fsync always|interval|never] [-fsync-interval D] [-checkpoint-every N]
+// [-pprof host:port]
 //
 // -load N preloads N synthetic YCSB keys so GET/SCAN have data to hit
 // (skipped when a data dir already holds recovered keys).
@@ -41,6 +42,12 @@
 // the OS. -checkpoint-every N snapshots the index and truncates the
 // WAL every N logged records (0 disables automatic checkpoints).
 //
+// -pprof exposes the net/http/pprof handlers on the given address
+// (e.g. -pprof 127.0.0.1:6060), so read-path profiles can be captured
+// under live MGET load:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops
 // accepting connections, drains in-flight commands, flushes the WAL,
 // writes a final checkpoint, and closes the store — so the next start
@@ -52,6 +59,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,7 +79,20 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer for -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 1<<20, "records between automatic checkpoints (0 disables)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import; profiling is best-effort and never takes the
+			// server down.
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	store, durable, err := buildStore(*dataDir, *fsync, *fsyncInterval, *checkpointEvery, *shards, *load)
 	if err != nil {

@@ -10,12 +10,23 @@
 // Derived sharded/sync speedups are computed for benchmark pairs that
 // differ only by the index name, e.g. ConcurrentShardedWriteHeavy8 vs
 // ConcurrentSyncWriteHeavy8 — the ratio the ISSUE's acceptance bar
-// reads.
+// reads. Read-path ratios are derived the same way from X/XLocked
+// pairs (the optimistic read path vs the forced-RLock baseline), along
+// with the allocs/op of the zero-allocation read benchmarks when the
+// run used -benchmem.
+//
+// With -baseline FILE the document is additionally gated benchstat
+// style against a committed baseline (BENCH_baseline.json): for every
+// benchmark named in -gate (comma separated), the run fails (exit 1)
+// if ns/op regressed more than -gate-pct percent over the baseline's
+// number. Benchmarks missing from either side only warn, so seeding a
+// fresh baseline never blocks.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -44,12 +55,23 @@ type Doc struct {
 	// DurableWriteBaseline (the same loop without the WAL) — the cost
 	// of each fsync policy, tracked per CI run.
 	DurabilityTax map[string]float64 `json:"durability_tax,omitempty"`
+	// ReadPath tracks the optimistic read protocol: for every X/XLocked
+	// benchmark pair, "X_locked_over_optimistic" is locked ns/op over
+	// optimistic ns/op (>1 means the lock-free path wins), and
+	// "X_allocs_per_op" echoes the allocs/op metric of the read
+	// benchmarks so the zero-allocation contract is archived per run.
+	ReadPath map[string]float64 `json:"read_path,omitempty"`
 }
 
 // benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
 
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON (a prior benchjson document) to gate against")
+	gate := flag.String("gate", "", "comma-separated benchmark names the regression gate checks")
+	gatePct := flag.Float64("gate-pct", 15, "max allowed ns/op regression over the baseline, percent")
+	flag.Parse()
+
 	doc := Doc{Speedups: map[string]float64{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
@@ -87,12 +109,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Derived ratios: for every ConcurrentSharded* result with a
-	// ConcurrentSync* sibling, speedup = sync ns/op / sharded ns/op.
+	// byName holds each benchmark's best (minimum) ns/op: with
+	// `-count=N` repetitions the min is the benchstat-style noise
+	// filter — shared-runner interference only ever slows a run down —
+	// so the derived ratios and the regression gate see the least-noisy
+	// measurement.
 	byName := map[string]float64{}
 	for _, r := range doc.Benchmarks {
-		byName[r.Name] = r.NsPerOp
+		if v, ok := byName[r.Name]; !ok || r.NsPerOp < v {
+			byName[r.Name] = r.NsPerOp
+		}
 	}
+
+	// Derived ratios: for every ConcurrentSharded* result with a
+	// ConcurrentSync* sibling, speedup = sync ns/op / sharded ns/op.
 	for name, ns := range byName {
 		if !strings.Contains(name, "Sharded") || ns == 0 {
 			continue
@@ -122,12 +152,110 @@ func main() {
 		}
 	}
 
+	// Read-path ratios: every X with an XLocked sibling (min ns/op on
+	// both sides), plus the allocs/op of the read benchmarks when
+	// -benchmem was used (the max across repetitions — an alloc
+	// regression must not hide behind one clean run).
+	doc.ReadPath = map[string]float64{}
+	for name, ns := range byName {
+		if strings.HasSuffix(name, "Locked") || ns == 0 {
+			continue
+		}
+		if lockedNs, ok := byName[name+"Locked"]; ok {
+			doc.ReadPath[name+"_locked_over_optimistic"] = lockedNs / ns
+		}
+	}
+	for _, r := range doc.Benchmarks {
+		if !isReadBench(r.Name) {
+			continue
+		}
+		if a, ok := r.Metrics["allocs/op"]; ok {
+			key := r.Name + "_allocs_per_op"
+			if prev, seen := doc.ReadPath[key]; !seen || a > prev {
+				doc.ReadPath[key] = a
+			}
+		}
+	}
+	if len(doc.ReadPath) == 0 {
+		doc.ReadPath = nil
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		if err := gateAgainst(*baseline, strings.Split(*gate, ","), *gatePct, byName); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// isReadBench selects the benchmarks whose allocs/op belong in the
+// read_path block: the point and batch read paths of the wrappers.
+func isReadBench(name string) bool {
+	switch name {
+	case "Get", "ShardedGet", "GetBatchInto", "ScanNInto":
+		return true
+	}
+	return false
+}
+
+// gateAgainst fails (returns an error) when any gated benchmark's
+// ns/op regressed more than pct percent over the committed baseline.
+// Benchmarks absent on either side warn instead of failing, so a gate
+// list can be committed before its baseline numbers exist.
+func gateAgainst(path string, names []string, pct float64, byName map[string]float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate: read baseline: %v", err)
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate: parse baseline: %v", err)
+	}
+	// Same min-across-repetitions rule as the current run, so a
+	// baseline archived from a -count=N run gates apples to apples.
+	baseNs := map[string]float64{}
+	for _, r := range base.Benchmarks {
+		if v, ok := baseNs[r.Name]; !ok || r.NsPerOp < v {
+			baseNs[r.Name] = r.NsPerOp
+		}
+	}
+	var failures []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		got, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s missing from this run, skipping\n", name)
+			continue
+		}
+		want, ok := baseNs[name]
+		if !ok || want == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s missing from baseline, skipping\n", name)
+			continue
+		}
+		limit := want * (1 + pct/100)
+		if got > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed: %.1f ns/op vs baseline %.1f (+%.1f%%, limit +%.0f%%)",
+				name, got, want, (got/want-1)*100, pct))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s ok: %.1f ns/op vs baseline %.1f (%+.1f%%)\n",
+				name, got, want, (got/want-1)*100)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parseMetrics decodes the trailing "<value> <unit>" pairs of a

@@ -84,8 +84,10 @@ type Backend interface {
 	Get(key float64) (uint64, bool)
 	Contains(key float64) bool
 	GetBatch(keys []float64) ([]uint64, []bool)
+	GetBatchInto(keys []float64, payloads []uint64, found []bool)
 	Scan(start float64, visit func(key float64, payload uint64) bool) int
 	ScanN(start float64, max int) ([]float64, []uint64)
+	ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
 	ScanRange(start, end float64, visit func(key float64, payload uint64) bool) int
 	MinKey() (float64, bool)
 	MaxKey() (float64, bool)
@@ -481,6 +483,13 @@ func (d *DurableIndex) GetBatch(keys []float64) ([]uint64, []bool) {
 	return d.backend.GetBatch(keys)
 }
 
+// GetBatchInto is the zero-allocation GetBatch; reads never touch the
+// WAL, so it delegates straight to the wrapped index's optimistic read
+// path.
+func (d *DurableIndex) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
+	d.backend.GetBatchInto(keys, payloads, found)
+}
+
 // Scan visits elements with key >= start in ascending key order; see
 // the wrapped type's Scan for the callback restrictions.
 func (d *DurableIndex) Scan(start float64, visit func(key float64, payload uint64) bool) int {
@@ -490,6 +499,12 @@ func (d *DurableIndex) Scan(start float64, visit func(key float64, payload uint6
 // ScanN collects up to max elements from the first key >= start.
 func (d *DurableIndex) ScanN(start float64, max int) ([]float64, []uint64) {
 	return d.backend.ScanN(start, max)
+}
+
+// ScanNInto is the zero-allocation ScanN, delegating to the wrapped
+// index's optimistic read path.
+func (d *DurableIndex) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	return d.backend.ScanNInto(start, max, keys, payloads)
 }
 
 // ScanRange visits all elements with start <= key < end in order.

@@ -3,6 +3,9 @@ package core
 import (
 	"math"
 	"sort"
+
+	"repro/internal/gapped"
+	"repro/internal/search"
 )
 
 // This file implements the tree half of the batch API. The point of
@@ -80,19 +83,72 @@ func (t *Tree) groupSorted(keys []float64) []leafGroup {
 func (t *Tree) GetBatch(keys []float64) ([]uint64, []bool) {
 	vals := make([]uint64, len(keys))
 	found := make([]bool, len(keys))
-	if len(keys) == 0 {
-		return vals, found
+	t.GetBatchInto(keys, vals, found)
+	return vals, found
+}
+
+// GetBatchInto is GetBatch into caller-supplied result slices (vals[i],
+// found[i] describe keys[i]; both must have len(keys) elements — every
+// slot is overwritten). It performs no allocations at all: instead of
+// materializing the leaf groups the way the mutation path does, it
+// streams a sorted batch leaf by leaf — one descent locates the leaf of
+// the first unresolved key, and one binary search against the next
+// non-empty leaf's minimum bounds the contiguous run of batch keys that
+// leaf can hold (leaves own disjoint, ordered key ranges, so no key
+// beyond that bound can live there).
+func (t *Tree) GetBatchInto(keys []float64, vals []uint64, found []bool) {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		panic("core: GetBatchInto result slices must have len(keys)")
 	}
+	if len(keys) == 0 {
+		return
+	}
+	clear(vals)
+	clear(found)
 	if !sort.Float64sAreSorted(keys) {
 		for i, k := range keys {
 			vals[i], found[i] = t.Get(k)
 		}
-		return vals, found
+		return
 	}
-	for _, g := range t.groupSorted(keys) {
-		g.leaf.data.LookupBatch(keys[g.lo:g.hi], vals[g.lo:g.hi], found[g.lo:g.hi])
+	i := 0
+	for i < len(keys) {
+		leaf := t.leafFor(keys[i])
+		if leaf == nil || leaf.data == nil {
+			// Only a torn optimistic probe can see a half-published
+			// descent; resolve the key as a miss and let the seqlock
+			// validation discard the batch.
+			i++
+			continue
+		}
+		// The run for this leaf ends at the first key that could belong
+		// to a later leaf: the first key >= the next non-empty leaf's
+		// minimum. Routing is monotone, so for finite keys keys[i]
+		// itself is below that bound and the run is non-empty.
+		hi := len(keys)
+		for next := leaf.next; next != nil; next = next.next {
+			if next.data == nil {
+				break // torn probe; the forced-progress guard covers it
+			}
+			if mn, ok := next.data.MinKey(); ok {
+				hi = i + search.LowerBoundBranchless(keys[i:hi], mn)
+				break
+			}
+		}
+		if hi == i {
+			// Forced progress: a NaN key (which compares below every
+			// bound and is stored nowhere) or a torn probe's
+			// inconsistent leaf chain can produce an empty run; resolve
+			// that one key against this leaf rather than spinning.
+			hi = i + 1
+		}
+		if g, ok := leaf.data.(*gapped.Array); ok {
+			g.LookupBatch(keys[i:hi], vals[i:hi], found[i:hi])
+		} else {
+			leaf.data.LookupBatch(keys[i:hi], vals[i:hi], found[i:hi])
+		}
+		i = hi
 	}
-	return vals, found
 }
 
 // InsertBatch adds many key/payload pairs, returning how many keys were

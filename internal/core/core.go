@@ -144,6 +144,7 @@ type DataNode interface {
 	ScanFrom(start float64, visit func(key float64, payload uint64) bool) bool
 	MinKey() (float64, bool)
 	MaxKey() (float64, bool)
+	AppendFrom(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
 	PredictionError(key float64) (int, bool)
 	DataSizeBytes(payloadBytes int) int
 	BaseStats() *leafbase.Stats
@@ -164,10 +165,33 @@ type child interface{}
 type innerNode struct {
 	model    linmodel.Model
 	children []child
+	// fanF caches float64(len(children)) so each routing step clamps the
+	// model output in float registers without an int→float conversion —
+	// the same trick the leaf predict uses. Set by newInner; children is
+	// never resized after construction.
+	fanF float64
+}
+
+// newInner builds an inner node with n child slots (filled by the
+// caller) and the routing clamp precomputed.
+func newInner(model linmodel.Model, n int) *innerNode {
+	return &innerNode{model: model, children: make([]child, n), fanF: float64(n)}
 }
 
 func (n *innerNode) route(key float64) child {
-	return n.children[n.model.PredictClamped(key, len(n.children))]
+	return n.children[n.routeSlot(key)]
+}
+
+// routeSlot is the descent-hot clamped prediction over the child array.
+func (n *innerNode) routeSlot(key float64) int {
+	p := math.Floor(n.model.Slope*key + n.model.Intercept)
+	if !(p > 0) { // negative, -0, or NaN
+		return 0
+	}
+	if p >= n.fanF {
+		return len(n.children) - 1
+	}
+	return int(p)
 }
 
 // leafNode wraps a data node and its sibling links for range scans.
@@ -321,7 +345,7 @@ func (t *Tree) buildStatic(keys []float64, payloads []uint64) child {
 	if m == 1 || nonEmpty <= 1 {
 		return t.newLeaf(keys, payloads)
 	}
-	inner := &innerNode{model: model, children: make([]child, m)}
+	inner := newInner(model, m)
 	for p := 0; p < m; p++ {
 		lo, hi := bounds[p], bounds[p+1]
 		inner.children[p] = t.newLeaf(keys[lo:hi], payloads[lo:hi])
@@ -352,7 +376,7 @@ func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) child
 		// fall back to a single leaf rather than recurse forever.
 		return t.newLeaf(keys, payloads)
 	}
-	inner := &innerNode{model: model, children: make([]child, p)}
+	inner := newInner(model, p)
 	for i := 0; i < p; {
 		size := bounds[i+1] - bounds[i]
 		if size > maxKeys {
@@ -481,9 +505,43 @@ func (t *Tree) traverse(key float64) (*leafNode, *innerNode) {
 	}
 }
 
+// leafFor is the read-hot half of traverse: it returns only the leaf,
+// skipping the parent bookkeeping mutations need, so the descent loop
+// is small enough to stay in registers. Each level is one cached-clamp
+// model evaluation and one pointer chase.
+//
+// Both type assertions are comma-ok: on a consistent tree every child
+// is an inner or leaf node and the second assertion always succeeds,
+// but a lock-free optimistic reader (the root package's seqlock
+// protocol) can race a split publishing a fresh inner node and observe
+// a nil child slot. Such a probe gets a nil leaf — a miss the sequence
+// validation then discards — instead of an interface-conversion panic
+// on a path that deliberately carries no recover frame.
+func (t *Tree) leafFor(key float64) *leafNode {
+	cur := t.root
+	for {
+		n, ok := cur.(*innerNode)
+		if !ok {
+			leaf, _ := cur.(*leafNode)
+			return leaf
+		}
+		cur = n.children[n.routeSlot(key)]
+	}
+}
+
 // Get returns the payload stored for key.
 func (t *Tree) Get(key float64) (uint64, bool) {
-	leaf, _ := t.traverse(key)
+	leaf := t.leafFor(key)
+	if leaf == nil || leaf.data == nil {
+		return 0, false // torn optimistic probe; see leafFor
+	}
+	// Devirtualize the dominant layout: a direct *gapped.Array call lets
+	// the probe chain (Find, the branchless searches) inline into one
+	// frame, where the interface call would pin it behind dynamic
+	// dispatch.
+	if g, ok := leaf.data.(*gapped.Array); ok {
+		return g.Lookup(key)
+	}
 	return leaf.data.Lookup(key)
 }
 
@@ -523,7 +581,7 @@ func (t *Tree) splitLeaf(leaf *leafNode, parent *innerNode) bool {
 	if nonEmpty <= 1 {
 		return false
 	}
-	inner := &innerNode{model: model, children: make([]child, s)}
+	inner := newInner(model, s)
 	leaves := make([]*leafNode, 0, s)
 	var last *leafNode
 	for p := 0; p < s; p++ {
@@ -619,13 +677,31 @@ func (t *Tree) Scan(start float64, visit func(key float64, payload uint64) bool)
 // It returns the keys and payloads visited, for callers that want a
 // materialized range (the YCSB-E style scan of §5.1.2).
 func (t *Tree) ScanN(start float64, max int) ([]float64, []uint64) {
-	keys := make([]float64, 0, max)
-	payloads := make([]uint64, 0, max)
-	t.Scan(start, func(k float64, v uint64) bool {
-		keys = append(keys, k)
-		payloads = append(payloads, v)
-		return len(keys) < max
-	})
+	if max < 0 {
+		max = 0
+	}
+	return t.ScanNInto(start, max, make([]float64, 0, max), make([]uint64, 0, max))
+}
+
+// ScanNInto is ScanN into caller-supplied destination slices: results
+// are appended to keys[:0] and payloads[:0] and the filled slices
+// returned. Unlike Scan it walks the leaf chain without a visitor
+// callback, so when the destinations have capacity for max elements the
+// whole scan performs zero allocations.
+func (t *Tree) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	keys, payloads = keys[:0], payloads[:0]
+	if max <= 0 {
+		return keys, payloads
+	}
+	leaf := t.leafFor(start)
+	for leaf != nil && leaf.data != nil { // nil only on a torn optimistic probe
+		keys, payloads = leaf.data.AppendFrom(start, max-len(keys), keys, payloads)
+		if len(keys) >= max || leaf.next == nil {
+			break
+		}
+		leaf = leaf.next
+		start = math.Inf(-1)
+	}
 	return keys, payloads
 }
 

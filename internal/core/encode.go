@@ -192,7 +192,7 @@ func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (child, int, erro
 		if nc == 0 || nc > 1<<24 {
 			return nil, 0, fmt.Errorf("%w: child count %d", ErrBadFormat, nc)
 		}
-		n := &innerNode{children: make([]child, nc)}
+		n := &innerNode{children: make([]child, nc), fanF: float64(nc)}
 		n.model.Slope = math.Float64frombits(bits[0])
 		n.model.Intercept = math.Float64frombits(bits[1])
 		total := 0

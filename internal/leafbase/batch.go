@@ -22,16 +22,19 @@ func (b *Base) LookupBatch(keys []float64, vals []uint64, found []bool) {
 	for i, k := range keys {
 		pos := hint
 		if b.HasModel {
-			if p := b.Model.PredictClamped(k, len(b.Keys)); p > pos {
+			if p := b.predictFast(k); p > pos {
 				pos = p
 			}
 		}
-		slot := search.Exponential(b.Keys, k, pos)
+		slot := search.ExponentialBranchless(b.Keys, k, pos)
 		hint = slot
 		if slot >= len(b.Keys) || b.Keys[slot] != k {
 			continue
 		}
-		if occ := b.Occ.NextSet(slot); occ >= 0 && b.Keys[occ] == k {
+		// Unsigned bound folds the miss and the torn-probe guard (see
+		// Find) into one compare.
+		occ := b.Occ.NextSet(slot)
+		if uint(occ) < uint(len(b.Keys)) && b.Keys[occ] == k && uint(occ) < uint(len(b.Payloads)) {
 			vals[i] = b.Payloads[occ]
 			found[i] = true
 		}

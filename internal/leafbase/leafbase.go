@@ -68,6 +68,13 @@ type Base struct {
 	HasModel bool
 	NumKeys  int
 	Stats    Stats
+
+	// capF caches float64(len(Keys)) so the hot predict path clamps the
+	// model output entirely in float registers: one FMA for the model,
+	// two float compares for the clamp, one conversion for the result —
+	// no per-lookup int→float conversion of the capacity. Maintained by
+	// Init alongside every (re)allocation of Keys.
+	capF float64
 }
 
 // Init sets up an empty node with the given capacity.
@@ -84,6 +91,7 @@ func (b *Base) Init(capacity int) {
 	b.Model = linmodel.Model{}
 	b.HasModel = false
 	b.NumKeys = 0
+	b.capF = float64(capacity)
 }
 
 // Cap returns the slot capacity of the node.
@@ -103,6 +111,31 @@ func (b *Base) Density() float64 {
 	return float64(b.NumKeys) / float64(len(b.Keys))
 }
 
+// predictFast is the hot-path slot prediction: the model's FMA clamped
+// into [0, cap) without leaving float registers until the final
+// conversion. Callers must ensure HasModel; the cold-start regime goes
+// through predictSlot.
+//
+// The final integer clamp re-checks against len(Keys) even though a
+// consistent node always has capF == len(Keys): optimistic readers
+// (see the root package's seqlock protocol) probe nodes that may be
+// mid-rebuild, where capF and Keys can be observed torn, and the read
+// path must degrade to a wrong-but-in-bounds slot — whose result the
+// sequence validation then discards — never to an index panic.
+func (b *Base) predictFast(key float64) int {
+	p := math.Floor(b.Model.Slope*key + b.Model.Intercept)
+	if !(p > 0) { // negative, -0, or NaN
+		return 0
+	}
+	i := len(b.Keys) - 1
+	if p < b.capF {
+		if j := int(p); j < i {
+			i = j
+		}
+	}
+	return i
+}
+
 // predictSlot returns the model's predicted slot for key, or a plain
 // lower-bound position when the node is in its cold-start (model-less)
 // regime.
@@ -110,34 +143,62 @@ func (b *Base) predictSlot(key float64) int {
 	if !b.HasModel {
 		return search.LowerBound(b.Keys, key)
 	}
-	return b.Model.PredictClamped(key, len(b.Keys))
+	return b.predictFast(key)
 }
 
 // LowerBoundSlot returns the first slot (gap or element) whose key value
 // is >= key, locating it by exponential search from the model prediction.
 func (b *Base) LowerBoundSlot(key float64) int {
 	if !b.HasModel {
-		return search.LowerBound(b.Keys, key)
+		return search.LowerBoundBranchless(b.Keys, key)
 	}
-	return search.Exponential(b.Keys, key, b.Model.PredictClamped(key, len(b.Keys)))
+	return search.ExponentialBranchless(b.Keys, key, b.predictFast(key))
 }
 
 // Find returns the occupied slot holding key, or -1.
+//
+// The common case pays one model FMA and one key comparison: model-based
+// insertion places elements at (or next to) their predicted slots, so
+// the prediction usually lands exactly on the key — or on one of the gap
+// fills duplicating it, in which case the element is the next occupied
+// slot. Only a miss falls back to the exponential search.
 func (b *Base) Find(key float64) int {
-	lo := b.LowerBoundSlot(key)
-	if lo >= len(b.Keys) || b.Keys[lo] != key {
-		return -1
+	var lo int
+	if b.HasModel {
+		pos := b.predictFast(key)
+		if b.Keys[pos] != key {
+			lo = search.ExponentialBranchless(b.Keys, key, pos)
+			if lo >= len(b.Keys) || b.Keys[lo] != key {
+				return -1
+			}
+		} else {
+			if b.Occ.Test(pos) {
+				return pos // direct hit at the predicted slot
+			}
+			lo = pos // a gap fill duplicating the key: element is to the right
+		}
+	} else {
+		lo = search.LowerBoundBranchless(b.Keys, key)
+		if lo >= len(b.Keys) || b.Keys[lo] != key {
+			return -1
+		}
 	}
+	// The unsigned compare folds occ < 0 and occ >= len(Keys) into one
+	// branch. The upper bound can only trip for optimistic readers that
+	// caught the bitmap and key array mid-swap (a consistent node's
+	// bitmap never returns a slot past its own capacity); they must get
+	// a miss, not a panic — the sequence validation discards it.
 	occ := b.Occ.NextSet(lo)
-	if occ < 0 || b.Keys[occ] != key {
+	if uint(occ) >= uint(len(b.Keys)) || b.Keys[occ] != key {
 		return -1
 	}
 	return occ
 }
 
-// Lookup returns the payload stored for key.
+// Lookup returns the payload stored for key. The payload bound check
+// mirrors Find's: torn probes degrade to misses, never panics.
 func (b *Base) Lookup(key float64) (uint64, bool) {
-	if i := b.Find(key); i >= 0 {
+	if i := b.Find(key); uint(i) < uint(len(b.Payloads)) {
 		return b.Payloads[i], true
 	}
 	return 0, false
@@ -186,6 +247,22 @@ func (b *Base) ScanFrom(start float64, visit func(key float64, payload uint64) b
 		}
 	}
 	return false
+}
+
+// AppendFrom appends up to max elements with key >= start, in ascending
+// key order, to the given slices and returns them. It is the
+// callback-free sibling of ScanFrom: the tree's zero-allocation ScanNInto
+// walks the leaf chain with it, so no per-call visitor closure escapes
+// to the heap. Passing slices with spare capacity makes it allocation
+// free.
+func (b *Base) AppendFrom(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	i := b.LowerBoundOcc(start)
+	for ; i >= 0 && max > 0; i = b.Occ.NextSet(i + 1) {
+		keys = append(keys, b.Keys[i])
+		payloads = append(payloads, b.Payloads[i])
+		max--
+	}
+	return keys, payloads
 }
 
 // NextSlot returns the first occupied slot strictly after slot, or -1.

@@ -183,7 +183,7 @@ func (ix *Index) lowerBound(key float64) int {
 	}
 	s2 := ix.modelFor(key)
 	pred := s2.model.PredictClamped(key, n)
-	pos := search.BoundedBinary(ix.keys, key, pred, s2.errLo+ix.stale, s2.errHi+ix.stale)
+	pos := search.BoundedBinaryBranchless(ix.keys, key, pred, s2.errLo+ix.stale, s2.errHi+ix.stale)
 	// Verify the window result: pos must be a true lower bound.
 	if (pos == n || ix.keys[pos] >= key) && (pos == 0 || ix.keys[pos-1] < key) {
 		return pos

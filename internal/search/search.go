@@ -130,6 +130,107 @@ func BoundedBinary(a []float64, key float64, pos, errLo, errHi int) int {
 	return LowerBoundRange(a, key, lo, hi)
 }
 
+// LowerBoundBranchless is LowerBound with a branch-free probe loop: the
+// interval update is a conditional add the compiler lowers to CMOV, so
+// the search pipeline never stalls on a mispredicted key comparison.
+// On the short, cache-resident windows the leaf probes search (a few
+// dozen slots around a model prediction), mispredictions are the
+// dominant cost of the classic loop, which is why the hot read path
+// uses this variant.
+func LowerBoundBranchless(a []float64, key float64) int {
+	return lowerBoundBranchless(a, key, 0, len(a))
+}
+
+// lowerBoundBranchless finds the first index in [lo, hi) with
+// a[i] >= key (hi if none) without data-dependent branches: each step
+// halves the window [base, base+n] with a conditional base advance.
+// Callers must pass 0 <= lo <= hi <= len(a).
+func lowerBoundBranchless(a []float64, key float64, lo, hi int) int {
+	n := hi - lo
+	if n <= 0 {
+		return lo
+	}
+	base := lo
+	for n > 1 {
+		half := n >> 1
+		if a[base+half-1] < key { // lowered to CMOV: no branch to mispredict
+			base += half
+		}
+		n -= half
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+// BoundedBinaryBranchless is BoundedBinary over the branch-free probe
+// loop; same window clamping, same result.
+func BoundedBinaryBranchless(a []float64, key float64, pos, errLo, errHi int) int {
+	lo := pos - errLo
+	hi := pos + errHi + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	if lo >= hi {
+		if lo > len(a) {
+			return len(a)
+		}
+		return lo
+	}
+	return lowerBoundBranchless(a, key, lo, hi)
+}
+
+// ExponentialBranchless is Exponential with the bracketed window
+// resolved by the branch-free probe loop. The doubling phase keeps its
+// branches (they are the exit condition), but with a model prediction a
+// few slots off the bracket is found in one or two doublings and the
+// remaining work is all in the bracket search this variant removes the
+// mispredictions from.
+func ExponentialBranchless(a []float64, key float64, pos int) int {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if pos < 0 {
+		pos = 0
+	} else if pos >= n {
+		pos = n - 1
+	}
+	if a[pos] < key {
+		step := 1
+		lo, hi := pos+1, pos+1
+		for hi < n && a[hi] < key {
+			lo = hi + 1
+			step <<= 1
+			hi = pos + step
+			if hi >= n {
+				hi = n
+				break
+			}
+		}
+		if hi < n && a[hi] >= key {
+			hi++ // a[hi] may itself be the lower bound
+		}
+		return lowerBoundBranchless(a, key, lo, hi)
+	}
+	step := 1
+	lo, hi := pos, pos
+	for lo > 0 && a[lo] >= key {
+		hi = lo
+		step <<= 1
+		lo = pos - step
+		if lo < 0 {
+			lo = 0
+			break
+		}
+	}
+	return lowerBoundBranchless(a, key, lo, hi+1)
+}
+
 // Interpolation performs classic interpolation search for the lower bound
 // of key in a, falling back to binary search when the value distribution
 // stops shrinking the window. Included for the §6 comparison and as a

@@ -233,3 +233,56 @@ func BenchmarkBoundedBinaryError1024(b *testing.B) {
 		_ = BoundedBinary(a, a[truePos], truePos-7, 1024, 1024)
 	}
 }
+
+// The branchless variants must agree with their branching counterparts
+// on every input: random windows, duplicate runs, and both empty and
+// degenerate slices.
+func TestBranchlessVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(130) // includes 0-length slices
+		a := sortedRandom(n, int64(trial))
+		// Inject duplicate runs so lower-bound ties are exercised.
+		for i := 1; i < len(a); i++ {
+			if rng.Intn(4) == 0 {
+				a[i] = a[i-1]
+			}
+		}
+		sort.Float64s(a)
+		for probe := 0; probe < 200; probe++ {
+			key := rng.Float64()*1100 - 50
+			if rng.Intn(3) == 0 && n > 0 {
+				key = a[rng.Intn(n)] // exact hits
+			}
+			if got, want := LowerBoundBranchless(a, key), LowerBound(a, key); got != want {
+				t.Fatalf("LowerBoundBranchless(n=%d, %v) = %d, want %d", n, key, got, want)
+			}
+			pos := rng.Intn(150) - 20
+			if got, want := ExponentialBranchless(a, key, pos), Exponential(a, key, pos); got != want {
+				t.Fatalf("ExponentialBranchless(n=%d, %v, pos=%d) = %d, want %d", n, key, pos, got, want)
+			}
+			errLo, errHi := rng.Intn(40), rng.Intn(40)
+			got := BoundedBinaryBranchless(a, key, pos, errLo, errHi)
+			want := BoundedBinary(a, key, pos, errLo, errHi)
+			if got != want {
+				t.Fatalf("BoundedBinaryBranchless(n=%d, %v, pos=%d, -%d/+%d) = %d, want %d",
+					n, key, pos, errLo, errHi, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerBoundBranchlessQuick(t *testing.T) {
+	f := func(raw []float64, key float64) bool {
+		for i, v := range raw {
+			if v != v { // NaN would break the sort contract
+				raw[i] = 0
+			}
+		}
+		sort.Float64s(raw)
+		return LowerBoundBranchless(raw, key) == refLowerBound(raw, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

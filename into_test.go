@@ -1,0 +1,230 @@
+package alex_test
+
+// Correctness tests for the zero-allocation *Into read variants: on
+// every wrapper they must return exactly what the allocating forms
+// return, for sorted and unsorted batches, across shard and leaf
+// boundaries, with hits, misses and short destination capacities.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	alex "repro"
+	"repro/internal/datasets"
+)
+
+// intoSurface is the read surface shared by Index, SyncIndex,
+// ShardedIndex and DurableIndex.
+type intoSurface interface {
+	Get(key float64) (uint64, bool)
+	GetBatch(keys []float64) ([]uint64, []bool)
+	GetBatchInto(keys []float64, payloads []uint64, found []bool)
+	ScanN(start float64, max int) ([]float64, []uint64)
+	ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
+}
+
+func checkIntoVariants(t *testing.T, name string, idx intoSurface, present, absent []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+
+	// Batches mixing hits and misses, sorted and unsorted.
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		batch := make([]float64, n)
+		for i := range batch {
+			if rng.Intn(3) == 0 {
+				batch[i] = absent[rng.Intn(len(absent))]
+			} else {
+				batch[i] = present[rng.Intn(len(present))]
+			}
+		}
+		if trial%2 == 0 {
+			sort.Float64s(batch)
+		}
+		wantV, wantF := idx.GetBatch(batch)
+		gotV := make([]uint64, n)
+		gotF := make([]bool, n)
+		// Pre-poison the destinations: every slot must be overwritten.
+		for i := range gotV {
+			gotV[i], gotF[i] = ^uint64(0), true
+		}
+		idx.GetBatchInto(batch, gotV, gotF)
+		for i := range batch {
+			if gotF[i] != wantF[i] || (wantF[i] && gotV[i] != wantV[i]) {
+				t.Fatalf("%s: GetBatchInto[%d] key %v = (%d,%v), GetBatch says (%d,%v)",
+					name, i, batch[i], gotV[i], gotF[i], wantV[i], wantF[i])
+			}
+			if v, ok := idx.Get(batch[i]); ok != gotF[i] || (ok && v != gotV[i]) {
+				t.Fatalf("%s: Get(%v) = (%d,%v) disagrees with batch (%d,%v)",
+					name, batch[i], v, ok, gotV[i], gotF[i])
+			}
+		}
+	}
+
+	// Scans from assorted starts, including before-min, past-max, and
+	// destination slices with zero, short, and ample capacity.
+	starts := []float64{math.Inf(-1), present[0] - 1, present[len(present)/2], present[len(present)-1] + 1}
+	for i := 0; i < 20; i++ {
+		starts = append(starts, present[rng.Intn(len(present))])
+	}
+	for _, start := range starts {
+		for _, max := range []int{0, 1, 7, 333} {
+			wantK, wantV := idx.ScanN(start, max)
+			var dstK []float64
+			var dstV []uint64
+			switch rng.Intn(3) {
+			case 1:
+				dstK, dstV = make([]float64, 0, max/2+1), make([]uint64, 0, max/2+1)
+			case 2:
+				dstK, dstV = make([]float64, 5, max+7), make([]uint64, 5, max+7)
+			}
+			gotK, gotV := idx.ScanNInto(start, max, dstK, dstV)
+			if len(gotK) != len(wantK) || len(gotV) != len(wantV) {
+				t.Fatalf("%s: ScanNInto(%v, %d) returned %d/%d elements, want %d",
+					name, start, max, len(gotK), len(gotV), len(wantK))
+			}
+			for i := range wantK {
+				if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+					t.Fatalf("%s: ScanNInto(%v, %d)[%d] = (%v,%d), want (%v,%d)",
+						name, start, max, i, gotK[i], gotV[i], wantK[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+func intoFixture(t *testing.T, n int) (keys, absent []float64, pays []uint64) {
+	t.Helper()
+	all := datasets.GenLognormal(2*n, 5)
+	keys, absent = all[:n], all[n:]
+	// Deduplicate across the two halves so "absent" keys stay absent.
+	seen := map[float64]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	kept := absent[:0]
+	for _, k := range absent {
+		if !seen[k] {
+			kept = append(kept, k)
+		}
+	}
+	absent = kept
+	pays = make([]uint64, len(keys))
+	for i := range pays {
+		pays[i] = uint64(i) * 3
+	}
+	return keys, absent, pays
+}
+
+func TestGetBatchIntoMatchesGetBatch(t *testing.T) {
+	keys, absent, pays := intoFixture(t, 30000)
+
+	idx, err := alex.Load(keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIntoVariants(t, "Index", idx, keys, absent)
+
+	sy, err := alex.LoadSync(keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIntoVariants(t, "SyncIndex", sy, keys, absent)
+	sy.SetOptimisticReads(false)
+	checkIntoVariants(t, "SyncIndex(locked)", sy, keys, absent)
+
+	for _, shards := range []int{1, 3, 8} {
+		sh, err := alex.LoadSharded(shards, keys, pays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIntoVariants(t, "ShardedIndex", sh, keys, absent)
+		sh.SetOptimisticReads(false)
+		checkIntoVariants(t, "ShardedIndex(locked)", sh, keys, absent)
+	}
+}
+
+func TestDurableIntoDelegates(t *testing.T) {
+	keys, absent, pays := intoFixture(t, 5000)
+	d, err := alex.OpenDurable(t.TempDir(), alex.WithFsyncPolicy(alex.FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Merge(keys, pays)
+	checkIntoVariants(t, "DurableIndex", d, keys, absent)
+}
+
+func TestGetBatchIntoPanicsOnShortSlices(t *testing.T) {
+	idx, err := alex.LoadSync([]float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(){
+		func() { idx.GetBatchInto([]float64{1, 2}, make([]uint64, 1), make([]bool, 2)) },
+		func() { idx.GetBatchInto([]float64{1, 2}, make([]uint64, 2), make([]bool, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on mismatched result slice lengths")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Non-finite keys are rejected by every write path, but read paths
+// must resolve them as plain misses — a NaN compares below every leaf
+// bound and router boundary, which once livelocked the run-advance
+// loops of GetBatchInto (and, through delegation, GetBatch).
+func TestGetBatchNonFiniteKeysMiss(t *testing.T) {
+	keys, _, pays := intoFixture(t, 20000)
+	nasty := []float64{math.NaN(), math.Inf(-1), keys[10], math.NaN(), math.Inf(1)}
+	check := func(name string, idx intoSurface) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			vals, found := idx.GetBatch(nasty)
+			gotV := make([]uint64, len(nasty))
+			gotF := make([]bool, len(nasty))
+			idx.GetBatchInto(nasty, gotV, gotF)
+			for i := range nasty {
+				if found[i] != (i == 2) || gotF[i] != (i == 2) {
+					t.Errorf("%s: found[%d] = %v/%v, want %v", name, i, found[i], gotF[i], i == 2)
+				}
+				if i == 2 && (vals[i] != pays[10] || gotV[i] != pays[10]) {
+					t.Errorf("%s: wrong payload for the one finite key", name)
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: GetBatch with non-finite keys hung", name)
+		}
+	}
+
+	idx, err := alex.Load(keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Index", idx)
+	sy, err := alex.LoadSync(keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("SyncIndex", sy)
+	sh, err := alex.LoadSharded(4, keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ShardedIndex", sh)
+	sh.SetOptimisticReads(false)
+	check("ShardedIndex(locked)", sh)
+}

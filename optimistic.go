@@ -1,0 +1,34 @@
+//go:build !race
+
+package alex
+
+// optimisticReads enables the seqlock-style lock-free read path of
+// SyncIndex and ShardedIndex.
+//
+// The protocol (see SyncIndex.Get for the read side and Apply for the
+// write side) is a classic sequence lock: writers bump an atomic
+// sequence number to odd before mutating and back to even after, and a
+// reader snapshots the sequence, probes the index with plain loads, and
+// only trusts the result if the sequence was even and unchanged across
+// the probe. The speculative probe intentionally races with writers —
+// that is the entire point; any value read during a mutation is thrown
+// away by the revalidation. The point-lookup probe is panic-proof by
+// construction against torn state (clamped and unsigned-guarded
+// indexing in internal/leafbase, comma-ok descent in internal/core);
+// the longer batch and scan probes additionally carry a recover frame.
+// But the race detector cannot see the revalidation, so under `-race`
+// builds this constant disables the speculation and every read takes
+// the RLock fallback path. Race CI therefore verifies the locked path
+// and the writer-side seq discipline; the stress tests run in both
+// modes.
+const optimisticReads = true
+
+// raceEnabled mirrors the race detector's presence for tests that need
+// to know which read path is live.
+const raceEnabled = false
+
+// optimisticRetries bounds how many times a reader re-attempts the
+// lock-free probe before giving up and taking the read lock. A failed
+// attempt means a writer was mid-mutation; retrying once or twice
+// bridges short mutations without spinning against a long rebuild.
+const optimisticRetries = 3

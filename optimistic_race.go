@@ -1,0 +1,16 @@
+//go:build race
+
+package alex
+
+// Under the race detector the seqlock probe's deliberate data race
+// would be reported (the detector cannot model "racy read, then
+// revalidate and discard"), so optimistic reads are compiled out and
+// every read takes the RLock path. See optimistic.go for the protocol.
+const optimisticReads = false
+
+// raceEnabled mirrors the race detector's presence for tests.
+const raceEnabled = true
+
+// optimisticRetries is unused when optimisticReads is false; kept so
+// both build variants expose the same constants.
+const optimisticRetries = 3

@@ -1,0 +1,212 @@
+package alex_test
+
+// Stress tests for the optimistic (seqlock) read path: concurrent
+// readers run lock-free probes while writers insert, delete and
+// update, a splitter keeps the tree shape churning (small leaves +
+// split-on-insert force frequent node splits and retrains), and — for
+// the sharded index — a retrainer keeps swapping the router table.
+// Every payload is a pure function of its key, so the readers can
+// verify the fundamental seqlock guarantee on every single result: a
+// read returns either a value that was acked at some point or
+// not-found — never a torn or otherwise fabricated payload.
+//
+// On normal builds this exercises the real optimistic path (probes
+// racing mutations, revalidation discarding torn results). Under the
+// race detector the optimistic path is compiled out (see
+// optimistic.go) and the same assertions vet the locked fallback.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	alex "repro"
+)
+
+// stressPayload derives the only payload ever written for a key, so a
+// torn read is detectable as a mismatch.
+func stressPayload(key float64) uint64 {
+	return math.Float64bits(key) ^ 0xA5A5A5A5A5A5A5A5
+}
+
+// stressSurface is the read/write surface the stress drives; both
+// wrappers satisfy it.
+type stressSurface interface {
+	Get(key float64) (uint64, bool)
+	Insert(key float64, payload uint64) bool
+	Delete(key float64) bool
+	Update(key float64, payload uint64) bool
+	GetBatchInto(keys []float64, payloads []uint64, found []bool)
+	ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
+}
+
+func runOptimisticStress(t *testing.T, idx stressSurface, extra func(stop *atomic.Bool)) {
+	const (
+		keySpace = 1 << 15
+		readers  = 4
+		writers  = 2
+	)
+	keyAt := func(i int) float64 { return float64(i) * 1.25 }
+
+	// Seed half the key space so readers hit immediately.
+	seed := make([]float64, 0, keySpace/2)
+	pays := make([]uint64, 0, keySpace/2)
+	for i := 0; i < keySpace; i += 2 {
+		k := keyAt(i)
+		seed = append(seed, k)
+		pays = append(pays, stressPayload(k))
+	}
+	if n := idx.Insert(seed[0], pays[0]); !n {
+		t.Fatal("seed insert failed")
+	}
+	for i := 1; i < len(seed); i++ {
+		idx.Insert(seed[i], pays[i])
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+
+	check := func(key float64, v uint64, ok bool) {
+		if ok && v != stressPayload(key) {
+			torn.Add(1)
+		}
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			batch := make([]float64, 32)
+			vals := make([]uint64, 32)
+			found := make([]bool, 32)
+			scanK := make([]float64, 0, 64)
+			scanV := make([]uint64, 0, 64)
+			for !stop.Load() {
+				switch rng.Intn(3) {
+				case 0: // point gets
+					for i := 0; i < 64; i++ {
+						k := keyAt(rng.Intn(keySpace))
+						v, ok := idx.Get(k)
+						check(k, v, ok)
+						reads.Add(1)
+					}
+				case 1: // sorted batch get
+					base := rng.Intn(keySpace - len(batch)*2)
+					for i := range batch {
+						batch[i] = keyAt(base + i*2)
+					}
+					idx.GetBatchInto(batch, vals, found)
+					for i := range batch {
+						check(batch[i], vals[i], found[i])
+					}
+					reads.Add(int64(len(batch)))
+				case 2: // bounded scan: pairs must be self-consistent and ordered
+					start := keyAt(rng.Intn(keySpace))
+					scanK, scanV = idx.ScanNInto(start, 64, scanK, scanV)
+					prev := math.Inf(-1)
+					for i, k := range scanK {
+						if k < start || k <= prev {
+							torn.Add(1)
+						}
+						prev = k
+						check(k, scanV[i], true)
+					}
+					reads.Add(int64(len(scanK)))
+				}
+			}
+		}(r)
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + w)))
+			for !stop.Load() {
+				i := rng.Intn(keySpace)
+				k := keyAt(i)
+				switch rng.Intn(4) {
+				case 0:
+					idx.Insert(k, stressPayload(k))
+				case 1:
+					idx.Delete(k)
+				case 2:
+					idx.Update(k, stressPayload(k))
+				case 3: // churn a small sorted run through the batch path
+					ks := make([]float64, 8)
+					ps := make([]uint64, 8)
+					for j := range ks {
+						ks[j] = keyAt((i + j*2) % keySpace)
+						ps[j] = stressPayload(ks[j])
+					}
+					idx.Insert(ks[0], ps[0]) // keep at least one present
+					if w%2 == 0 {
+						type batcher interface {
+							InsertBatch(keys []float64, payloads []uint64) int
+						}
+						if b, ok := idx.(batcher); ok {
+							b.InsertBatch(ks, ps)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	if extra != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			extra(&stop)
+		}()
+	}
+
+	// Run until the readers have validated a substantial number of
+	// results (with a wall-clock cap so a starved box still finishes).
+	deadline := time.Now().Add(20 * time.Second)
+	for reads.Load() < 400000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn/fabricated reads observed (of %d validated)", n, reads.Load())
+	}
+	t.Logf("validated %d reads, 0 torn", reads.Load())
+}
+
+// TestOptimisticStressSyncIndex races readers against writers and the
+// tree's own splitter: tiny leaves with split-on-insert make every few
+// hundred inserts restructure the tree (splits, expands, retrains)
+// while lock-free probes are in flight.
+func TestOptimisticStressSyncIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	idx := alex.NewSync(alex.WithSplitOnInsert(), alex.WithMaxKeysPerLeaf(256))
+	runOptimisticStress(t, idx, nil)
+}
+
+// TestOptimisticStressShardedIndex adds the router retrainer: a
+// dedicated goroutine keeps rebalancing the shard table, so optimistic
+// readers constantly race table swaps and moved shards on top of the
+// per-shard mutations.
+func TestOptimisticStressShardedIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	idx := alex.NewSharded(4, alex.WithSplitOnInsert(), alex.WithMaxKeysPerLeaf(256))
+	runOptimisticStress(t, idx, func(stop *atomic.Bool) {
+		for !stop.Load() {
+			idx.Rebalance()
+			time.Sleep(2 * time.Millisecond) // let readers race the fresh table
+		}
+	})
+}

@@ -34,9 +34,11 @@ type Store interface {
 	Insert(key float64, payload uint64) bool
 	Delete(key float64) bool
 	GetBatch(keys []float64) (payloads []uint64, found []bool)
+	GetBatchInto(keys []float64, payloads []uint64, found []bool)
 	InsertBatch(keys []float64, payloads []uint64) int
 	DeleteBatch(keys []float64) int
 	ScanN(start float64, max int) ([]float64, []uint64)
+	ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
 	Len() int
 	Stats() alex.Stats
 	IndexSizeBytes() int
@@ -212,12 +214,16 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			fmt.Fprintln(w, "NOTFOUND")
 		}
 	case "MGET":
-		keys, err := parseKeys(args, 1)
+		sc := scratchPool.Get().(*batchScratch)
+		defer scratchPool.Put(sc)
+		keys, err := parseKeysInto(args, 1, sc.keys[:0])
+		sc.keys = keys
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		vals, found := s.idx.GetBatch(keys)
+		vals, found := sc.results(len(keys))
+		s.idx.GetBatchInto(keys, vals, found)
 		for i := range keys {
 			if found[i] {
 				fmt.Fprintf(w, "VALUE %d\n", vals[i])
@@ -274,7 +280,10 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		if n > maxScan {
 			n = maxScan
 		}
-		keys, vals := s.idx.ScanN(start, n)
+		sc := scratchPool.Get().(*batchScratch)
+		defer scratchPool.Put(sc)
+		keys, vals := s.idx.ScanNInto(start, n, sc.keys[:0], sc.vals[:0])
+		sc.keys, sc.vals = keys, vals
 		for i := range keys {
 			fmt.Fprintf(w, "KEY %.17g %d\n", keys[i], vals[i])
 		}
@@ -353,13 +362,45 @@ func parseKeys(args []string, min int) ([]float64, error) {
 	if len(args) < min {
 		return nil, errors.New("wrong argument count")
 	}
-	keys := make([]float64, len(args))
-	for i, a := range args {
+	return parseKeysInto(args, min, make([]float64, 0, len(args)))
+}
+
+// parseKeysInto is parseKeys appending into a caller-supplied slice, so
+// pooled command buffers can be reused across requests.
+func parseKeysInto(args []string, min int, keys []float64) ([]float64, error) {
+	if len(args) < min {
+		return keys, errors.New("wrong argument count")
+	}
+	for _, a := range args {
 		k, err := parseKey(a)
 		if err != nil {
-			return nil, err
+			return keys, err
 		}
-		keys[i] = k
+		keys = append(keys, k)
 	}
 	return keys, nil
 }
+
+// batchScratch pools the per-command buffers of the MGET and SCAN
+// handlers: with the index's *Into read variants underneath, a batch
+// read served from a warm pool performs no per-request allocations in
+// the store at all.
+type batchScratch struct {
+	keys  []float64
+	vals  []uint64
+	found []bool
+}
+
+// results returns vals/found slices of length n, growing the backing
+// arrays only when a larger batch than ever before arrives.
+func (sc *batchScratch) results(n int) ([]uint64, []bool) {
+	if cap(sc.vals) < n {
+		sc.vals = make([]uint64, n)
+	}
+	if cap(sc.found) < n {
+		sc.found = make([]bool, n)
+	}
+	return sc.vals[:n], sc.found[:n]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}

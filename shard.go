@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/search"
 )
 
 // ShardedIndex partitions the key space across N independent Index
@@ -58,16 +59,65 @@ type ShardedIndex struct {
 	writeTick    atomic.Uint64 // writes since the last drift check
 	retrains     atomic.Uint64 // completed router retrains
 	lastdistSize atomic.Int64  // Len() at the last (re)partition
+
+	// lockOnly forces the locked read path; see SetOptimisticReads.
+	lockOnly atomic.Bool
 }
 
-// shard is one key-space partition: an Index plus its lock.
+// shard is one key-space partition: an Index plus its lock and seqlock
+// generation.
 type shard struct {
 	mu  sync.RWMutex
 	idx *Index
+	// seq is the shard's seqlock generation: odd while a writer mutates
+	// the shard's index (under mu), even and advanced once it is done.
+	// Optimistic readers validate their lock-free probes against it; see
+	// optimistic.go for the protocol. A router retrain never bumps it:
+	// retrains freeze the old shard (its index is never mutated again),
+	// so a racing optimistic reader of a superseded shard still observes
+	// an internally consistent — merely slightly stale, and therefore
+	// still linearizable — view.
+	seq atomic.Uint64
 	// moved is set (under mu) when a retrain supersedes this shard: its
-	// contents live in the new table, so lock-free routers that raced
+	// contents live in the new table, so lock-taking routers that raced
 	// the swap must reload the table and retry.
 	moved bool
+}
+
+// tryGetBatchInto is one optimistic probe for a contiguous run of a
+// sorted batch; valid is false when a writer overlapped (including a
+// probe that tripped over a mid-rebuild structure and panicked — the
+// recover turns it into a retry).
+func (sh *shard) tryGetBatchInto(keys []float64, payloads []uint64, found []bool) (valid bool) {
+	s1 := sh.seq.Load()
+	if s1&1 != 0 {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	sh.idx.GetBatchInto(keys, payloads, found)
+	return sh.seq.Load() == s1
+}
+
+// tryScanNInto is one optimistic scan probe appending to the given
+// slices; on a failed validation the caller discards the returned
+// slices and retries under the lock.
+func (sh *shard) tryScanNInto(start float64, max int, keys []float64, payloads []uint64) (k []float64, p []uint64, valid bool) {
+	s1 := sh.seq.Load()
+	if s1&1 != 0 {
+		return keys, payloads, false
+	}
+	defer func() {
+		if recover() != nil {
+			k, p, valid = keys, payloads, false
+		}
+	}()
+	k, p = sh.idx.ScanNInto(start, max, keys, payloads)
+	valid = sh.seq.Load() == s1
+	return
 }
 
 // shardTable is one immutable routing epoch: bounds[i] is the exclusive
@@ -79,9 +129,28 @@ type shardTable struct {
 }
 
 // locate returns the shard index owning key: the first i with
-// key < bounds[i], else the last shard.
+// key < bounds[i], else the last shard. Open-coded branchless upper
+// bound — on the point-read hot path a sort.Search call (closure
+// dispatch plus mispredicted halving branches) would cost more than the
+// whole model prediction it precedes.
 func (t *shardTable) locate(key float64) int {
-	return sort.Search(len(t.bounds), func(i int) bool { return key < t.bounds[i] })
+	b := t.bounds
+	n := len(b)
+	if n == 0 {
+		return 0
+	}
+	base := 0
+	for n > 1 {
+		half := n >> 1
+		if b[base+half-1] <= key { // lowered to CMOV
+			base += half
+		}
+		n -= half
+	}
+	if b[base] <= key {
+		base++
+	}
+	return base
 }
 
 const (
@@ -158,47 +227,107 @@ func buildShardTable(nsh int, keys []float64, payloads []uint64, cfg core.Config
 // readShard routes key to its shard and returns it read-locked. The
 // moved check makes the lock-free routing safe against a concurrent
 // retrain: a stale table's shard flags itself and the caller retries
-// against the freshly installed table.
+// against the freshly installed table. The common path costs exactly
+// one atomic table load and one boundary search; on a moved-flag retry
+// the boundary slice is re-read only if the router generation (the
+// table pointer) actually changed — a retrain always installs the new
+// table before flagging the old shards, so an unchanged pointer means
+// the routing is still valid.
 func (s *ShardedIndex) readShard(key float64) *shard {
+	t := s.tab.Load()
+	i := t.locate(key)
 	for {
-		t := s.tab.Load()
-		sh := t.shards[t.locate(key)]
+		sh := t.shards[i]
 		sh.mu.RLock()
 		if !sh.moved {
 			return sh
 		}
 		sh.mu.RUnlock()
+		if nt := s.tab.Load(); nt != t {
+			t = nt
+			i = t.locate(key)
+		}
 	}
 }
 
-// writeShard routes key to its shard and returns it write-locked.
+// writeShard routes key to its shard and returns it write-locked; same
+// single-load routing as readShard.
 func (s *ShardedIndex) writeShard(key float64) *shard {
+	t := s.tab.Load()
+	i := t.locate(key)
 	for {
-		t := s.tab.Load()
-		sh := t.shards[t.locate(key)]
+		sh := t.shards[i]
 		sh.mu.Lock()
 		if !sh.moved {
 			return sh
 		}
 		sh.mu.Unlock()
+		if nt := s.tab.Load(); nt != t {
+			t = nt
+			i = t.locate(key)
+		}
 	}
 }
 
-// Get returns the payload stored for key.
+// Get returns the payload stored for key. The read is optimistic
+// first: route through the current table, probe the shard lock-free,
+// and revalidate the shard's sequence; only detected writer overlap
+// falls back to the shard's read lock. See SyncIndex for the protocol
+// discussion — here the sequence is per shard, so a writer only
+// disturbs readers of its own key-space partition.
 func (s *ShardedIndex) Get(key float64) (uint64, bool) {
+	if s.optimistic() {
+		if v, ok, valid := s.optimisticGet(key); valid {
+			return v, ok
+		}
+	}
 	sh := s.readShard(key)
 	v, ok := sh.idx.Get(key)
 	sh.mu.RUnlock()
 	return v, ok
 }
 
+// optimisticGet is the bounded-retry lock-free probe: route through
+// the current table, probe the shard, revalidate its sequence; between
+// attempts the route is refreshed only if the router generation
+// changed. Like SyncIndex.optimisticGet it carries no recover frame —
+// the point lookup path is panic-proof by construction against torn
+// reads (clamped and unsigned-guarded indexing in leafbase), so a
+// probe racing a node rebuild returns a wrong result that the
+// validation below discards.
+func (s *ShardedIndex) optimisticGet(key float64) (v uint64, ok, valid bool) {
+	t := s.tab.Load()
+	sh := t.shards[t.locate(key)]
+	for a := 0; a < optimisticRetries; a++ {
+		s1 := sh.seq.Load()
+		if s1&1 == 0 {
+			v, ok = sh.idx.Get(key)
+			if sh.seq.Load() == s1 {
+				return v, ok, true
+			}
+		}
+		if nt := s.tab.Load(); nt != t {
+			t = nt
+			sh = t.shards[t.locate(key)]
+		}
+	}
+	return 0, false, false
+}
+
 // Contains reports whether key is present.
 func (s *ShardedIndex) Contains(key float64) bool {
-	sh := s.readShard(key)
-	ok := sh.idx.Contains(key)
-	sh.mu.RUnlock()
+	_, ok := s.Get(key)
 	return ok
 }
+
+// SetOptimisticReads toggles the lock-free read path (default on; also
+// compiled out under the race detector). Turning it off forces every
+// read through the per-shard RLock fallback — the locked baseline the
+// read_path benchmarks compare against.
+func (s *ShardedIndex) SetOptimisticReads(enabled bool) { s.lockOnly.Store(!enabled) }
+
+// optimistic reports whether reads should attempt the lock-free probe.
+func (s *ShardedIndex) optimistic() bool { return optimisticReads && !s.lockOnly.Load() }
 
 // Apply executes one mutation, routing it to the owning shard (point
 // ops) or fanning sub-batches out across shards in parallel (batch
@@ -251,10 +380,14 @@ func (s *ShardedIndex) Apply(op Op) int {
 	panic("alex: unknown op kind")
 }
 
-// applyPoint runs one single-key mutation on the owning shard.
+// applyPoint runs one single-key mutation on the owning shard, with
+// the seqlock bumps that let optimistic readers of this shard detect
+// the overlap.
 func (s *ShardedIndex) applyPoint(key float64, mut func(*Index) bool) int {
 	sh := s.writeShard(key)
+	sh.seq.Add(1) // odd: mutation in flight
 	changed := mut(sh.idx)
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	s.noteWrites(1)
 	if changed {
@@ -286,33 +419,63 @@ func (s *ShardedIndex) Delete(key float64) bool {
 // Update overwrites the payload of an existing key.
 func (s *ShardedIndex) Update(key float64, payload uint64) bool {
 	sh := s.writeShard(key)
+	sh.seq.Add(1)
 	ok := sh.idx.Update(key, payload)
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	return ok
 }
 
-// partition splits keys into per-shard sub-batches. Input order is
-// preserved within each sub-batch, so a sorted batch yields sorted
-// sub-batches (shards own contiguous ranges) and duplicate keys keep
-// their relative order. When withPos is set, pos maps sub-batch slots
-// back to input slots (ops that don't scatter results skip the cost).
-func (t *shardTable) partition(keys []float64, withPos bool) (sub [][]float64, pos [][]int) {
-	sub = make([][]float64, len(t.shards))
-	if withPos {
-		pos = make([][]int, len(t.shards))
+// partitionScratch is the reusable buffer set of a batch fan-out: the
+// per-shard sub-batches, the scatter positions, and the per-worker
+// result counts. Fan-outs are frequent on the server's M* command
+// paths, so the backing arrays are pooled instead of reallocated per
+// batch.
+type partitionScratch struct {
+	sub    [][]float64
+	pos    [][]int
+	counts []int
+}
+
+var partitionPool = sync.Pool{New: func() any { return new(partitionScratch) }}
+
+// partition splits keys into per-shard sub-batches inside the scratch
+// buffers. Input order is preserved within each sub-batch, so a sorted
+// batch yields sorted sub-batches (shards own contiguous ranges) and
+// duplicate keys keep their relative order. When withPos is set, pos
+// maps sub-batch slots back to input slots (ops that don't scatter
+// results skip the cost).
+func (ps *partitionScratch) partition(t *shardTable, keys []float64, withPos bool) (sub [][]float64, pos [][]int) {
+	nsh := len(t.shards)
+	for len(ps.sub) < nsh {
+		ps.sub = append(ps.sub, nil)
+		ps.pos = append(ps.pos, nil)
+		ps.counts = append(ps.counts, 0)
+	}
+	ps.sub = ps.sub[:nsh]
+	ps.pos = ps.pos[:nsh]
+	ps.counts = ps.counts[:nsh]
+	for i := range nsh {
+		ps.sub[i] = ps.sub[i][:0]
+		ps.pos[i] = ps.pos[i][:0]
+		ps.counts[i] = 0
 	}
 	for i, k := range keys {
 		j := t.locate(k)
-		sub[j] = append(sub[j], k)
+		ps.sub[j] = append(ps.sub[j], k)
 		if withPos {
-			pos[j] = append(pos[j], i)
+			ps.pos[j] = append(ps.pos[j], i)
 		}
 	}
-	return sub, pos
+	if !withPos {
+		return ps.sub, nil
+	}
+	return ps.sub, ps.pos
 }
 
 // GetBatch looks up many keys, fanning per-shard sub-batches out to
-// parallel workers; see Index.GetBatch for the batch semantics.
+// parallel workers; see Index.GetBatch for the batch semantics. For
+// the zero-allocation sequential variant, see GetBatchInto.
 func (s *ShardedIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
 	payloads = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
@@ -324,6 +487,75 @@ func (s *ShardedIndex) GetBatch(keys []float64) (payloads []uint64, found []bool
 		return 0
 	})
 	return payloads, found
+}
+
+// GetBatchInto is GetBatch into caller-supplied result slices (both
+// must have len(keys) elements; every slot is overwritten), performing
+// no allocations. Instead of the parallel scatter fan-out it walks a
+// sorted batch shard by shard in key order — one boundary search per
+// involved shard bounds the contiguous run the shard owns — probing
+// each run optimistically first and falling back to that shard's read
+// lock on writer overlap. Unsorted batches fall back to per-key
+// optimistic lookups.
+func (s *ShardedIndex) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
+	if len(payloads) != len(keys) || len(found) != len(keys) {
+		panic("alex: GetBatchInto result slices must have len(keys)")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if !sort.Float64sAreSorted(keys) {
+		for i, k := range keys {
+			payloads[i], found[i] = s.Get(k)
+		}
+		return
+	}
+	i := 0
+	for i < len(keys) {
+		t := s.tab.Load()
+		j := t.locate(keys[i])
+		// The run this shard owns ends at its exclusive upper bound
+		// (the last shard owns everything that remains).
+		hi := len(keys)
+		if j < len(t.bounds) {
+			hi = i + search.LowerBoundBranchless(keys[i:], t.bounds[j])
+		}
+		if hi == i {
+			// Forced progress: a NaN key compares below every bound
+			// (sort.Float64sAreSorted also treats it as sorted-first),
+			// yielding an empty run; resolve that one key against the
+			// located shard — it is stored nowhere, so the lookup
+			// misses — rather than spinning.
+			hi = i + 1
+		}
+		if !s.getRun(t.shards[j], keys[i:hi], payloads[i:hi], found[i:hi]) {
+			continue // shard superseded mid-fallback: re-route the run
+		}
+		i = hi
+	}
+}
+
+// getRun resolves one shard-contiguous run of a sorted batch:
+// optimistic probes first, then the shard's read lock. It reports
+// false when the locked path found the shard superseded by a retrain —
+// the caller must re-route against the fresh table, because the run
+// boundary it computed came from the superseded one.
+func (s *ShardedIndex) getRun(sh *shard, keys []float64, payloads []uint64, found []bool) bool {
+	if s.optimistic() {
+		for a := 0; a < optimisticRetries; a++ {
+			if sh.tryGetBatchInto(keys, payloads, found) {
+				return true
+			}
+		}
+	}
+	sh.mu.RLock()
+	if sh.moved {
+		sh.mu.RUnlock()
+		return false
+	}
+	sh.idx.GetBatchInto(keys, payloads, found)
+	sh.mu.RUnlock()
+	return true
 }
 
 // soleShard returns the index of the only non-empty sub-batch, or -1
@@ -376,7 +608,9 @@ func (s *ShardedIndex) fanOut(keys []float64, readOnly, withPos bool, op func(sh
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	t := s.tab.Load()
-	sub, pos := t.partition(keys, withPos)
+	scratch := partitionPool.Get().(*partitionScratch)
+	defer partitionPool.Put(scratch)
+	sub, pos := scratch.partition(t, keys, withPos)
 	apply := func(i int) int {
 		sh := t.shards[i]
 		if readOnly {
@@ -384,7 +618,11 @@ func (s *ShardedIndex) fanOut(keys []float64, readOnly, withPos bool, op func(sh
 			defer sh.mu.RUnlock()
 		} else {
 			sh.mu.Lock()
-			defer sh.mu.Unlock()
+			sh.seq.Add(1) // odd: mutation in flight on this shard
+			defer func() {
+				sh.seq.Add(1)
+				sh.mu.Unlock()
+			}()
 		}
 		var at []int
 		if withPos {
@@ -395,7 +633,7 @@ func (s *ShardedIndex) fanOut(keys []float64, readOnly, withPos bool, op func(sh
 	if only := soleShard(sub); only >= 0 {
 		return apply(only)
 	}
-	counts := make([]int, len(sub))
+	counts := scratch.counts
 	var wg sync.WaitGroup
 	for i := range sub {
 		if len(sub[i]) == 0 {
@@ -452,13 +690,51 @@ func (s *ShardedIndex) ScanN(start float64, max int) ([]float64, []uint64) {
 	if max <= 0 {
 		return []float64{}, []uint64{}
 	}
-	keys := make([]float64, 0, max)
-	payloads := make([]uint64, 0, max)
-	s.Scan(start, func(k float64, v uint64) bool {
-		keys = append(keys, k)
-		payloads = append(payloads, v)
-		return len(keys) < max
-	})
+	return s.ScanNInto(start, max, make([]float64, 0, max), make([]uint64, 0, max))
+}
+
+// ScanNInto is ScanN appending into caller-supplied slices (reset to
+// length 0 first) and returning them; with capacity for max elements
+// it allocates nothing. Shards are visited in key order and stitched;
+// each shard's slice of the range is probed optimistically first
+// (elements are materialized before the sequence validation, so a torn
+// probe is discarded and retried under that shard's read lock, never
+// surfaced). The shared gate only excludes router retrains, exactly as
+// in Scan, so the result is the same weakly consistent cut.
+func (s *ShardedIndex) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	keys, payloads = keys[:0], payloads[:0]
+	if max <= 0 {
+		return keys, payloads
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	t := s.tab.Load()
+	from := start
+	for i := t.locate(start); i < len(t.shards) && len(keys) < max; i++ {
+		sh := t.shards[i]
+		want := max - len(keys)
+		// Probe into the spare tail capacity so a discarded attempt
+		// leaves the stitched prefix untouched.
+		tailK, tailP := keys[len(keys):], payloads[len(payloads):]
+		k, p, valid := tailK, tailP, false
+		if s.optimistic() {
+			for a := 0; a < optimisticRetries && !valid; a++ {
+				k, p, valid = sh.tryScanNInto(from, want, tailK, tailP)
+			}
+		}
+		if !valid {
+			sh.mu.RLock()
+			k, p = sh.idx.ScanNInto(from, want, tailK, tailP)
+			sh.mu.RUnlock()
+		}
+		// Appending the returned tail back: if the probe stayed within
+		// the spare capacity this copies elements onto themselves (no
+		// growth, no allocation); if it grew, the reallocated tail is
+		// spliced on normally.
+		keys = append(keys, k...)
+		payloads = append(payloads, p...)
+		from = math.Inf(-1)
+	}
 	return keys, payloads
 }
 

@@ -3,22 +3,51 @@ package alex
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // SyncIndex wraps Index with a readers-writer lock so concurrent readers
-// and a serialized writer can share one index safely.
+// and a serialized writer can share one index safely — and layers a
+// seqlock on top so uncontended reads never touch the lock at all.
 //
 // The paper (§7, "Concurrency Control") sketches lock-coupling over the
 // RMI as the fine-grained design; that requires per-node latches and is
-// left future work there too. This wrapper is the coarse-grained option:
-// correct under any interleaving, scales for read-mostly workloads
-// (readers only share the RWMutex read path), and serializes writers.
+// left future work there too. This wrapper is the coarse-grained option
+// for writes: correct under any interleaving, serializing writers. The
+// read side is optimistic: writers bump an atomic sequence number to
+// odd before mutating and back to even after, and Get, Contains,
+// GetBatch/GetBatchInto and ScanN/ScanNInto first run the model-predict
+// + bounded-search probe with no lock, then revalidate the sequence —
+// an unchanged even sequence proves no writer overlapped the probe, so
+// the result is exactly what the locked path would have returned. Only
+// a detected overlap (or optimisticRetries of them) falls back to the
+// RLock path, so the read hot path performs zero shared-memory writes
+// and read throughput scales with cores instead of serializing on the
+// RWMutex reader count. Callback scans (Scan, ScanRange) always take
+// the lock: they expose elements to user code mid-probe, before any
+// revalidation could discard them.
+//
 // For write-heavy workloads on multiple cores, ShardedIndex partitions
-// the key space so writers stop contending on one lock.
+// the key space so writers stop contending on one lock (its shards run
+// the same optimistic read protocol).
 type SyncIndex struct {
 	mu  sync.RWMutex
 	idx *Index
+	// seq is the seqlock generation: odd while a writer is mutating
+	// (under mu), even and advanced once it is done.
+	seq atomic.Uint64
+	// lockOnly forces the RLock path; see SetOptimisticReads.
+	lockOnly atomic.Bool
 }
+
+// SetOptimisticReads toggles the lock-free read path (default on; also
+// compiled out under the race detector — see optimistic.go). Turning it
+// off forces every read through the RLock fallback, which is what the
+// read_path benchmarks use as the locked baseline.
+func (s *SyncIndex) SetOptimisticReads(enabled bool) { s.lockOnly.Store(!enabled) }
+
+// optimistic reports whether reads should attempt the lock-free probe.
+func (s *SyncIndex) optimistic() bool { return optimisticReads && !s.lockOnly.Load() }
 
 // NewSync returns an empty thread-safe index.
 func NewSync(opts ...Option) *SyncIndex {
@@ -36,25 +65,61 @@ func LoadSync(keys []float64, payloads []uint64, opts ...Option) (*SyncIndex, er
 
 // Get returns the payload stored for key.
 func (s *SyncIndex) Get(key float64) (uint64, bool) {
+	if s.optimistic() {
+		if v, ok, valid := s.optimisticGet(key); valid {
+			return v, ok
+		}
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.Get(key)
+	v, ok := s.idx.Get(key)
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// optimisticGet runs the bounded-retry optimistic probe: snapshot the
+// sequence, run the lock-free lookup, and revalidate. valid is false
+// when every attempt overlapped a writer (the results were discarded).
+//
+// Unlike the batch probes it carries no recover frame — a deferred
+// recover costs several nanoseconds, comparable to the whole point
+// probe. Instead the point lookup path is panic-proof by construction
+// against torn reads: every slot computed from potentially-inconsistent
+// node state is clamped or unsigned-guarded against the array it
+// actually indexes (see leafbase.predictFast, Find and Lookup), so a
+// probe racing a node rebuild degrades to a wrong result that the
+// sequence validation here throws away. See optimistic.go for why the
+// data race itself is safe.
+func (s *SyncIndex) optimisticGet(key float64) (v uint64, ok, valid bool) {
+	for a := 0; a < optimisticRetries; a++ {
+		s1 := s.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		v, ok = s.idx.Get(key)
+		if s.seq.Load() == s1 {
+			return v, ok, true
+		}
+	}
+	return 0, false, false
 }
 
 // Contains reports whether key is present.
 func (s *SyncIndex) Contains(key float64) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.Contains(key)
+	_, ok := s.Get(key)
+	return ok
 }
 
 // Apply executes one mutation under a single write-lock acquisition.
 // It is the only path that mutates the wrapped index: the point and
 // batch write methods construct Ops over it, and DurableIndex replays
-// WAL records through it, so all three share identical semantics.
+// WAL records through it, so all three share identical semantics. The
+// seqlock bumps around the mutation are what let concurrent readers
+// detect the overlap and retry.
 func (s *SyncIndex) Apply(op Op) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.seq.Add(1) // odd: mutation in flight
+	defer s.seq.Add(1)
 	return s.idx.Apply(op)
 }
 
@@ -75,17 +140,56 @@ func (s *SyncIndex) Delete(key float64) bool {
 func (s *SyncIndex) Update(key float64, payload uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.seq.Add(1)
+	defer s.seq.Add(1)
 	return s.idx.Update(key, payload)
 }
 
-// GetBatch looks up many keys under a single read-lock acquisition;
-// see Index.GetBatch. Batching is what makes the wrapper scale: the
-// lock (and, for sorted batches, the RMI descent) is paid once per
-// batch instead of once per key.
+// GetBatch looks up many keys at once; see Index.GetBatch. Batching is
+// what makes the wrapper scale: the sequence validation (or, on
+// fallback, the lock) and the RMI descents are paid once per batch
+// instead of once per key.
 func (s *SyncIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
+	payloads = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	s.GetBatchInto(keys, payloads, found)
+	return payloads, found
+}
+
+// GetBatchInto is GetBatch into caller-supplied result slices (both
+// must have len(keys) elements; every slot is overwritten), making a
+// batch read allocation-free end to end. Like Get it probes
+// optimistically first: a failed validation leaves garbage in the
+// slices, but they are fully rewritten by the retry or the locked
+// fallback before the call returns.
+func (s *SyncIndex) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
+	if s.optimistic() {
+		for a := 0; a < optimisticRetries; a++ {
+			if s.tryGetBatchInto(keys, payloads, found) {
+				return
+			}
+		}
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.GetBatch(keys)
+	s.idx.GetBatchInto(keys, payloads, found)
+	s.mu.RUnlock()
+}
+
+func (s *SyncIndex) tryGetBatchInto(keys []float64, payloads []uint64, found []bool) (valid bool) {
+	if len(payloads) != len(keys) || len(found) != len(keys) {
+		panic("alex: GetBatchInto result slices must have len(keys)")
+	}
+	s1 := s.seq.Load()
+	if s1&1 != 0 {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	s.idx.GetBatchInto(keys, payloads, found)
+	return s.seq.Load() == s1
 }
 
 // InsertBatch adds many key/payload pairs under a single write-lock
@@ -124,9 +228,45 @@ func (s *SyncIndex) Scan(start float64, visit func(key float64, payload uint64) 
 
 // ScanN collects up to max elements from the first key >= start.
 func (s *SyncIndex) ScanN(start float64, max int) ([]float64, []uint64) {
+	if max < 0 {
+		max = 0
+	}
+	return s.ScanNInto(start, max, make([]float64, 0, max), make([]uint64, 0, max))
+}
+
+// ScanNInto is ScanN appending into caller-supplied slices (reset to
+// length 0 first), returning the filled slices; with enough capacity
+// the whole scan is allocation-free. Unlike the callback Scan it is
+// safe to run optimistically: elements are materialized before the
+// sequence validation, so a torn probe is discarded wholesale and
+// retried rather than ever reaching the caller.
+func (s *SyncIndex) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	if s.optimistic() {
+		for a := 0; a < optimisticRetries; a++ {
+			if k, p, valid := s.tryScanNInto(start, max, keys, payloads); valid {
+				return k, p
+			}
+		}
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.ScanN(start, max)
+	keys, payloads = s.idx.ScanNInto(start, max, keys, payloads)
+	s.mu.RUnlock()
+	return keys, payloads
+}
+
+func (s *SyncIndex) tryScanNInto(start float64, max int, keys []float64, payloads []uint64) (k []float64, p []uint64, valid bool) {
+	s1 := s.seq.Load()
+	if s1&1 != 0 {
+		return keys, payloads, false
+	}
+	defer func() {
+		if recover() != nil {
+			k, p, valid = keys, payloads, false
+		}
+	}()
+	k, p = s.idx.ScanNInto(start, max, keys, payloads)
+	valid = s.seq.Load() == s1
+	return
 }
 
 // ScanRange visits all elements with start <= key < end under the read
