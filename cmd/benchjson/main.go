@@ -61,6 +61,12 @@ type Doc struct {
 	// "X_allocs_per_op" echoes the allocs/op metric of the read
 	// benchmarks so the zero-allocation contract is archived per run.
 	ReadPath map[string]float64 `json:"read_path,omitempty"`
+	// ErrorBounds archives the per-leaf prediction-error-bound state of
+	// the GetBoundedVsExponential run: p50/p99 leaf error bound, the
+	// share of probes served by the bounded fast path, and exponential
+	// ns/op over bounded ns/op on the same drifted tree (>1 means the
+	// error-bound strategy selection wins).
+	ErrorBounds map[string]float64 `json:"error_bounds,omitempty"`
 }
 
 // benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ...".
@@ -178,6 +184,32 @@ func main() {
 	}
 	if len(doc.ReadPath) == 0 {
 		doc.ReadPath = nil
+	}
+
+	// Error-bounds block: the leaf error distribution reported by the
+	// Bounded run, plus the exponential/bounded ratio of the pair.
+	if boundedNs, ok := byName["GetBoundedVsExponential/Bounded"]; ok {
+		doc.ErrorBounds = map[string]float64{}
+		if expNs, ok := byName["GetBoundedVsExponential/Exponential"]; ok && boundedNs > 0 {
+			doc.ErrorBounds["exponential_over_bounded"] = expNs / boundedNs
+		}
+		for _, r := range doc.Benchmarks {
+			if r.Name != "GetBoundedVsExponential/Bounded" {
+				continue
+			}
+			for metric, key := range map[string]string{
+				"p50-leaf-err":  "p50_leaf_err",
+				"p99-leaf-err":  "p99_leaf_err",
+				"bounded-share": "bounded_probe_share",
+			} {
+				if v, ok := r.Metrics[metric]; ok {
+					doc.ErrorBounds[key] = v
+				}
+			}
+		}
+		if len(doc.ErrorBounds) == 0 {
+			doc.ErrorBounds = nil
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

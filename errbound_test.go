@@ -1,0 +1,302 @@
+package alex_test
+
+// Tests for the per-leaf prediction-error bounds (ISSUE 5 tentpole) and
+// the read/stats consistency bugfix sweep riding along:
+//
+//   - TestErrBoundStress* churn a concurrent index while readers probe
+//     and periodically verify CheckInvariants, whose leaf audit
+//     re-predicts every stored key and fails if the incrementally
+//     maintained bound ever under-states the true error. The race gate
+//     runs these under -race.
+//   - TestShardedAggregateConsistency is the regression test for the
+//     torn Len()/Stats() aggregation: cross-shard batches of a fixed
+//     size must never be observed half-counted.
+//   - TestGetBatchVariantsEquivalence fuzzes GetBatch (parallel,
+//     allocating) against GetBatchInto (sequential, zero-alloc) and a
+//     loop of Gets across all three wrappers, on batches salted with
+//     NaN/±Inf/duplicate/boundary keys, sorted and unsorted.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	alex "repro"
+)
+
+// churnStore is the mutation surface shared by SyncIndex and
+// ShardedIndex that the stress tests drive.
+type churnStore interface {
+	Insert(key float64, payload uint64) bool
+	Delete(key float64) bool
+	InsertBatch(keys []float64, payloads []uint64) int
+	Get(key float64) (uint64, bool)
+	Len() int
+	CheckInvariants() error
+}
+
+// runErrBoundStress hammers the store with inserters, a deleter and
+// readers while an auditor repeatedly verifies the full invariant set
+// (including the per-leaf error-bound audit) under the store's own
+// locking.
+func runErrBoundStress(t *testing.T, s churnStore) {
+	t.Helper()
+	const (
+		writers = 3
+		rounds  = 20
+		minOps  = 3000 // writer mutations the audit must overlap with
+	)
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for !stop.Load() {
+				// Mix point inserts with small sorted batches clumped in
+				// narrow regions so leaf models go stale and the cost
+				// model has something to correct. Keys come from a bounded
+				// discrete pool so the index churns (payload overwrites,
+				// deletes, re-inserts) without growing unboundedly under
+				// the O(n) audit.
+				base := float64(rng.Intn(2000)) / 20
+				if rng.Intn(2) == 0 {
+					keys := make([]float64, 8)
+					pays := make([]uint64, 8)
+					for i := range keys {
+						keys[i] = base + float64(i)*1e-3
+						pays[i] = uint64(i)
+					}
+					s.InsertBatch(keys, pays)
+				} else {
+					s.Insert(base+float64(rng.Intn(8))*1e-3, uint64(w))
+				}
+				if rng.Intn(2) == 0 {
+					s.Delete(float64(rng.Intn(2000))/20 + float64(rng.Intn(8))*1e-3)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for !stop.Load() {
+			s.Get(rng.Float64() * 100)
+		}
+	}()
+	for r := 0; r < rounds || ops.Load() < minOps; r++ {
+		if err := s.CheckInvariants(); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: %v", r, err)
+		}
+		// Let the writers run between audits: the audit holds the read
+		// side of the store's lock for an O(n) walk, and back-to-back
+		// audits would starve the mutations the test exists to overlap.
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrBoundStressSync(t *testing.T) {
+	keys := make([]float64, 4096)
+	for i := range keys {
+		keys[i] = float64(i) / 40
+	}
+	s, err := alex.LoadSync(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErrBoundStress(t, s)
+}
+
+func TestErrBoundStressSharded(t *testing.T) {
+	keys := make([]float64, 4096)
+	for i := range keys {
+		keys[i] = float64(i) / 40
+	}
+	s, err := alex.LoadSharded(4, keys, nil, alex.WithSplitOnInsert())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErrBoundStress(t, s)
+}
+
+// TestShardedAggregateConsistency is the regression test for the torn
+// Len()/Stats() aggregation (shard.go): writers apply cross-shard
+// batches of exactly batchK brand-new keys each, so every state the
+// index acknowledges has (Len - seed) divisible by batchK. The old
+// aggregation locked shards one at a time under the shared gate, so a
+// reader could count shard A after a batch's sub-batch landed there
+// and shard B before its half arrived — a total no acknowledged state
+// ever had.
+func TestShardedAggregateConsistency(t *testing.T) {
+	const (
+		shards  = 4
+		seedN   = 4096
+		batchK  = 64
+		writers = 4
+		batches = 60
+		reads   = 400
+	)
+	seed := make([]float64, seedN)
+	for i := range seed {
+		seed[i] = float64(i) / seedN // uniform in [0, 1): shard bounds at quantiles
+	}
+	s, err := alex.LoadSharded(shards, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var done atomic.Int32
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer done.Add(1)
+			for j := 0; j < batches; j++ {
+				// batchK fresh keys spread across the whole key space (one
+				// per 1/batchK-wide stripe), unique per (writer, batch):
+				// every batch spans every shard.
+				jitter := (float64(w*batches+j) + 1) / float64(writers*batches+2) / float64(batchK) / 2
+				keys := make([]float64, batchK)
+				pays := make([]uint64, batchK)
+				for i := range keys {
+					keys[i] = float64(i)/batchK + 1.0/(2*batchK) + jitter/seedN
+					pays[i] = uint64(w)
+				}
+				if added := s.InsertBatch(keys, pays); added != batchK {
+					t.Errorf("writer %d batch %d: added %d keys, want %d", w, j, added, batchK)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < reads || done.Load() < writers; r++ {
+		if n := s.Len() - seedN; n%batchK != 0 {
+			t.Fatalf("torn Len: %d extra keys is not a multiple of the batch size %d", n, batchK)
+		}
+		st := s.Stats()
+		if n := int(st.KeysTotal) - seedN; n%batchK != 0 {
+			t.Fatalf("torn Stats: %d extra keys is not a multiple of the batch size %d", n, batchK)
+		}
+		if r > 100000 {
+			t.Fatal("writers never finished")
+		}
+	}
+	wg.Wait()
+	want := seedN + writers*batches*batchK
+	if got := s.Len(); got != want {
+		t.Fatalf("final Len = %d, want %d", got, want)
+	}
+}
+
+// TestGetBatchVariantsEquivalence fuzzes the three batch-read shapes
+// against each other and a loop of Gets, across all wrappers, with
+// batches salted with NaN, ±Inf, duplicates and shard-boundary keys in
+// both sorted and unsorted order (ROADMAP follow-up (3) groundwork).
+func TestGetBatchVariantsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	stored := make([]float64, 8192)
+	for i := range stored {
+		stored[i] = rng.NormFloat64() * 50
+	}
+	pays := make([]uint64, len(stored))
+	for i := range pays {
+		pays[i] = uint64(i) + 1
+	}
+	ix, err := alex.Load(stored, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := alex.LoadSync(stored, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := alex.LoadSharded(4, stored, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type batchGetter interface {
+		Get(key float64) (uint64, bool)
+		GetBatch(keys []float64) ([]uint64, []bool)
+		GetBatchInto(keys []float64, payloads []uint64, found []bool)
+	}
+	wrappers := map[string]batchGetter{"Index": ix, "SyncIndex": sy, "ShardedIndex": sh}
+
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(200)
+		batch := make([]float64, n)
+		for i := range batch {
+			switch rng.Intn(10) {
+			case 0:
+				batch[i] = math.NaN()
+			case 1:
+				batch[i] = math.Inf(1)
+			case 2:
+				batch[i] = math.Inf(-1)
+			case 3, 4:
+				batch[i] = rng.NormFloat64() * 50 // mostly absent
+			case 5:
+				if i > 0 {
+					batch[i] = batch[i-1] // duplicate run
+				} else {
+					batch[i] = stored[rng.Intn(len(stored))]
+				}
+			default:
+				batch[i] = stored[rng.Intn(len(stored))]
+			}
+		}
+		if trial%2 == 0 {
+			// Sorted with NaNs first — the order Float64sAreSorted accepts
+			// — exercising the run-advance paths at shard boundaries.
+			sortNaNFirst(batch)
+		}
+		for name, w := range wrappers {
+			vals, found := w.GetBatch(batch)
+			intoV := make([]uint64, n)
+			intoF := make([]bool, n)
+			w.GetBatchInto(batch, intoV, intoF)
+			for i, k := range batch {
+				gv, gf := w.Get(k)
+				if found[i] != gf || (gf && vals[i] != gv) {
+					t.Fatalf("%s trial %d: GetBatch[%d]=(%v,%v) != Get(%v)=(%v,%v)",
+						name, trial, i, vals[i], found[i], k, gv, gf)
+				}
+				if intoF[i] != gf || (gf && intoV[i] != gv) {
+					t.Fatalf("%s trial %d: GetBatchInto[%d]=(%v,%v) != Get(%v)=(%v,%v)",
+						name, trial, i, intoV[i], intoF[i], k, gv, gf)
+				}
+			}
+		}
+	}
+}
+
+// sortNaNFirst sorts keys with NaNs ordered first — the total order
+// sort.Float64sAreSorted recognizes.
+func sortNaNFirst(a []float64) {
+	nans := 0
+	for i, v := range a {
+		if v != v {
+			a[i], a[nans] = a[nans], a[i]
+			nans++
+		}
+	}
+	rest := a[nans:]
+	for i := 1; i < len(rest); i++ { // insertion sort; batches are small
+		for j := i; j > 0 && rest[j] < rest[j-1]; j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
+		}
+	}
+}

@@ -38,6 +38,7 @@ var Experiments = map[string]func(w io.Writer, o Options){
 	"ext-disk":        func(w io.Writer, o Options) { ExtDisk(w, o) },
 	"ext-batch":       func(w io.Writer, o Options) { ExtBatch(w, o) },
 	"ext-concurrent":  func(w io.Writer, o Options) { ExtConcurrent(w, o) },
+	"ext-errbounds":   func(w io.Writer, o Options) { ExtErrorBounds(w, o) },
 }
 
 // Order is the canonical experiment ordering for `alexbench all`.
@@ -47,7 +48,7 @@ var Order = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13",
 	"ablation-leaf", "ablation-fanout", "ablation-split",
 	"ext-delete", "ext-theory", "ext-apma", "ext-disk", "ext-batch",
-	"ext-concurrent",
+	"ext-concurrent", "ext-errbounds",
 }
 
 // RunAll executes every experiment in order.

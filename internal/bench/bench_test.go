@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/leafbase"
 	"repro/internal/workload"
 )
 
@@ -436,5 +439,71 @@ func TestExtConcurrent(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "ShardedIndex") {
 		t.Fatal("sharded column missing from output")
+	}
+}
+
+func TestExtErrorBounds(t *testing.T) {
+	var buf bytes.Buffer
+	rows := ExtErrorBounds(&buf, tiny())
+	if len(rows) != len(datasets.All) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(datasets.All))
+	}
+	for _, r := range rows {
+		if r.P50 < 0 || r.P99 < r.P50 {
+			t.Fatalf("%s: percentiles not monotone: p50=%d p99=%d", r.Dataset, r.P50, r.P99)
+		}
+		if r.BoundedShare < 0 || r.BoundedShare > 1 {
+			t.Fatalf("%s: bounded share %v out of range", r.Dataset, r.BoundedShare)
+		}
+		if r.BoundedNs <= 0 || r.ExpNs <= 0 {
+			t.Fatalf("%s: non-positive timings %v / %v", r.Dataset, r.BoundedNs, r.ExpNs)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "error bounds & search-strategy selection") {
+		t.Fatalf("missing section header in:\n%s", out)
+	}
+	if !strings.Contains(out, "error-bound histogram") {
+		t.Fatalf("missing histogram in:\n%s", out)
+	}
+}
+
+// BenchmarkGetBoundedVsExponential measures the same point lookups on
+// the same drifted tree with the error-bound-driven bounded search on
+// (the default) and forced off (every miss brackets exponentially —
+// the pre-ISSUE-5 read path). The Bounded run also reports the leaf
+// error distribution, which benchjson folds into BENCH_ci.json's
+// error_bounds block.
+func BenchmarkGetBoundedVsExponential(b *testing.B) {
+	defer leafbase.SetBoundedSearch(true)
+	keys := datasets.Generate(datasets.Longitudes, 1<<17, 7)
+	init, stream := keys[:1<<16], keys[1<<16:]
+	tr, err := core.BulkLoad(init, nil, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range stream {
+		tr.Insert(k, uint64(i))
+	}
+	mask := len(keys) - 1
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"Bounded", true}, {"Exponential", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			leafbase.SetBoundedSearch(mode.on)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				v, _ := tr.Get(keys[i&mask])
+				sink += v
+			}
+			_ = sink
+			if mode.on {
+				st := tr.Stats()
+				b.ReportMetric(float64(st.LeafErrPercentile(50)), "p50-leaf-err")
+				b.ReportMetric(float64(st.LeafErrPercentile(99)), "p99-leaf-err")
+				b.ReportMetric(st.BoundedShare(), "bounded-share")
+			}
+		})
 	}
 }

@@ -195,6 +195,9 @@ func (t *Tree) insertSorted(keys []float64, payloads []uint64) int {
 		added := g.leaf.data.InsertSortedBatch(ks, ps)
 		t.count += added
 		n += added
+		// One cost-model decision per node per batch, like the
+		// expand/retrain/split decisions the batch API amortizes.
+		t.costCheck(g.leaf, g.parent)
 		t.restoreLeafBound(ks)
 	}
 	return n

@@ -18,12 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/gapped"
 	"repro/internal/leafbase"
 	"repro/internal/linmodel"
 	"repro/internal/pma"
+	"repro/internal/stats"
 )
 
 // Layout selects the data node layout (§3.3).
@@ -146,6 +148,13 @@ type DataNode interface {
 	MaxKey() (float64, bool)
 	AppendFrom(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
 	PredictionError(key float64) (int, bool)
+	// ErrorBound / RetrainAdvised / Retrain are the §4 cost-model
+	// surface: the per-leaf prediction-error bound (-1 for model-less
+	// nodes), the drift signal derived from it, and the corrective
+	// rebuild. See leafbase for the maintenance rules.
+	ErrorBound() int
+	RetrainAdvised() bool
+	Retrain()
 	DataSizeBytes(payloadBytes int) int
 	BaseStats() *leafbase.Stats
 	CheckInvariants() error
@@ -200,22 +209,94 @@ type leafNode struct {
 	next, prev *leafNode
 }
 
-// Stats aggregates tree-level and data-node-level counters.
+// Stats aggregates tree-level and data-node-level counters, plus the
+// distribution of per-leaf prediction-error bounds the §4 cost model
+// maintains (see leafbase.Base.ErrBound).
 type Stats struct {
 	leafbase.Stats
-	Splits    uint64
-	NumLeaves int
-	NumInner  int
-	Height    int
+	Splits uint64
+	// CostRetrains counts leaf retrains (or splits) triggered by the
+	// error-bound cost model rather than by density or size bounds.
+	CostRetrains uint64
+	NumLeaves    int
+	NumInner     int
+	Height       int
+
+	// ErrHist buckets modeled leaves by their error bound in powers of
+	// two (bucket 0 holds exactly 0, bucket i>0 holds [2^(i-1), 2^i)),
+	// the x-axis of the paper's Fig 7 prediction-error plots. Cold
+	// (model-less) leaves are excluded.
+	ErrHist [20]uint64
+	// MaxLeafErr is the largest per-leaf error bound.
+	MaxLeafErr int
+	// KeysBounded / KeysModeled / KeysTotal weight the distribution by
+	// stored keys: KeysBounded live in leaves whose bound fits the
+	// bounded-search window (a uniform random stored key is served by
+	// bounded search with probability KeysBounded/KeysTotal), KeysModeled
+	// in any modeled leaf, KeysTotal everywhere.
+	KeysBounded uint64
+	KeysModeled uint64
+	KeysTotal   uint64
+}
+
+// errBucket maps an error bound to its ErrHist bucket.
+func errBucket(e int) int {
+	b := bits.Len(uint(e)) // 0→0, 1→1, 2..3→2, 4..7→3, ...
+	if max := len(Stats{}.ErrHist) - 1; b > max {
+		b = max
+	}
+	return b
+}
+
+// Merge accumulates other into s the way a multi-tree wrapper (the
+// sharded index) aggregates per-tree stats: counters and histograms
+// sum, Height and MaxLeafErr take the maximum.
+func (s *Stats) Merge(other *Stats) {
+	s.Stats.Add(&other.Stats)
+	s.Splits += other.Splits
+	s.CostRetrains += other.CostRetrains
+	s.NumLeaves += other.NumLeaves
+	s.NumInner += other.NumInner
+	if other.Height > s.Height {
+		s.Height = other.Height
+	}
+	for i := range s.ErrHist {
+		s.ErrHist[i] += other.ErrHist[i]
+	}
+	if other.MaxLeafErr > s.MaxLeafErr {
+		s.MaxLeafErr = other.MaxLeafErr
+	}
+	s.KeysBounded += other.KeysBounded
+	s.KeysModeled += other.KeysModeled
+	s.KeysTotal += other.KeysTotal
+}
+
+// LeafErrPercentile returns the p-th percentile (0 <= p <= 100) of the
+// per-leaf error bounds, resolved to the bucket lower bound of ErrHist;
+// -1 when no modeled leaves exist. It delegates to internal/stats so
+// the archived percentiles and the rendered histograms share one
+// bucket-rank algorithm.
+func (s *Stats) LeafErrPercentile(p float64) int {
+	return stats.HistogramFromCounts(s.ErrHist[:]).Percentile(p)
+}
+
+// BoundedShare returns the fraction of stored keys living in leaves
+// served by the bounded-search fast path.
+func (s *Stats) BoundedShare() float64 {
+	if s.KeysTotal == 0 {
+		return 0
+	}
+	return float64(s.KeysBounded) / float64(s.KeysTotal)
 }
 
 // Tree is an ALEX index from float64 keys to uint64 payloads.
 type Tree struct {
-	cfg    Config
-	root   child
-	head   *leafNode // leftmost leaf
-	count  int
-	splits uint64
+	cfg          Config
+	root         child
+	head         *leafNode // leftmost leaf
+	count        int
+	splits       uint64
+	costRetrains uint64
 }
 
 // maxBuildDepth caps adaptive-RMI recursion against degenerate data.
@@ -559,14 +640,40 @@ func (t *Tree) Insert(key float64, payload uint64) bool {
 	leaf, parent := t.traverse(key)
 	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data.Num() >= t.cfg.MaxKeysPerLeaf {
 		if t.splitLeaf(leaf, parent) {
-			leaf, _ = t.traverse(key)
+			leaf, parent = t.traverse(key)
 		}
 	}
 	if leaf.data.Insert(key, payload) {
 		t.count++
+		t.costCheck(leaf, parent)
 		return true
 	}
 	return false
+}
+
+// costCheck applies the §4 cost-model feedback after inserts touched a
+// leaf: when the leaf's prediction-error bound reports that searches
+// have drifted well past the bounded-search budget (see
+// leafbase.RetrainAdvised, which also amortizes the O(n) correction
+// over the inserts since the last rebuild), the leaf is corrected —
+// split when splitting is enabled and the leaf is large enough that
+// partitioning it gives each child its own, better-fitting model,
+// retrained in place otherwise. This is what makes chronically
+// mispredicting leaves retrain or split *sooner* than the density and
+// size bounds alone would: the expansion/split decision consumes the
+// measured error, not just occupancy.
+func (t *Tree) costCheck(leaf *leafNode, parent *innerNode) {
+	if !leaf.data.RetrainAdvised() {
+		return
+	}
+	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data.Num() >= t.cfg.MaxKeysPerLeaf/2 {
+		if t.splitLeaf(leaf, parent) {
+			t.costRetrains++
+			return
+		}
+	}
+	leaf.data.Retrain()
+	t.costRetrains++
 }
 
 // splitLeaf implements node splitting on inserts (§3.4.2): the leaf's
@@ -762,14 +869,28 @@ func (t *Tree) Height() int {
 	return h(t.root)
 }
 
-// Stats aggregates counters over the whole tree.
+// Stats aggregates counters over the whole tree, including the
+// error-bound distribution the cost model maintains per leaf.
 func (t *Tree) Stats() Stats {
 	var s Stats
 	s.Splits = t.splits
+	s.CostRetrains = t.costRetrains
 	s.Height = t.Height()
 	for l := t.head; l != nil; l = l.next {
 		s.NumLeaves++
 		s.Stats.Add(l.data.BaseStats())
+		n := uint64(l.data.Num())
+		s.KeysTotal += n
+		if e := l.data.ErrorBound(); e >= 0 {
+			s.KeysModeled += n
+			s.ErrHist[errBucket(e)]++
+			if e > s.MaxLeafErr {
+				s.MaxLeafErr = e
+			}
+			if e <= leafbase.BoundedSearchMaxErr {
+				s.KeysBounded += n
+			}
+		}
 	}
 	var walk func(c child)
 	walk = func(c child) {

@@ -1,0 +1,121 @@
+package gapped
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/leafbase"
+)
+
+// maxTrueErr re-predicts every stored key and returns the node's actual
+// maximum prediction error — the quantity ErrBound must never
+// under-state.
+func maxTrueErr(t *testing.T, a *Array) int {
+	t.Helper()
+	worst := 0
+	for i := a.NextSlot(-1); i >= 0; i = a.NextSlot(i) {
+		k, _ := a.At(i)
+		e, ok := a.PredictionError(k)
+		if !ok {
+			t.Fatalf("stored key %v not found by PredictionError", k)
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestErrBoundUpperBoundProperty drives a gapped array through random
+// mutation sequences — inserts (gap claims and shift inserts), deletes
+// with contraction, sorted batch inserts, merges, retrains — and after
+// every single operation asserts by exhaustive re-prediction that the
+// stored bound is a true upper bound on every key's error (the ISSUE 5
+// error-bound maintenance property).
+func TestErrBoundUpperBoundProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(Config{})
+		check := func(op string) {
+			t.Helper()
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d after %s: %v", seed, op, err)
+			}
+			if !a.HasModel {
+				return
+			}
+			if worst := maxTrueErr(t, a); worst > a.ErrBound {
+				t.Fatalf("seed %d after %s: true max error %d exceeds stored bound %d",
+					seed, op, worst, a.ErrBound)
+			}
+		}
+		key := func() float64 {
+			// Clumped keys (narrow decimal offsets around integer bases)
+			// force both gap claims and shift inserts.
+			return float64(rng.Intn(200)) + float64(rng.Intn(50))/1000
+		}
+		for op := 0; op < 2000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				a.Insert(key(), uint64(op))
+				check("Insert")
+			case 4, 5:
+				a.Delete(key())
+				check("Delete")
+			case 6:
+				keys := make([]float64, 0, 16)
+				pays := make([]uint64, 0, 16)
+				base := key()
+				for i := 0; i < 16; i++ {
+					keys = append(keys, base+float64(i)/1000)
+					pays = append(pays, uint64(i))
+				}
+				a.InsertSortedBatch(keys, pays)
+				check("InsertSortedBatch")
+			case 7:
+				keys := make([]float64, 0, 32)
+				pays := make([]uint64, 0, 32)
+				base := key()
+				for i := 0; i < 32; i++ {
+					keys = append(keys, base+float64(i)/500)
+					pays = append(pays, uint64(i))
+				}
+				a.MergeSorted(keys, pays)
+				check("MergeSorted")
+			case 8:
+				keys := []float64{key(), key(), key()}
+				sortNonDecreasing(keys)
+				a.DeleteSortedBatch(keys)
+				check("DeleteSortedBatch")
+			case 9:
+				a.Retrain()
+				if a.HasModel {
+					// A rebuild recomputes the bound exactly: it must equal
+					// the true maximum, not merely bound it.
+					if worst := maxTrueErr(t, a); worst != a.ErrBound {
+						t.Fatalf("seed %d after Retrain: bound %d != true max error %d",
+							seed, a.ErrBound, worst)
+					}
+				}
+				check("Retrain")
+			}
+		}
+		if a.HasModel && a.ErrBound > costRetrainErrForTest {
+			// Not an invariant violation, just a sanity signal that the
+			// clumped workload exercised the high-error regime too.
+			t.Logf("seed %d: final bound %d (high-error regime reached)", seed, a.ErrBound)
+		}
+	}
+}
+
+// costRetrainErrForTest mirrors leafbase's drift threshold for the
+// regime log above.
+const costRetrainErrForTest = 4 * leafbase.BoundedSearchMaxErr
+
+func sortNonDecreasing(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

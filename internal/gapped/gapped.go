@@ -142,6 +142,15 @@ func (a *Array) Expand() {
 	a.RebuildModelBased(newCap)
 }
 
+// Retrain rebuilds the node at the bulk-load capacity (density d²) with
+// a fresh model — the §4 cost-model action the tree takes when the
+// node's prediction-error bound says searches have drifted (see
+// leafbase.RetrainAdvised). It is exactly the rebuild an expansion
+// performs, minus the growth.
+func (a *Array) Retrain() {
+	a.RebuildModelBased(a.initialCapacity(a.NumKeys))
+}
+
 // Delete removes key; when the density drops below the lower bound the
 // node contracts back to density d² (§3.2: "nodes can also contract upon
 // deletes, and the models are retrained in the same way").

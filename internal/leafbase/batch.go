@@ -13,21 +13,43 @@ import "repro/internal/search"
 
 // LookupBatch resolves keys against the node, filling the parallel
 // result slices (vals[i], found[i] describe keys[i]; all three must
-// have equal length). Results are correct for any key order, but a
-// non-decreasing batch is amortized: each search starts at the later
-// of the model's prediction and the previous key's slot, so runs of
-// nearby keys cost a few probes each instead of a full search.
+// have equal length). Results are correct for any key order.
+//
+// The per-key search strategy mirrors Find: a direct-hit check at the
+// predicted slot, then — on leaves whose error bound fits the bounded
+// window — a one-sided branch-free window search per key, else
+// exponential search. Only the exponential regime uses the
+// previous-slot hint (a non-decreasing batch starts each bracketing at
+// the later of the prediction and the previous key's slot): a bounded
+// probe's clamped result for an *absent* key is not a true lower
+// bound, so feeding it forward as a floor could skip a later key's
+// window, while the bounded window itself already makes the hint's
+// saving irrelevant.
 func (b *Base) LookupBatch(keys []float64, vals []uint64, found []bool) {
 	hint := 0
+	bounded := b.HasModel && b.ErrBound <= boundedMax
 	for i, k := range keys {
-		pos := hint
-		if b.HasModel {
-			if p := b.predictFast(k); p > pos {
-				pos = p
+		var slot int
+		if bounded {
+			p := b.predictFast(k)
+			switch kp := b.Keys[p]; {
+			case kp == k:
+				slot = p
+			case kp < k: // one-sided windows, as in Find
+				slot = search.LowerBoundLinear(b.Keys, k, p+1, p+b.ErrBound+1)
+			default:
+				slot = search.LowerBoundLinear(b.Keys, k, p-b.ErrBound, p+1)
 			}
+		} else {
+			pos := hint
+			if b.HasModel {
+				if p := b.predictFast(k); p > pos {
+					pos = p
+				}
+			}
+			slot = search.ExponentialBranchless(b.Keys, k, pos)
+			hint = slot
 		}
-		slot := search.ExponentialBranchless(b.Keys, k, pos)
-		hint = slot
 		if slot >= len(b.Keys) || b.Keys[slot] != k {
 			continue
 		}

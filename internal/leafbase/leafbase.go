@@ -58,6 +58,45 @@ func (s *Stats) Add(other *Stats) {
 // search, exactly like a B+Tree node.
 const MinModelKeys = 16
 
+// BoundedSearchMaxErr is the largest per-leaf prediction-error bound
+// for which the point probes use the bounded window search instead of
+// exponential bracketing. The §4 cost model prices the strategies in
+// expected work per probe: the bounded path resolves a miss with e+1
+// *independent* branch-free compares in a one-sided window around the
+// prediction (the direct-hit compare already fixed the direction), so
+// the out-of-order core runs it at full width with no mispredictable
+// bracket loop and no serial load chain; exponential costs ~2*log2(err)
+// probes, half of them data-dependent branches, but adapts to the
+// actual per-key error. Small bounds therefore favor the fixed window,
+// large bounds the adaptive bracketing; 16 (a 17-slot window, 1-2 cache
+// lines) is the measured crossover on the CI container.
+const BoundedSearchMaxErr = 16
+
+// costRetrainSlack is the absolute drift allowance of the §4
+// cost-model feedback: a retrain is only advised once the bound has
+// grown past both this slack and twice the bound a fresh model
+// achieved at the last rebuild (see RetrainAdvised), so the trigger
+// measures *drift a retrain can recover*, not intrinsic model error.
+const costRetrainSlack = 4 * BoundedSearchMaxErr
+
+// boundedMax is the effective ErrBound ceiling for the bounded-search
+// fast path. It is BoundedSearchMaxErr normally and -1 when bounded
+// search is disabled, so the probe-time strategy pick stays a single
+// integer compare with no extra enabled-flag branch.
+var boundedMax = BoundedSearchMaxErr
+
+// SetBoundedSearch toggles the error-bound-driven bounded-search fast
+// path (default on). Benchmarks flip it to measure bounded vs
+// exponential search on identical trees; it is not synchronized and
+// must not be toggled while the index is in use.
+func SetBoundedSearch(on bool) {
+	if on {
+		boundedMax = BoundedSearchMaxErr
+	} else {
+		boundedMax = -1
+	}
+}
+
 // Base is the storage core of a data node. It is not safe for concurrent
 // use; like the system evaluated in the paper, the index is single-writer.
 type Base struct {
@@ -75,6 +114,35 @@ type Base struct {
 	// no per-lookup int→float conversion of the capacity. Maintained by
 	// Init alongside every (re)allocation of Keys.
 	capF float64
+
+	// ErrBound is an upper bound on |occupied slot - predicted slot|
+	// over every stored key — the per-leaf expected-prediction-error
+	// signal of the paper's §4 cost model, maintained incrementally
+	// (the "modular materialisation" framing: updated in place on every
+	// mutation, recomputed exactly only when a rebuild retrains the
+	// model anyway). It is exact after BuildFromSorted and widens
+	// monotonically between rebuilds: a gap-claim insert folds in the
+	// new key's error, a shift insert re-predicts exactly the slots the
+	// shift moved (an O(shift) pass riding on the O(shift) copy), a PMA
+	// window redistribution folds in the window's recomputed errors,
+	// and deletes leave positions — and so the bound — untouched.
+	// Probes use it to pick their search
+	// strategy (see Find) and the tree's cost model reads it through
+	// ErrorBound/RetrainAdvised. Meaningful only while HasModel.
+	ErrBound int
+
+	// rebuildErr is ErrBound as computed by the last BuildFromSorted —
+	// the error a fresh model achieves on this node's data.
+	// RetrainAdvised compares the current bound against it so that only
+	// drift a retrain can actually recover triggers one; a node whose
+	// data is inherently hard to fit has a large rebuildErr and is left
+	// to exponential search instead of futile O(n) rebuilds.
+	rebuildErr int
+
+	// sinceRebuild counts inserts since the last model rebuild;
+	// RetrainAdvised uses it to amortize cost-model retrains so a leaf
+	// cannot retrain on every insert.
+	sinceRebuild int
 }
 
 // Init sets up an empty node with the given capacity.
@@ -92,6 +160,9 @@ func (b *Base) Init(capacity int) {
 	b.HasModel = false
 	b.NumKeys = 0
 	b.capF = float64(capacity)
+	b.ErrBound = 0
+	b.rebuildErr = 0
+	b.sinceRebuild = 0
 }
 
 // Cap returns the slot capacity of the node.
@@ -161,13 +232,38 @@ func (b *Base) LowerBoundSlot(key float64) int {
 // insertion places elements at (or next to) their predicted slots, so
 // the prediction usually lands exactly on the key — or on one of the gap
 // fills duplicating it, in which case the element is the next occupied
-// slot. Only a miss falls back to the exponential search.
+// slot. Only a miss searches, and the leaf's error bound picks the
+// strategy (§4 cost model): a bound that fits the bounded window
+// resolves the probe with a handful of *independent* branch-free
+// compares around the prediction — no bracketing loop, no serial
+// dependency chain — while a high-error leaf keeps exponential search,
+// whose cost scales with log(error) rather than log(node).
+//
+// Bounded search is exact here even though ErrBound only covers stored
+// keys: for a stored key the occupied slot s satisfies |s - pos| <=
+// ErrBound, and the gap fills left of s duplicate its key, so the
+// window's lower bound lands on a slot holding the key and the bitmap
+// walk below reaches s. For an absent key the window result may not be
+// the true lower bound, but its slot can never *equal* the key (fills
+// only duplicate stored keys), so the equality check reports the miss
+// exactly as the exponential path would. The direct-hit compare already
+// established which side of pos the key is on, so the window is
+// one-sided: e+1 slots, not 2e+1. (k < key is false for a NaN key, and
+// the left window then misses.)
 func (b *Base) Find(key float64) int {
 	var lo int
 	if b.HasModel {
 		pos := b.predictFast(key)
-		if b.Keys[pos] != key {
-			lo = search.ExponentialBranchless(b.Keys, key, pos)
+		if k := b.Keys[pos]; k != key {
+			if e := b.ErrBound; e <= boundedMax {
+				if k < key {
+					lo = search.LowerBoundLinear(b.Keys, key, pos+1, pos+e+1)
+				} else {
+					lo = search.LowerBoundLinear(b.Keys, key, pos-e, pos+1)
+				}
+			} else {
+				lo = search.ExponentialBranchless(b.Keys, key, pos)
+			}
 			if lo >= len(b.Keys) || b.Keys[lo] != key {
 				return -1
 			}
@@ -216,6 +312,59 @@ func (b *Base) PredictionError(key float64) (int, bool) {
 		return pred - occ, true
 	}
 	return occ - pred, true
+}
+
+// ErrorBound returns the node's current prediction-error bound, or -1
+// for a model-less (cold start) node. The tree layer reads it for the
+// split/expand cost decision and the Stats error histogram.
+func (b *Base) ErrorBound() int {
+	if !b.HasModel {
+		return -1
+	}
+	return b.ErrBound
+}
+
+// RetrainAdvised reports the §4 cost-model feedback signal: the node's
+// error bound (expected search work ~log2(2*ErrBound) iterations) has
+// drifted well past what a fresh model achieved at the last rebuild,
+// and enough inserts accumulated since then that an O(n) retrain is
+// amortized. Comparing against the rebuild-time bound — rather than an
+// absolute threshold — means a node whose data is inherently hard to
+// fit is not rebuilt futilely, while the insert-count hysteresis keeps
+// any node from retraining on every insert.
+func (b *Base) RetrainAdvised() bool {
+	if !b.HasModel || b.ErrBound <= 2*b.rebuildErr+costRetrainSlack {
+		return false
+	}
+	// An O(n) rebuild every >= n/16 inserts is O(16) amortized slots of
+	// work per insert — cheaper than the extra log2(e) search iterations
+	// every lookup pays on a drifted leaf.
+	min := b.NumKeys / 16
+	if min < MinModelKeys {
+		min = MinModelKeys
+	}
+	return b.sinceRebuild >= min
+}
+
+// noteInsertErr widens the error bound after placing key at slot when
+// the model predicted pred. Callers pass slots already clamped into the
+// array.
+func (b *Base) noteInsertErr(slot, pred int) {
+	e := slot - pred
+	if e < 0 {
+		e = -e
+	}
+	if e > b.ErrBound {
+		b.ErrBound = e
+	}
+}
+
+// notePlacedErr widens the error bound for an element re-placed at slot
+// during a window redistribution; no-op for model-less nodes.
+func (b *Base) notePlacedErr(slot int, key float64) {
+	if b.HasModel {
+		b.noteInsertErr(slot, b.predictFast(key))
+	}
 }
 
 // Update overwrites the payload of an existing key.
@@ -378,7 +527,8 @@ func (b *Base) PlaceModelBased(key float64, payload uint64, maxShiftLo, maxShift
 		// There is at least one gap in range; claim the one nearest the
 		// model's prediction so later lookups hit directly (§3.2,
 		// "model-based insertion").
-		q := b.predictSlot(key)
+		pred := b.predictSlot(key)
+		q := pred
 		if q < lo {
 			q = lo
 		} else if q > hi {
@@ -390,6 +540,13 @@ func (b *Base) PlaceModelBased(key float64, payload uint64, maxShiftLo, maxShift
 		b.Occ.Set(q)
 		b.NumKeys++
 		b.Stats.Inserts++
+		b.sinceRebuild++
+		if b.HasModel {
+			// Nothing else moved: only the new key's error can widen the
+			// bound, by however far the clamp pushed it off its
+			// prediction.
+			b.noteInsertErr(q, pred)
+		}
 		return Inserted
 	}
 
@@ -419,6 +576,7 @@ func (b *Base) insertWithShift(key float64, payload uint64, lo, maxShiftLo, maxS
 			gapR = g
 		}
 	}
+	var at, runLo, runHi int
 	switch {
 	case gapL < 0 && gapR < 0:
 		return NeedRoom
@@ -429,6 +587,7 @@ func (b *Base) insertWithShift(key float64, payload uint64, lo, maxShiftLo, maxS
 		b.Occ.Set(gapR)
 		b.Keys[lo] = key
 		b.Payloads[lo] = payload
+		at, runLo, runHi = lo, lo+1, gapR
 		b.Stats.Shifts += uint64(gapR - lo)
 	default:
 		// Shift [gapL+1, lo-1] left by one; insert at lo-1.
@@ -437,11 +596,33 @@ func (b *Base) insertWithShift(key float64, payload uint64, lo, maxShiftLo, maxS
 		b.Occ.Set(gapL)
 		b.Keys[lo-1] = key
 		b.Payloads[lo-1] = payload
+		at, runLo, runHi = lo-1, gapL, lo-2
 		b.Stats.Shifts += uint64(lo - 1 - gapL)
 	}
 	b.NumKeys++
 	b.Stats.Inserts++
+	b.sinceRebuild++
+	if b.HasModel {
+		// The new key's error, plus exact re-predictions of the shifted
+		// run: same O(shift) as the copy above, and far tighter than the
+		// sound-but-useless alternative of bumping the bound by one per
+		// shifting insert, which would disqualify every leaf from
+		// bounded search within a few thousand inserts of a rebuild.
+		// Elements outside the run did not move, so the old bound still
+		// covers them.
+		b.noteInsertErr(at, b.predictFast(key))
+		b.noteRunErr(runLo, runHi)
+	}
 	return Inserted
+}
+
+// noteRunErr folds the exact prediction errors of the occupied slots in
+// [lo, hi] into the bound; callers pass the slot range a shift just
+// re-placed.
+func (b *Base) noteRunErr(lo, hi int) {
+	for i := b.Occ.NextSet(lo); i >= 0 && i <= hi; i = b.Occ.NextSet(i + 1) {
+		b.noteInsertErr(i, b.predictFast(b.Keys[i]))
+	}
 }
 
 // fillRange rewrites the gap fills in [from, to) to value, maintaining the
@@ -513,9 +694,10 @@ func (b *Base) BuildFromSorted(keys []float64, payloads []uint64, capacity int) 
 
 	last := -1
 	for i := 0; i < n; i++ {
-		var pos int
+		var pos, pred int
 		if b.HasModel {
 			pos = b.Model.PredictClamped(keys[i], capacity)
+			pred = pos
 		} else {
 			// Cold start: spread uniformly like a PMA rebalance.
 			pos = i * capacity / n
@@ -530,9 +712,16 @@ func (b *Base) BuildFromSorted(keys []float64, payloads []uint64, capacity int) 
 		b.Keys[pos] = keys[i]
 		b.Payloads[pos] = payloads[i]
 		b.Occ.Set(pos)
+		if b.HasModel {
+			// The rebuild is where the bound is exact, for free: the
+			// prediction and the final slot are both in hand, so the max
+			// over the placement loop is the true maximum error.
+			b.noteInsertErr(pos, pred)
+		}
 		last = pos
 	}
 	b.repairAllFills()
+	b.rebuildErr = b.ErrBound
 }
 
 // RedistributeUniform places the node's elements uniformly spaced across
@@ -559,18 +748,9 @@ func (b *Base) RedistributeUniform(winLo, winHi int, insertExtra bool, extraKey 
 		payloads[at] = extraPayload
 		b.NumKeys++
 		b.Stats.Inserts++
+		b.sinceRebuild++
 	}
-	m := len(keys)
-	w := winHi - winLo
-	for i := 0; i < m; i++ {
-		pos := winLo + i*w/m
-		b.Keys[pos] = keys[i]
-		b.Payloads[pos] = payloads[i]
-		b.Occ.Set(pos)
-	}
-	b.repairFillsWindow(winLo, winHi)
-	b.Stats.Shifts += uint64(m)
-	return m
+	return b.finishRedistribute(winLo, winHi, keys, payloads)
 }
 
 // RedistributeWeighted is RedistributeUniform with per-segment gap
@@ -600,6 +780,7 @@ func (b *Base) RedistributeWeighted(winLo, winHi, segSize int, weights []float64
 		payloads[at] = extraPayload
 		b.NumKeys++
 		b.Stats.Inserts++
+		b.sinceRebuild++
 	}
 	m := len(keys)
 	w := winHi - winLo
@@ -676,6 +857,7 @@ func (b *Base) RedistributeWeighted(winLo, winHi, segSize int, weights []float64
 			b.Keys[pos] = keys[idx]
 			b.Payloads[pos] = payloads[idx]
 			b.Occ.Set(pos)
+			b.notePlacedErr(pos, keys[idx])
 			idx++
 		}
 	}
@@ -684,8 +866,12 @@ func (b *Base) RedistributeWeighted(winLo, winHi, segSize int, weights []float64
 	return m
 }
 
-// finishRedistribute places already-collected elements uniformly (the
-// fallback shared by the weighted path).
+// finishRedistribute places already-collected elements uniformly — the
+// shared tail of the uniform path and the weighted path's fallback.
+// Re-placed elements fold their fresh prediction errors into the
+// bound; elements outside the window did not move, so the old bound
+// still covers them and the max with the window's errors stays a true
+// upper bound.
 func (b *Base) finishRedistribute(winLo, winHi int, keys []float64, payloads []uint64) int {
 	m := len(keys)
 	w := winHi - winLo
@@ -694,6 +880,7 @@ func (b *Base) finishRedistribute(winLo, winHi int, keys []float64, payloads []u
 		b.Keys[pos] = keys[i]
 		b.Payloads[pos] = payloads[i]
 		b.Occ.Set(pos)
+		b.notePlacedErr(pos, keys[i])
 	}
 	b.repairFillsWindow(winLo, winHi)
 	b.Stats.Shifts += uint64(m)
@@ -734,7 +921,11 @@ var ErrInvariant = errors.New("leafbase: invariant violated")
 // CheckInvariants verifies the structural invariants of the node:
 // the bitmap count matches NumKeys, the full key array (fills included)
 // is non-decreasing, occupied keys are strictly increasing and finite,
-// and every gap duplicates its closest right key (or +Inf at the tail).
+// every gap duplicates its closest right key (or +Inf at the tail), and
+// — on modeled nodes — ErrBound is a true upper bound on every stored
+// key's prediction error (verified by exhaustive re-prediction, so any
+// test that checks invariants after a mutation sequence also audits the
+// incrementally-maintained bound).
 func (b *Base) CheckInvariants() error {
 	if b.Occ.Count() != b.NumKeys {
 		return fmt.Errorf("%w: bitmap count %d != NumKeys %d", ErrInvariant, b.Occ.Count(), b.NumKeys)
@@ -758,6 +949,13 @@ func (b *Base) CheckInvariants() error {
 				return fmt.Errorf("%w: duplicate/unordered occupied key %v at %d", ErrInvariant, k, i)
 			}
 			prevOcc = k
+			if b.HasModel {
+				pred := b.predictFast(k)
+				if e := i - pred; e > b.ErrBound || -e > b.ErrBound {
+					return fmt.Errorf("%w: key %v at slot %d predicted at %d: error %d exceeds ErrBound %d",
+						ErrInvariant, k, i, pred, e, b.ErrBound)
+				}
+			}
 		} else {
 			want := math.Inf(1)
 			if n := b.Occ.NextSet(i); n >= 0 {

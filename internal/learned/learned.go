@@ -150,18 +150,11 @@ func (ix *Index) train() {
 		}
 		s2 := stage2{lo: lo, hi: bound}
 		if bound > lo {
-			// Fit key -> local rank, then shift to global position.
-			s2.model = linmodel.TrainRange(ix.keys, lo, bound)
+			// Fit key -> local rank with the error bounds as a by-product
+			// of the fit, then shift to global position (an integer shift,
+			// under which the floor-domain bounds remain exact).
+			s2.model, s2.errLo, s2.errHi = linmodel.TrainRangeBounded(ix.keys, lo, bound)
 			s2.model.Intercept += float64(lo)
-			for i := lo; i < bound; i++ {
-				pred := s2.model.PredictClamped(ix.keys[i], n)
-				switch {
-				case pred > i && pred-i > s2.errLo:
-					s2.errLo = pred - i
-				case pred < i && i-pred > s2.errHi:
-					s2.errHi = i - pred
-				}
-			}
 		}
 		ix.models[j] = s2
 	}

@@ -91,6 +91,34 @@ func TrainRange(keys []float64, lo, hi int) Model {
 	return Model{Slope: slope, Intercept: meanY - slope*meanX}
 }
 
+// TrainRangeBounded is TrainRange plus the fitted model's per-side
+// prediction-error bounds over the same range, computed as a by-product
+// of the fit (one extra pass over keys already in cache, instead of the
+// separate re-prediction loop callers used to run). The bounds are in
+// the floor-rounded slot domain the predictions are consumed in: for
+// every i in [lo, hi), the local rank i-lo lies within
+// [floor(Predict(keys[i]))-errLo, floor(Predict(keys[i]))+errHi].
+//
+// The bounds are computed on the *unclamped* prediction, so they remain
+// valid upper bounds after the two transformations callers apply:
+// shifting Intercept by an integer offset (floor commutes with integer
+// shifts) and clamping the prediction into the target range (clamping
+// moves a prediction toward the true rank, never away from it).
+func TrainRangeBounded(keys []float64, lo, hi int) (m Model, errLo, errHi int) {
+	m = TrainRange(keys, lo, hi)
+	for i := lo; i < hi; i++ {
+		pred := int(math.Floor(m.Predict(keys[i])))
+		rank := i - lo
+		switch {
+		case pred > rank && pred-rank > errLo:
+			errLo = pred - rank
+		case pred < rank && rank-pred > errHi:
+			errHi = rank - pred
+		}
+	}
+	return m, errLo, errHi
+}
+
 // TrainEndpoints fits a model through the first and last key so that
 // Predict(keys[lo]) = 0 and Predict(keys[hi-1]) = hi-lo-1. This is the
 // cheap "interpolation" fit ALEX uses for inner-node key-space

@@ -225,3 +225,39 @@ func BenchmarkPredict(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TrainRangeBounded's bounds must cover every key's true rank — the
+// contract the Learned Index baseline's bounded search relies on — and
+// the fit itself must be exactly TrainRange's.
+func TestTrainRangeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		sort.Float64s(keys)
+		lo := 0
+		hi := n
+		if n > 2 {
+			lo = rng.Intn(n / 2)
+			hi = lo + 1 + rng.Intn(n-lo)
+		}
+		m, errLo, errHi := TrainRangeBounded(keys, lo, hi)
+		if want := TrainRange(keys, lo, hi); m != want {
+			t.Fatalf("model %+v != TrainRange %+v", m, want)
+		}
+		if errLo < 0 || errHi < 0 {
+			t.Fatalf("negative bounds -%d/+%d", errLo, errHi)
+		}
+		for i := lo; i < hi; i++ {
+			pred := int(math.Floor(m.Predict(keys[i])))
+			rank := i - lo
+			if rank < pred-errLo || rank > pred+errHi {
+				t.Fatalf("rank %d of key %v outside [pred-errLo, pred+errHi] = [%d, %d]",
+					rank, keys[i], pred-errLo, pred+errHi)
+			}
+		}
+	}
+}

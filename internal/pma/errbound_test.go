@@ -1,0 +1,55 @@
+package pma
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestErrBoundUpperBoundProperty is the PMA counterpart of the gapped
+// array's error-bound maintenance property test: window rebalances
+// (uniform and adaptive/heat-weighted) re-place elements far from their
+// predictions, and the bound must fold those fresh errors in — after
+// every mutation the stored bound covers every key's true error.
+func TestErrBoundUpperBoundProperty(t *testing.T) {
+	for _, cfg := range []Config{{}, {Adaptive: true}} {
+		rng := rand.New(rand.NewSource(5))
+		a := New(cfg)
+		check := func(op string) {
+			t.Helper()
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("adaptive=%v after %s: %v", cfg.Adaptive, op, err)
+			}
+			if !a.HasModel {
+				return
+			}
+			for i := a.NextSlot(-1); i >= 0; i = a.NextSlot(i) {
+				k, _ := a.At(i)
+				if e, ok := a.PredictionError(k); ok && e > a.ErrBound {
+					t.Fatalf("adaptive=%v after %s: key %v error %d exceeds bound %d",
+						cfg.Adaptive, op, k, e, a.ErrBound)
+				}
+			}
+		}
+		for op := 0; op < 3000; op++ {
+			// Sequential-ish clumps trigger segment overflows and window
+			// rebalances, the PMA-specific bound-maintenance paths.
+			k := float64(op%500) + float64(rng.Intn(100))/1000
+			switch rng.Intn(8) {
+			case 0:
+				a.Delete(k)
+				if op%97 == 0 {
+					check("Delete")
+				}
+			case 1:
+				a.Retrain()
+				check("Retrain")
+			default:
+				a.Insert(k, uint64(op))
+				if op%31 == 0 {
+					check("Insert")
+				}
+			}
+		}
+		check("final")
+	}
+}

@@ -268,6 +268,15 @@ func (a *Array) Expand() {
 	a.rebuildInto(keys, payloads, a.Cap()*2)
 }
 
+// Retrain rebuilds the node at the bulk-load capacity with a fresh
+// model and model-based placement — the §4 cost-model action the tree
+// takes when the node's prediction-error bound says searches have
+// drifted (see leafbase.RetrainAdvised).
+func (a *Array) Retrain() {
+	keys, payloads := a.Collect(nil, nil)
+	a.rebuildInto(keys, payloads, a.capacityFor(a.NumKeys))
+}
+
 // Delete removes key. When the root density falls below RhoRoot the
 // array contracts by halving.
 func (a *Array) Delete(key float64) bool {

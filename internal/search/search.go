@@ -5,10 +5,21 @@
 // and return *lower-bound* positions, i.e. the first index whose key is
 // >= the target (len(a) if no such index exists).
 //
+// A NaN key has no ordered position; every routine returns 0 for it,
+// matching sort.SearchFloat64s (whose predicate a[i] < NaN is false
+// everywhere). The whole-slice searches get this for free from the
+// comparison semantics; the positioned searches (Exponential*,
+// BoundedBinary*) guard explicitly, because their bracketing starts at
+// the caller's predicted position and would otherwise return it — a
+// divergence the batch paths' forced-progress guards used to paper
+// over one key at a time.
+//
 // The package also provides interpolation search, which the paper's
 // related-work discussion (§6, [10]) compares against, and simple probe
 // counters so microbenchmarks (Fig 11) can report comparison counts.
 package search
+
+import "math"
 
 // LowerBound returns the first index i in the sorted slice a with
 // a[i] >= key, or len(a) if none. Plain binary search over the whole
@@ -66,7 +77,7 @@ func LowerBoundRange(a []float64, key float64, lo, hi int) int {
 // than log of the node size.
 func Exponential(a []float64, key float64, pos int) int {
 	n := len(a)
-	if n == 0 {
+	if n == 0 || math.IsNaN(key) {
 		return 0
 	}
 	if pos < 0 {
@@ -113,6 +124,9 @@ func Exponential(a []float64, key float64, pos int) int {
 // callers that cannot trust their bounds should verify and fall back to
 // LowerBound.
 func BoundedBinary(a []float64, key float64, pos, errLo, errHi int) int {
+	if math.IsNaN(key) {
+		return 0
+	}
 	lo := pos - errLo
 	hi := pos + errHi + 1
 	if lo < 0 {
@@ -164,9 +178,72 @@ func lowerBoundBranchless(a []float64, key float64, lo, hi int) int {
 	return base
 }
 
+// LowerBoundWindow returns the first index in [lo, hi) with a[i] >= key
+// (hi if none), by the branch-free halving loop; the window is clamped
+// to the slice and an empty window returns its (clamped) lo. A NaN key
+// returns the window's clamped lo (0 for a whole-slice window),
+// consistent with the package's NaN-first convention.
+//
+// It is the log-time sibling of LowerBoundLinear — same window
+// semantics, different probe structure — suited to windows too wide
+// for the linear count. The leaf probe paths use LowerBoundLinear
+// (their error-bound threshold keeps windows small); the equivalence
+// tests use this variant as the independent reference implementation.
+func LowerBoundWindow(a []float64, key float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	if lo >= hi {
+		if lo > len(a) {
+			return len(a)
+		}
+		return lo
+	}
+	return lowerBoundBranchless(a, key, lo, hi)
+}
+
+// LowerBoundLinear is LowerBoundWindow by branch-free linear count: the
+// result is lo plus the number of window elements below key. On a
+// sorted window those are exactly the elements left of the lower bound,
+// so the result is identical — but the compares are *independent* (the
+// compiler lowers the conditional increment to SETcc/CMOV), where the
+// binary search's probes form a serial dependency chain. For the small
+// windows a tight per-leaf error bound produces, the out-of-order core
+// runs the whole count at full width in fewer cycles than log2(window)
+// dependent loads. Same clamping and NaN-key behavior as
+// LowerBoundWindow (every compare against NaN is false, so a NaN key
+// returns the clamped lo).
+func LowerBoundLinear(a []float64, key float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	if lo >= hi {
+		if lo > len(a) {
+			return len(a)
+		}
+		return lo
+	}
+	n := lo
+	for _, v := range a[lo:hi] {
+		if v < key { // SETcc, not a branch: no misprediction possible
+			n++
+		}
+	}
+	return n
+}
+
 // BoundedBinaryBranchless is BoundedBinary over the branch-free probe
 // loop; same window clamping, same result.
 func BoundedBinaryBranchless(a []float64, key float64, pos, errLo, errHi int) int {
+	if math.IsNaN(key) {
+		return 0
+	}
 	lo := pos - errLo
 	hi := pos + errHi + 1
 	if lo < 0 {
@@ -192,7 +269,7 @@ func BoundedBinaryBranchless(a []float64, key float64, pos, errLo, errHi int) in
 // mispredictions from.
 func ExponentialBranchless(a []float64, key float64, pos int) int {
 	n := len(a)
-	if n == 0 {
+	if n == 0 || math.IsNaN(key) {
 		return 0
 	}
 	if pos < 0 {
@@ -271,7 +348,7 @@ type Probes struct {
 // Exponential is Exponential with comparison counting.
 func (p *Probes) Exponential(a []float64, key float64, pos int) int {
 	n := len(a)
-	if n == 0 {
+	if n == 0 || math.IsNaN(key) {
 		return 0
 	}
 	if pos < 0 {
@@ -319,6 +396,9 @@ func (p *Probes) Exponential(a []float64, key float64, pos int) int {
 
 // BoundedBinary is BoundedBinary with comparison counting.
 func (p *Probes) BoundedBinary(a []float64, key float64, pos, errLo, errHi int) int {
+	if math.IsNaN(key) {
+		return 0
+	}
 	lo := pos - errLo
 	hi := pos + errHi + 1
 	if lo < 0 {

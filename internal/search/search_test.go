@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -284,5 +285,188 @@ func TestLowerBoundBranchlessQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property (ISSUE 5 bugfix sweep): on arrays holding the extremes the
+// data nodes actually produce — duplicates (gap fills), +Inf tails,
+// ±Inf elements — every positioned search must agree with
+// sort.SearchFloat64s for every key, including NaN and ±Inf keys, from
+// any starting position and with any window at least as wide as the
+// true error. The branchless CMOV variants had no NaN-key guard: they
+// used to return the (clamped) predicted position for a NaN key where
+// every whole-slice routine returns 0, a divergence the batch
+// run-advance loops had to paper over one forced-progress key at a
+// time.
+func TestErrBoundQuickSearchExtremes(t *testing.T) {
+	type tcase struct {
+		Raw     []float64
+		KeySeed uint16
+		PosSeed uint16
+		Neg     bool // try a -Inf head / +Inf tail decoration
+	}
+	// The reference pins the package's NaN-key convention: NaN sorts
+	// first (as in sort.Float64sAreSorted's total order), so its lower
+	// bound is 0. sort.SearchFloat64s alone would return len(a) — its
+	// ">= NaN" predicate is false everywhere — which is why the
+	// convention needs pinning at all.
+	ref := func(a []float64, key float64) int {
+		if math.IsNaN(key) {
+			return 0
+		}
+		return refLowerBound(a, key)
+	}
+	f := func(c tcase) bool {
+		a := make([]float64, 0, len(c.Raw)+4)
+		for _, v := range c.Raw {
+			if v == v { // drop NaN from the array: data nodes never store it
+				a = append(a, v)
+			}
+		}
+		sort.Float64s(a)
+		// Duplicate runs and infinity decorations, like gap fills.
+		if len(a) > 1 {
+			a[len(a)/2] = a[len(a)/2-1]
+		}
+		if c.Neg {
+			a = append([]float64{math.Inf(-1)}, a...)
+		}
+		a = append(a, math.Inf(1), math.Inf(1))
+		keys := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0}
+		if len(c.Raw) > 0 {
+			keys = append(keys, c.Raw[int(c.KeySeed)%len(c.Raw)])
+		}
+		for _, key := range keys {
+			want := ref(a, key)
+			pos := int(c.PosSeed) % (len(a) + 7) // deliberately past the end too
+			if got := Exponential(a, key, pos); got != want {
+				t.Logf("Exponential(%v, %v, pos=%d) = %d, want %d", a, key, pos, got, want)
+				return false
+			}
+			if got := ExponentialBranchless(a, key, pos); got != want {
+				t.Logf("ExponentialBranchless(%v, %v, pos=%d) = %d, want %d", a, key, pos, got, want)
+				return false
+			}
+			// A window covering the whole slice must reproduce the exact
+			// lower bound (the contract the per-leaf error bound relies
+			// on: window ⊇ true position ⇒ exact result). The window is
+			// relative to pos, which the bounded searches deliberately do
+			// not clamp — real callers pass an in-range prediction, so
+			// the check does too.
+			bpos := pos
+			if bpos >= len(a) && len(a) > 0 {
+				bpos = len(a) - 1
+			}
+			if got := BoundedBinary(a, key, bpos, len(a), len(a)); got != want {
+				t.Logf("BoundedBinary(%v, %v, pos=%d, full) = %d, want %d", a, key, bpos, got, want)
+				return false
+			}
+			if got := BoundedBinaryBranchless(a, key, bpos, len(a), len(a)); got != want {
+				t.Logf("BoundedBinaryBranchless(%v, %v, pos=%d, full) = %d, want %d", a, key, bpos, got, want)
+				return false
+			}
+			// Exact windows around the true position, NaN keys excluded
+			// (their "position" is the degenerate 0, not pos±err).
+			if key == key {
+				errLo, errHi := bpos-want, want-bpos
+				if errLo < 0 {
+					errLo = 0
+				}
+				if errHi < 0 {
+					errHi = 0
+				}
+				if got := BoundedBinaryBranchless(a, key, bpos, errLo, errHi); got != want {
+					t.Logf("BoundedBinaryBranchless(%v, %v, pos=%d, -%d/+%d) = %d, want %d",
+						a, key, bpos, errLo, errHi, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NaN elements never occur inside a data node's key array (occupied
+// keys are finite, fills duplicate an occupied key or are +Inf), but a
+// defensive guarantee still holds: on arrays with NaNs at arbitrary
+// positions every routine terminates — the doubling loops' comparisons
+// against NaN are all false, so they exit rather than hang the way the
+// PR 4 batch run-advance loops did — and returns an index in [0, len].
+func TestSearchNaNElementsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		a := make([]float64, n)
+		for i := range a {
+			switch rng.Intn(5) {
+			case 0:
+				a[i] = math.NaN()
+			case 1:
+				a[i] = math.Inf(1)
+			default:
+				a[i] = rng.Float64() * 100
+			}
+		}
+		key := rng.Float64() * 120
+		switch rng.Intn(4) {
+		case 0:
+			key = math.NaN()
+		case 1:
+			key = math.Inf(1)
+		}
+		pos := rng.Intn(50) - 5
+		for name, got := range map[string]int{
+			"Exponential":             Exponential(a, key, pos),
+			"ExponentialBranchless":   ExponentialBranchless(a, key, pos),
+			"BoundedBinary":           BoundedBinary(a, key, pos, 8, 8),
+			"BoundedBinaryBranchless": BoundedBinaryBranchless(a, key, pos, 8, 8),
+			"LowerBound":              LowerBound(a, key),
+			"LowerBoundBranchless":    LowerBoundBranchless(a, key),
+		} {
+			if got < 0 || got > len(a) {
+				t.Fatalf("%s(n=%d, key=%v, pos=%d) = %d out of range", name, n, key, pos, got)
+			}
+		}
+	}
+}
+
+// The two window primitives must agree with each other and, for
+// windows covering the true position, with the whole-slice lower
+// bound — on duplicates, ±Inf decorations and empty/degenerate
+// windows alike.
+func TestLowerBoundWindowVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(100)
+		a := sortedRandom(n, int64(trial))
+		for i := 1; i < len(a); i++ {
+			if rng.Intn(4) == 0 {
+				a[i] = a[i-1]
+			}
+		}
+		sort.Float64s(a)
+		if n > 0 && rng.Intn(3) == 0 {
+			a[n-1] = math.Inf(1)
+		}
+		for probe := 0; probe < 100; probe++ {
+			key := rng.Float64()*1100 - 50
+			if rng.Intn(3) == 0 && n > 0 {
+				key = a[rng.Intn(n)]
+			}
+			lo := rng.Intn(120) - 10
+			hi := lo + rng.Intn(40) - 2 // empty and inverted windows too
+			w := LowerBoundWindow(a, key, lo, hi)
+			l := LowerBoundLinear(a, key, lo, hi)
+			if w != l {
+				t.Fatalf("LowerBoundWindow(n=%d, %v, [%d,%d)) = %d, LowerBoundLinear = %d",
+					n, key, lo, hi, w, l)
+			}
+			if got := LowerBoundWindow(a, key, 0, len(a)); got != refLowerBound(a, key) {
+				t.Fatalf("full window = %d, want %d", got, refLowerBound(a, key))
+			}
+		}
 	}
 }

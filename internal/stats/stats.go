@@ -63,6 +63,50 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
+// Percentile returns the p-th percentile sample value (0 <= p <= 100),
+// resolved to the lower bound of the bucket holding that rank — the
+// same granularity the histogram stores. It returns -1 for an empty
+// histogram.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return -1
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return loOf(i)
+		}
+	}
+	return loOf(len(h.counts) - 1)
+}
+
+// HistogramFromCounts builds a Histogram over precomputed power-of-two
+// bucket counts with the same bucket semantics (bucket 0 holds exactly
+// 0, bucket i>0 holds [2^(i-1), 2^i)) — e.g. the per-leaf error-bound
+// histogram the index core aggregates. Sample values are approximated
+// by bucket lower bounds, so Mean is approximate while Percentile and
+// Render are exact at bucket granularity.
+func HistogramFromCounts(counts []uint64) *Histogram {
+	h := NewHistogram()
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		for len(h.counts) <= i {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[i] += c
+		h.total += c
+		h.sum += float64(loOf(i)) * float64(c)
+	}
+	return h
+}
+
 // ZeroFraction returns the fraction of samples equal to zero ("no
 // prediction error" in Fig 7b).
 func (h *Histogram) ZeroFraction() float64 {

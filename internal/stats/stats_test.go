@@ -159,3 +159,46 @@ func TestFormatOps(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != -1 {
+		t.Fatal("empty histogram percentile should be -1")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(3) // bucket [2,4) -> lo 2
+	}
+	h.Observe(100) // bucket [64,128) -> lo 64
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("p50 = %d, want 0", got)
+	}
+	if got := h.Percentile(95); got != 2 {
+		t.Fatalf("p95 = %d, want 2", got)
+	}
+	if got := h.Percentile(100); got != 64 {
+		t.Fatalf("p100 = %d, want 64", got)
+	}
+}
+
+func TestHistogramFromCounts(t *testing.T) {
+	src := NewHistogram()
+	for _, v := range []int{0, 0, 1, 3, 3, 9, 70} {
+		src.Observe(v)
+	}
+	counts := make([]uint64, 0, 16)
+	for _, b := range src.Buckets() {
+		counts = append(counts, b.Count)
+	}
+	h := HistogramFromCounts(counts)
+	if h.Total() != src.Total() {
+		t.Fatalf("total %d != %d", h.Total(), src.Total())
+	}
+	for _, p := range []float64{10, 50, 90, 99, 100} {
+		if got, want := h.Percentile(p), src.Percentile(p); got != want {
+			t.Fatalf("p%v = %d, want %d", p, got, want)
+		}
+	}
+}

@@ -818,15 +818,41 @@ func (it *ShardedIterator) Payload() uint64 { return it.val }
 // Valid reports whether the iterator currently points at an element.
 func (it *ShardedIterator) Valid() bool { return it.ok }
 
-// Len returns the number of stored elements across all shards.
-func (s *ShardedIndex) Len() int {
-	s.gate.RLock()
-	defer s.gate.RUnlock()
-	n := 0
-	for _, sh := range s.tab.Load().shards {
+// lockAllRead takes the gate exclusively and read-locks every shard of
+// the current table up front (in index order, the same order the
+// retrain path locks in), returning the table and an unlock func. The
+// whole-index aggregates (Len, Stats) use it so their totals are a
+// consistent point-in-time cut: the exclusive gate excludes any batch
+// fan-out mid-application (fan-outs hold the gate shared for their
+// whole run) and any router retrain, and holding every shard's read
+// lock at once excludes in-flight point ops. Aggregating under
+// one-at-a-time shard locks — the previous scheme — could tear a
+// cross-shard batch: shard A counted after its sub-batch applied,
+// shard B before, so Len disagreed with every state the index ever
+// acknowledged.
+func (s *ShardedIndex) lockAllRead() (*shardTable, func()) {
+	s.gate.Lock()
+	t := s.tab.Load()
+	for _, sh := range t.shards {
 		sh.mu.RLock()
+	}
+	return t, func() {
+		for _, sh := range t.shards {
+			sh.mu.RUnlock()
+		}
+		s.gate.Unlock()
+	}
+}
+
+// Len returns the number of stored elements across all shards, as a
+// consistent cut (see lockAllRead): a concurrent cross-shard batch is
+// counted either wholly or not at all.
+func (s *ShardedIndex) Len() int {
+	t, unlock := s.lockAllRead()
+	defer unlock()
+	n := 0
+	for _, sh := range t.shards {
 		n += sh.idx.Len()
-		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -863,23 +889,18 @@ func (s *ShardedIndex) MaxKey() (float64, bool) {
 	return 0, false
 }
 
-// Stats returns counters aggregated across shards: work counters and
-// node counts sum; Height is the tallest shard's.
+// Stats returns counters aggregated across shards (work counters, node
+// counts and error histograms sum; Height and MaxLeafErr are the
+// worst shard's), as a consistent cut — see lockAllRead. Totals like
+// Inserts and KeysTotal therefore always describe a state the index
+// actually passed through, even under cross-shard batches.
 func (s *ShardedIndex) Stats() Stats {
-	s.gate.RLock()
-	defer s.gate.RUnlock()
+	t, unlock := s.lockAllRead()
+	defer unlock()
 	var agg Stats
-	for _, sh := range s.tab.Load().shards {
-		sh.mu.RLock()
+	for _, sh := range t.shards {
 		st := sh.idx.Stats()
-		sh.mu.RUnlock()
-		agg.Stats.Add(&st.Stats)
-		agg.Splits += st.Splits
-		agg.NumLeaves += st.NumLeaves
-		agg.NumInner += st.NumInner
-		if st.Height > agg.Height {
-			agg.Height = st.Height
-		}
+		agg.Merge(&st)
 	}
 	return agg
 }
@@ -975,24 +996,13 @@ func ReadFromSharded(r io.Reader, shards int) (*ShardedIndex, error) {
 	return s, nil
 }
 
-// snapshot collects all elements in key order. It takes the gate
-// exclusively — multi-shard batch fan-outs hold the gate shared for
-// their whole run, so none can be mid-flight — and read-locks every
-// shard up front (in index order, the same order the retrain path
-// uses). The result is therefore a true point-in-time cut: a batch
-// spanning several shards is either wholly present or wholly absent.
+// snapshot collects all elements in key order as a true point-in-time
+// cut (see lockAllRead): a batch spanning several shards is either
+// wholly present or wholly absent.
 func (s *ShardedIndex) snapshot() ([]float64, []uint64) {
-	s.gate.Lock()
-	defer s.gate.Unlock()
-	t := s.tab.Load()
-	for _, sh := range t.shards {
-		sh.mu.RLock()
-	}
-	keys, vals := collectAll(t)
-	for _, sh := range t.shards {
-		sh.mu.RUnlock()
-	}
-	return keys, vals
+	t, unlock := s.lockAllRead()
+	defer unlock()
+	return collectAll(t)
 }
 
 // collectAll gathers every element of the table in key order. The
