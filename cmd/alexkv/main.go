@@ -19,7 +19,10 @@
 //	FLUSH                -> OK (acked writes fsynced to the WAL)
 //	SAVE                 -> OK (synchronous checkpoint; durable mode only)
 //	BGSAVE               -> OK scheduled (background checkpoint; durable mode only)
-//	WALSTATS             -> WAL <appends> <fsyncs> <bytes> <checkpoints> <replayed>
+//	WALSTATS             -> WAL <appends> <fsyncs> <bytes> <checkpoints> <replayed> <followers> <maxLagBytes>
+//	REPLINFO             -> replication role/position/lag lines, then END
+//	SNAPSHOT             -> SNAPSHOT <bytes> <startSeg> + raw snapshot (replica bootstrap)
+//	REPLICATE <seg> <off> -> binary WAL record stream from that position (see internal/repl)
 //	QUIT                 -> closes the connection
 //
 // Keys are decimal floats, values unsigned integers. The M* commands
@@ -29,7 +32,18 @@
 //
 // Usage: alexkv [-addr host:port] [-load N] [-shards N] [-data-dir DIR]
 // [-fsync always|interval|never] [-fsync-interval D] [-checkpoint-every N]
-// [-pprof host:port]
+// [-replica-of host:port] [-pprof host:port]
+//
+// -replica-of PRIMARY starts the server as a read replica: it
+// bootstraps from the primary's snapshot, tails the primary's
+// write-ahead log (applying records through the same coalescing replay
+// path crash recovery uses), serves reads lock-free from the applied
+// state, and rejects writes. Replication is asynchronous; REPLINFO on
+// either side reports positions and lag. A replica keeps nothing on
+// disk — on restart, truncated history, or a diverging primary it
+// re-bootstraps automatically, and it reconnects with jittered backoff
+// when the primary goes away. -data-dir, -fsync and -load are
+// meaningless (and rejected) in replica mode.
 //
 // -load N preloads N synthetic YCSB keys so GET/SCAN have data to hit
 // (skipped when a data dir already holds recovered keys).
@@ -68,6 +82,7 @@ import (
 
 	alex "repro"
 	"repro/internal/datasets"
+	"repro/internal/repl"
 	"repro/server"
 )
 
@@ -79,8 +94,14 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer for -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 1<<20, "records between automatic checkpoints (0 disables)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this address")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *replicaOf != "" && (*dataDir != "" || *load != 0) {
+		fmt.Fprintln(os.Stderr, "alexkv: -replica-of is incompatible with -data-dir and -load (replica state comes from the primary)")
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -94,10 +115,21 @@ func main() {
 		}()
 	}
 
-	store, durable, err := buildStore(*dataDir, *fsync, *fsyncInterval, *checkpointEvery, *shards, *load)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var store server.Store
+	var durable *alex.DurableIndex
+	var follower *repl.Follower
+	if *replicaOf != "" {
+		follower = repl.NewFollower(*replicaOf, *shards)
+		follower.Start()
+		store = follower
+		log.Printf("replica of %s (read-only)", *replicaOf)
+	} else {
+		var err error
+		store, durable, err = buildStore(*dataDir, *fsync, *fsyncInterval, *checkpointEvery, *shards, *load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -118,6 +150,7 @@ func main() {
 	}()
 
 	srv := server.New(store)
+	srv.ReadOnly = follower != nil
 	serveErr := srv.Serve(ln)
 	if serveErr != nil {
 		// Even on an accept failure, run the full durability teardown
@@ -125,6 +158,9 @@ func main() {
 		log.Printf("serve: %v", serveErr)
 	}
 	srv.Close() // drain in-flight handlers before touching the store
+	if follower != nil {
+		follower.Stop()
+	}
 	if durable != nil {
 		if err := durable.Checkpoint(); err != nil {
 			log.Printf("final checkpoint: %v", err)

@@ -1,0 +1,136 @@
+// Command alexrepl monitors a replicated alexkv deployment: it polls
+// REPLINFO on the primary (and optionally on replicas) and prints one
+// status line per poll — the primary's WAL position and each
+// follower's position and lag in bytes, or a replica's applied
+// position and link state.
+//
+// Usage: alexrepl [-addr host:port] [-replicas a,b,c] [-interval D] [-n N]
+//
+//	alexrepl -addr 127.0.0.1:7070 -interval 1s
+//	primary 127.0.0.1:7070 pos 3/41287 checkpoints 2 followers 2
+//	  follower 127.0.0.1:52114 pos 3/41287 lag 0B
+//	  follower 127.0.0.1:52120 pos 3/38011 lag 3.2KB
+//
+// -n bounds the number of polls (0 = forever). Exit status is non-zero
+// if the final poll could not reach the primary.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "primary (or replica) address to poll")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses to poll too")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	n := flag.Int("n", 0, "number of polls (0 = forever)")
+	flag.Parse()
+
+	var targets []string
+	targets = append(targets, *addr)
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			targets = append(targets, r)
+		}
+	}
+
+	ok := true
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		ok = true
+		for _, t := range targets {
+			if err := poll(t); err != nil {
+				fmt.Printf("%s unreachable: %v\n", t, err)
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// poll runs one REPLINFO exchange and renders the reply.
+func poll(addr string) error {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintln(c, "REPLINFO"); err != nil {
+		return err
+	}
+	br := bufio.NewReader(c)
+	var role, source, connected string
+	var seg, off, ckpts uint64
+	type fol struct {
+		addr     string
+		seg, off uint64
+		lag      int64
+	}
+	var fols []fol
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			break
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return fmt.Errorf("%s", line)
+		}
+		switch f := strings.Fields(line); f[0] {
+		case "ROLE":
+			role = f[1]
+		case "POSITION", "APPLIED":
+			fmt.Sscanf(f[1], "%d", &seg)
+			fmt.Sscanf(f[2], "%d", &off)
+		case "CHECKPOINTS":
+			fmt.Sscanf(f[1], "%d", &ckpts)
+		case "SOURCE":
+			source = f[1]
+		case "CONNECTED":
+			connected = f[1]
+		case "FOLLOWER":
+			var fo fol
+			fo.addr = f[1]
+			fmt.Sscanf(f[2], "%d", &fo.seg)
+			fmt.Sscanf(f[3], "%d", &fo.off)
+			fmt.Sscanf(f[4], "%d", &fo.lag)
+			fols = append(fols, fo)
+		}
+	}
+	switch role {
+	case "primary":
+		fmt.Printf("primary %s pos %d/%d checkpoints %d followers %d\n", addr, seg, off, ckpts, len(fols))
+		for _, fo := range fols {
+			fmt.Printf("  follower %s pos %d/%d lag %s\n", fo.addr, fo.seg, fo.off, human(fo.lag))
+		}
+	case "replica":
+		fmt.Printf("replica %s of %s connected=%s applied %d/%d\n", addr, source, connected, seg, off)
+	default:
+		fmt.Printf("%s role %q\n", addr, role)
+	}
+	return nil
+}
+
+// human renders a byte count compactly.
+func human(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -61,6 +61,11 @@ type Doc struct {
 	// "X_allocs_per_op" echoes the allocs/op metric of the read
 	// benchmarks so the zero-allocation contract is archived per run.
 	ReadPath map[string]float64 `json:"read_path,omitempty"`
+	// Replication archives the WAL-shipping pipeline from the
+	// Replication benchmarks: write-to-replica-visible lag quantiles
+	// (µs, min across repetitions) and the fan-out client's read
+	// throughput (QPS, from the min ns/op) at each replica count.
+	Replication map[string]float64 `json:"replication,omitempty"`
 	// ErrorBounds archives the per-leaf prediction-error-bound state of
 	// the GetBoundedVsExponential run: p50/p99 leaf error bound, the
 	// share of probes served by the bounded fast path, and exponential
@@ -184,6 +189,34 @@ func main() {
 	}
 	if len(doc.ReadPath) == 0 {
 		doc.ReadPath = nil
+	}
+
+	// Replication block: lag quantiles from the Lag run (min across
+	// repetitions — interference only adds lag) and read QPS per
+	// replica count from the fan-out client runs.
+	doc.Replication = map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		if r.Name != "Replication/Lag" {
+			continue
+		}
+		for metric, key := range map[string]string{
+			"lag-p50-us": "lag_p50_us",
+			"lag-p99-us": "lag_p99_us",
+		} {
+			if v, ok := r.Metrics[metric]; ok {
+				if prev, seen := doc.Replication[key]; !seen || v < prev {
+					doc.Replication[key] = v
+				}
+			}
+		}
+	}
+	for name, ns := range byName {
+		if rest, ok := strings.CutPrefix(name, "Replication/ReadQPS/replicas="); ok && ns > 0 {
+			doc.Replication["read_qps_"+rest+"_replicas"] = 1e9 / ns
+		}
+	}
+	if len(doc.Replication) == 0 {
+		doc.Replication = nil
 	}
 
 	// Error-bounds block: the leaf error distribution reported by the

@@ -8,7 +8,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +74,8 @@ type DurableIndex struct {
 	ckptCh chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	followerRegistry // connected replication followers, for lag reporting
 }
 
 // Backend is the thread-safe index surface DurableIndex wraps; both
@@ -299,73 +300,13 @@ func replayInto(dir string, b Backend) (int, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	r := replayer{b: b}
-	n, torn, err := wal.ReplaySegments(segs, r.add)
+	r := NewReplayer(b)
+	n, torn, err := wal.ReplaySegments(segs, r.Add)
 	if err != nil {
 		return n, torn, err
 	}
-	r.flush()
+	r.Flush()
 	return n, torn, nil
-}
-
-// replayer coalesces consecutive same-kind WAL records into large
-// batches before applying them, converting a stream of point records
-// into the amortized batch path: inserts become bulk merges (the
-// sorted-merge rebuild, near bulk-load speed; last duplicate wins, the
-// same end state as sequential replay), deletes become sorted delete
-// batches (one descent per leaf).
-type replayer struct {
-	b    Backend
-	kind OpKind // 0 = nothing buffered
-	keys []float64
-	pays []uint64
-}
-
-// replayFlushAt bounds the coalescing buffer.
-const replayFlushAt = 1 << 16
-
-func (r *replayer) add(rec *wal.Record) error {
-	switch rec.Op {
-	case wal.OpInsert, wal.OpInsertBatch, wal.OpMerge:
-		r.buffer(OpInsert, rec.Keys, rec.Payloads)
-	case wal.OpDelete, wal.OpDeleteBatch:
-		r.buffer(OpDelete, rec.Keys, nil)
-	case wal.OpUpdate:
-		// Conditional: applied in log position (after anything
-		// buffered), touching the key only if present.
-		r.flush()
-		r.b.Update(rec.Keys[0], rec.Payloads[0])
-	case wal.OpCheckpoint:
-		// Marker only; the snapshot it announces was already loaded.
-	}
-	return nil
-}
-
-func (r *replayer) buffer(kind OpKind, keys []float64, pays []uint64) {
-	if r.kind != 0 && r.kind != kind {
-		r.flush()
-	}
-	r.kind = kind
-	r.keys = append(r.keys, keys...)
-	if kind == OpInsert {
-		r.pays = append(r.pays, pays...)
-	}
-	if len(r.keys) >= replayFlushAt {
-		r.flush()
-	}
-}
-
-func (r *replayer) flush() {
-	if r.kind != 0 && len(r.keys) > 0 {
-		switch r.kind {
-		case OpInsert:
-			r.b.Apply(Op{Kind: OpMerge, Keys: r.keys, Payloads: r.pays})
-		case OpDelete:
-			sort.Float64s(r.keys)
-			r.b.Apply(Op{Kind: OpDelete, Keys: r.keys})
-		}
-	}
-	r.keys, r.pays, r.kind = r.keys[:0], r.pays[:0], 0
 }
 
 // apply logs rec and then applies op to the backend, the write-ahead
@@ -547,18 +488,22 @@ type WALStats struct {
 	Bytes       uint64
 	Checkpoints uint64
 	Replayed    int
-	// TornTail reports that the last recovery stopped replay at an
-	// invalid record. After a crash this is the expected torn tail of
-	// the final segment; if it ever appears after a clean shutdown it
-	// indicates on-disk corruption, and any records past the tear were
-	// unrecoverable.
+	// TornTail reports that the last recovery hit an invalid record.
+	// After a crash this is the expected torn tail of a segment (replay
+	// resumes with the next segment, if any); if it ever appears after
+	// a clean shutdown it indicates on-disk corruption.
 	TornTail bool
+	// Followers is the number of replication followers currently
+	// streaming this index's WAL; MaxFollowerLagBytes is the worst
+	// follower's committed-but-unshipped byte count (0 when none).
+	Followers           int
+	MaxFollowerLagBytes int64
 }
 
 // WALStats returns cumulative durability counters.
 func (d *DurableIndex) WALStats() WALStats {
 	st := d.log.Stats()
-	return WALStats{
+	ws := WALStats{
 		Appends:     st.Appends,
 		Syncs:       st.Syncs,
 		Bytes:       st.Bytes,
@@ -566,6 +511,11 @@ func (d *DurableIndex) WALStats() WALStats {
 		Replayed:    d.replayed,
 		TornTail:    d.torn,
 	}
+	for _, f := range d.Followers() {
+		ws.Followers++
+		ws.MaxFollowerLagBytes = max(ws.MaxFollowerLagBytes, f.LagBytes)
+	}
+	return ws
 }
 
 // Flush blocks until every acknowledged mutation is on stable storage,

@@ -1,0 +1,114 @@
+package repl_test
+
+// Replication benchmarks, archived by CI into the BENCH_ci.json
+// replication block: write-to-replica-visible lag quantiles on a live
+// stream, and the fan-out client's read throughput as the replica set
+// grows. Everything runs over real loopback TCP through the real
+// server, so the numbers include the protocol, not just the index.
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/server"
+)
+
+// BenchmarkReplication/Lag: one write per iteration, measured from the
+// primary's ack to the record being visible on a live follower. ns/op
+// is therefore the full replication lag (flush -> ship -> apply ->
+// publish); the p50/p99 quantiles across iterations are reported as
+// lag-p50-us / lag-p99-us.
+func BenchmarkReplication(b *testing.B) {
+	b.Run("Lag", func(b *testing.B) {
+		h := startPrimary(b, b.TempDir())
+		f := startFollower(b, h.addr)
+		keys, vals := seqKeys(0, 10000)
+		h.d.Merge(keys, vals)
+		waitConverged(b, h.d, f, 10*time.Second)
+
+		lags := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			h.d.Insert(1e9+float64(i), uint64(i))
+			pseg, poff := h.d.ReplicationPosition()
+			// Sleep-poll rather than busy-spin: a hot spin starves the
+			// stream goroutines on small runners and measures scheduler
+			// pressure instead of replication.
+			for {
+				fseg, foff := f.Applied()
+				if fseg > pseg || (fseg == pseg && foff >= poff) {
+					break
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+			lags = append(lags, time.Since(start))
+		}
+		b.StopTimer()
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		us := func(q float64) float64 {
+			return float64(lags[int(q*float64(len(lags)-1))]) / float64(time.Microsecond)
+		}
+		b.ReportMetric(us(0.50), "lag-p50-us")
+		b.ReportMetric(us(0.99), "lag-p99-us")
+	})
+
+	// ReadQPS: the fan-out client serving point reads from 1/2/4
+	// replica servers. The client keeps one connection per node, so
+	// throughput scales with the replica count until the loopback or
+	// the index saturates; benchjson converts min ns/op to QPS.
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ReadQPS/replicas=%d", n), func(b *testing.B) {
+			h := startPrimary(b, b.TempDir())
+			keys, vals := seqKeys(0, 100000)
+			h.d.Merge(keys, vals)
+
+			var replicaAddrs []string
+			for i := 0; i < n; i++ {
+				f := startFollower(b, h.addr)
+				waitConverged(b, h.d, f, 30*time.Second)
+				addr := serveReplica(b, f)
+				replicaAddrs = append(replicaAddrs, addr)
+			}
+			c := repl.NewClient(h.addr, replicaAddrs)
+			defer c.Close()
+			if _, ok, err := c.Get(keys[0]); err != nil || !ok {
+				b.Fatalf("warmup Get: ok=%v err=%v", ok, err)
+			}
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					k := keys[(i*7919)%len(keys)]
+					if _, ok, err := c.Get(k); err != nil || !ok {
+						b.Errorf("Get(%g): ok=%v err=%v", k, ok, err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// serveReplica puts a follower behind its own read-only TCP server.
+func serveReplica(b testing.TB, f *repl.Follower) string {
+	b.Helper()
+	rs := server.New(f)
+	rs.ReadOnly = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go rs.Serve(ln)
+	b.Cleanup(func() {
+		ln.Close()
+		rs.Close()
+	})
+	return ln.Addr().String()
+}

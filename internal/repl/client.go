@@ -1,0 +1,490 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client routes a replicated deployment: writes (and FLUSH) go to the
+// primary, reads fan out across the read replicas round-robin, and a
+// replica whose connection fails is ejected for a cooldown instead of
+// being retried on every call. With no healthy replica, reads fall
+// back to the primary, so a degraded fleet degrades to a single-node
+// deployment rather than erroring.
+//
+// Replication is asynchronous, so a replica read may trail the
+// writer's own writes. WithReadYourWrites opts into session
+// consistency: after every acknowledged write the client records the
+// primary's log position, and before a replica read it waits (bounded)
+// for that replica to have applied it, falling back to the primary on
+// timeout. The extra REPLINFO round trips roughly double write cost —
+// the default leaves it off.
+//
+// A Client is safe for concurrent use; each node connection serializes
+// its request/response exchanges.
+type Client struct {
+	primary  *node
+	replicas []*node
+	rr       atomic.Uint64
+
+	ryw  bool
+	wseg atomic.Uint64 // read-your-writes watermark
+	woff atomic.Int64
+
+	rywWait time.Duration
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithReadYourWrites makes replica reads wait (up to the given bound)
+// until the chosen replica has applied the client's latest write,
+// falling back to the primary when it cannot.
+func WithReadYourWrites(maxWait time.Duration) ClientOption {
+	return func(c *Client) { c.ryw = true; c.rywWait = maxWait }
+}
+
+// NewClient returns a client over one primary and any number of read
+// replicas. Connections are dialed lazily.
+func NewClient(primary string, replicas []string, opts ...ClientOption) *Client {
+	c := &Client{primary: &node{addr: primary}, rywWait: 250 * time.Millisecond}
+	for _, a := range replicas {
+		c.replicas = append(c.replicas, &node{addr: a})
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// node is one endpoint's lazily dialed, serialized connection with
+// failure cooldown.
+type node struct {
+	addr string
+
+	mu        sync.Mutex
+	c         net.Conn
+	br        *bufio.Reader
+	downUntil time.Time
+}
+
+// healthCooldown is how long a replica stays ejected after a failure.
+const healthCooldown = time.Second
+
+var errNodeDown = errors.New("repl: node in failure cooldown")
+
+// exchange sends one command line and hands the reply stream to parse.
+// Any error tears the connection down and starts the cooldown.
+func (n *node) exchange(cmd string, parse func(br *bufio.Reader) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.c == nil {
+		if time.Now().Before(n.downUntil) {
+			return errNodeDown
+		}
+		c, err := net.DialTimeout("tcp", n.addr, 2*time.Second)
+		if err != nil {
+			n.fail()
+			return err
+		}
+		n.c = c
+		n.br = bufio.NewReaderSize(c, 1<<16)
+	}
+	if _, err := fmt.Fprintln(n.c, cmd); err != nil {
+		n.fail()
+		return err
+	}
+	if err := parse(n.br); err != nil {
+		n.fail()
+		return err
+	}
+	return nil
+}
+
+// fail drops the connection and ejects the node for the cooldown.
+// Caller holds n.mu.
+func (n *node) fail() {
+	if n.c != nil {
+		n.c.Close()
+		n.c, n.br = nil, nil
+	}
+	n.downUntil = time.Now().Add(healthCooldown)
+}
+
+func (n *node) close() {
+	n.mu.Lock()
+	if n.c != nil {
+		n.c.Close()
+		n.c, n.br = nil, nil
+	}
+	n.mu.Unlock()
+}
+
+// readNode picks the next read endpoint round-robin, skipping ejected
+// replicas; the primary serves reads when no replica is usable.
+func (c *Client) readNode() *node {
+	if len(c.replicas) == 0 {
+		return c.primary
+	}
+	start := c.rr.Add(1)
+	now := time.Now()
+	for i := 0; i < len(c.replicas); i++ {
+		n := c.replicas[(start+uint64(i))%uint64(len(c.replicas))]
+		n.mu.Lock()
+		usable := n.c != nil || now.After(n.downUntil)
+		n.mu.Unlock()
+		if usable {
+			return n
+		}
+	}
+	return c.primary
+}
+
+// --- writes (primary) ----------------------------------------------------
+
+// Set stores value under key, returning whether the key was new.
+func (c *Client) Set(key float64, value uint64) (inserted bool, err error) {
+	err = c.primary.exchange(fmt.Sprintf("SET %.17g %d", key, value), func(br *bufio.Reader) error {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(line, "OK") {
+			return fmt.Errorf("repl: SET: %s", line)
+		}
+		inserted = line == "OK inserted"
+		return nil
+	})
+	if err == nil {
+		c.noteWrite()
+	}
+	return inserted, err
+}
+
+// Del removes key, reporting whether it existed.
+func (c *Client) Del(key float64) (existed bool, err error) {
+	err = c.primary.exchange(fmt.Sprintf("DEL %.17g", key), func(br *bufio.Reader) error {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		switch line {
+		case "OK":
+			existed = true
+		case "NOTFOUND":
+			existed = false
+		default:
+			return fmt.Errorf("repl: DEL: %s", line)
+		}
+		return nil
+	})
+	if err == nil {
+		c.noteWrite()
+	}
+	return existed, err
+}
+
+// MSet stores many pairs in one batch, returning how many were new.
+func (c *Client) MSet(keys []float64, values []uint64) (inserted int, err error) {
+	if len(keys) != len(values) {
+		return 0, errors.New("repl: MSet: length mismatch")
+	}
+	var sb strings.Builder
+	sb.WriteString("MSET")
+	for i := range keys {
+		fmt.Fprintf(&sb, " %.17g %d", keys[i], values[i])
+	}
+	err = c.primary.exchange(sb.String(), func(br *bufio.Reader) error {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(line, "OK %d", &inserted); err != nil {
+			return fmt.Errorf("repl: MSET: %s", line)
+		}
+		return nil
+	})
+	if err == nil {
+		c.noteWrite()
+	}
+	return inserted, err
+}
+
+// Flush blocks until the primary has every acknowledged write on
+// stable storage.
+func (c *Client) Flush() error {
+	return c.primary.exchange("FLUSH", func(br *bufio.Reader) error {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line != "OK" {
+			return fmt.Errorf("repl: FLUSH: %s", line)
+		}
+		return nil
+	})
+}
+
+// noteWrite advances the read-your-writes watermark to the primary's
+// position covering the acknowledged write.
+func (c *Client) noteWrite() {
+	if !c.ryw {
+		return
+	}
+	if seg, off, _, err := c.primaryPosition(); err == nil {
+		// Monotonic advance; racing writers may store a slightly newer
+		// watermark, which only strengthens the guarantee.
+		if seg > c.wseg.Load() || (seg == c.wseg.Load() && off > c.woff.Load()) {
+			c.wseg.Store(seg)
+			c.woff.Store(off)
+		}
+	}
+}
+
+// --- reads (replicas) ----------------------------------------------------
+
+// Get looks up key on a replica (or the primary when none is usable).
+func (c *Client) Get(key float64) (value uint64, found bool, err error) {
+	n := c.readNode()
+	c.waitCaughtUp(&n)
+	err = n.exchange(fmt.Sprintf("GET %.17g", key), func(br *bufio.Reader) error {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.HasPrefix(line, "VALUE "):
+			v, err := strconv.ParseUint(line[6:], 10, 64)
+			if err != nil {
+				return err
+			}
+			value, found = v, true
+		case line == "NOTFOUND":
+		default:
+			return fmt.Errorf("repl: GET: %s", line)
+		}
+		return nil
+	})
+	return value, found, err
+}
+
+// MGet looks up many keys, scattering the batch across every healthy
+// replica in parallel and reassembling results in key order — the
+// aggregate-read-throughput path that makes N replicas read ~N times
+// faster than one.
+func (c *Client) MGet(keys []float64) (values []uint64, found []bool, err error) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	nodes := c.healthyReadNodes()
+	if c.ryw {
+		for i := range nodes {
+			c.waitCaughtUp(&nodes[i])
+		}
+	}
+	chunks := len(nodes)
+	if chunks > len(keys) {
+		chunks = len(keys)
+	}
+	if chunks == 0 {
+		return values, found, errors.New("repl: no usable endpoint")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, chunks)
+	per := (len(keys) + chunks - 1) / chunks
+	for i := 0; i < chunks; i++ {
+		lo := i * per
+		hi := min(lo+per, len(keys))
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = c.mgetOn(nodes[i], keys[lo:hi], values[lo:hi], found[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return values, found, e
+		}
+	}
+	return values, found, nil
+}
+
+// mgetOn runs one MGET chunk against one node.
+func (c *Client) mgetOn(n *node, keys []float64, values []uint64, found []bool) error {
+	var sb strings.Builder
+	sb.WriteString("MGET")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %.17g", k)
+	}
+	return n.exchange(sb.String(), func(br *bufio.Reader) error {
+		for i := range keys {
+			line, err := readLine(br)
+			if err != nil {
+				return err
+			}
+			switch {
+			case strings.HasPrefix(line, "VALUE "):
+				v, err := strconv.ParseUint(line[6:], 10, 64)
+				if err != nil {
+					return err
+				}
+				values[i], found[i] = v, true
+			case line == "NOTFOUND":
+				values[i], found[i] = 0, false
+			default:
+				return fmt.Errorf("repl: MGET: %s", line)
+			}
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line != "END" {
+			return fmt.Errorf("repl: MGET: expected END, got %s", line)
+		}
+		return nil
+	})
+}
+
+// Scan returns up to max elements from the first key >= start, read
+// from one replica.
+func (c *Client) Scan(start float64, max int) (keys []float64, values []uint64, err error) {
+	n := c.readNode()
+	c.waitCaughtUp(&n)
+	err = n.exchange(fmt.Sprintf("SCAN %.17g %d", start, max), func(br *bufio.Reader) error {
+		for {
+			line, err := readLine(br)
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			var k float64
+			var v uint64
+			if _, err := fmt.Sscanf(line, "KEY %g %d", &k, &v); err != nil {
+				return fmt.Errorf("repl: SCAN: %s", line)
+			}
+			keys = append(keys, k)
+			values = append(values, v)
+		}
+	})
+	return keys, values, err
+}
+
+// healthyReadNodes returns every replica not in cooldown, or the
+// primary alone when none qualifies.
+func (c *Client) healthyReadNodes() []*node {
+	now := time.Now()
+	var out []*node
+	for _, n := range c.replicas {
+		n.mu.Lock()
+		usable := n.c != nil || now.After(n.downUntil)
+		n.mu.Unlock()
+		if usable {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, c.primary)
+	}
+	return out
+}
+
+// --- read-your-writes ----------------------------------------------------
+
+// primaryPosition fetches the primary's replication position.
+func (c *Client) primaryPosition() (seg uint64, off int64, followers int, err error) {
+	err = c.primary.exchange("REPLINFO", func(br *bufio.Reader) error {
+		return parseReplinfo(br, func(k string, a, b uint64) {
+			switch k {
+			case "POSITION":
+				seg, off = a, int64(b)
+			case "FOLLOWER":
+				followers++
+			}
+		})
+	})
+	return seg, off, followers, err
+}
+
+// appliedPosition fetches a replica's applied position.
+func appliedPosition(n *node) (seg uint64, off int64, err error) {
+	err = n.exchange("REPLINFO", func(br *bufio.Reader) error {
+		return parseReplinfo(br, func(k string, a, b uint64) {
+			if k == "APPLIED" {
+				seg, off = a, int64(b)
+			}
+		})
+	})
+	return seg, off, err
+}
+
+// parseReplinfo streams REPLINFO lines to fn until END, extracting the
+// "<WORD> <num> <num>" shape shared by POSITION and APPLIED (other
+// lines pass through with zero values).
+func parseReplinfo(br *bufio.Reader, fn func(kind string, a, b uint64)) error {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line == "END" {
+			return nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return fmt.Errorf("repl: REPLINFO: %s", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var a, b uint64
+		if len(fields) >= 3 {
+			a, _ = strconv.ParseUint(fields[1], 10, 64)
+			b, _ = strconv.ParseUint(fields[2], 10, 64)
+		}
+		fn(fields[0], a, b)
+	}
+}
+
+// waitCaughtUp blocks (bounded) until *n has applied the client's
+// read-your-writes watermark, redirecting the read to the primary on
+// timeout. No-op unless WithReadYourWrites is set or when the chosen
+// node already is the primary.
+func (c *Client) waitCaughtUp(n **node) {
+	if !c.ryw || *n == c.primary {
+		return
+	}
+	wseg, woff := c.wseg.Load(), c.woff.Load()
+	if wseg == 0 {
+		return
+	}
+	deadline := time.Now().Add(c.rywWait)
+	for {
+		seg, off, err := appliedPosition(*n)
+		if err == nil && (seg > wseg || (seg == wseg && off >= woff)) {
+			return
+		}
+		if err != nil || time.Now().After(deadline) {
+			*n = c.primary
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close tears down every connection.
+func (c *Client) Close() {
+	c.primary.close()
+	for _, n := range c.replicas {
+		n.close()
+	}
+}

@@ -1,0 +1,299 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	alex "repro"
+	"repro/internal/wal"
+)
+
+// Follower is a read replica: it bootstraps from the primary's
+// snapshot, applies the primary's WAL stream through the coalescing
+// replay path, and exposes the read surface of a server.Store over
+// whatever prefix of the history it has applied so far. Reads are
+// served lock-free by the wrapped ShardedIndex while the stream
+// applies behind them.
+//
+// The follower keeps nothing on disk: its durability story is the
+// primary's. On restart it re-bootstraps; after the primary truncates
+// history with a checkpoint it re-bootstraps; after a disconnect it
+// resumes incrementally from its applied position with jittered
+// exponential backoff. Mutation methods panic — writes go to the
+// primary (the server's replica mode rejects them first).
+type Follower struct {
+	primary string
+	shards  int
+
+	// backend is swapped wholesale when a bootstrap loads a fresh
+	// snapshot; readers always see either the old consistent state or
+	// the new one, never a mix.
+	backend atomic.Pointer[alex.ShardedIndex]
+
+	// applied position: everything at or before it is visible to reads.
+	// Advanced only at replay flush boundaries.
+	seg atomic.Uint64
+	off atomic.Int64
+
+	mu        sync.Mutex
+	connected bool
+	lastErr   error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFollower returns a follower replicating from the primary at addr,
+// not yet started. shards <= 0 means one per CPU.
+func NewFollower(addr string, shards int) *Follower {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	f := &Follower{
+		primary: addr,
+		shards:  shards,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	f.backend.Store(alex.NewSharded(shards))
+	return f
+}
+
+// Start launches the replication loop: connect, bootstrap if needed,
+// stream, reconnect on failure. It returns immediately; Status reports
+// progress.
+func (f *Follower) Start() { go f.run() }
+
+// Stop terminates the replication loop and waits for it to exit. The
+// applied state remains readable.
+func (f *Follower) Stop() {
+	close(f.stop)
+	<-f.done
+}
+
+// Status reports the replication link state: the primary's address,
+// whether the stream is currently connected, the last stream error,
+// and the applied position.
+func (f *Follower) Status() (source string, connected bool, lastErr error, seg uint64, off int64) {
+	f.mu.Lock()
+	connected, lastErr = f.connected, f.lastErr
+	f.mu.Unlock()
+	return f.primary, connected, lastErr, f.seg.Load(), f.off.Load()
+}
+
+// ReplicaStatus is the server's REPLINFO surface (server.ReplicaStatuser).
+func (f *Follower) ReplicaStatus() (source string, connected bool, seg uint64, off int64) {
+	source, connected, _, seg, off = f.Status()
+	return source, connected, seg, off
+}
+
+// Applied returns the position up to which the stream is applied and
+// visible to reads.
+func (f *Follower) Applied() (seg uint64, off int64) { return f.seg.Load(), f.off.Load() }
+
+func (f *Follower) setLink(connected bool, err error) {
+	f.mu.Lock()
+	f.connected = connected
+	if err != nil {
+		f.lastErr = err
+	}
+	f.mu.Unlock()
+}
+
+// run is the reconnect loop: each stream attempt either ends the
+// follower (Stop) or schedules a retry with jittered exponential
+// backoff, reset after any successful handshake.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		ok, err := f.stream()
+		f.setLink(false, err)
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if ok {
+			backoff = 50 * time.Millisecond
+		}
+		// Full jitter: sleep uniformly in [backoff/2, backoff), so a
+		// herd of followers losing one primary does not reconnect in
+		// lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+		backoff = min(backoff*2, 2*time.Second)
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// stream runs one connection's lifetime: handshake (bootstrapping via
+// SNAPSHOT when the follower has no position or the primary reports
+// the requested history truncated), then the frame loop. ok reports
+// whether the handshake reached streaming (for backoff reset).
+func (f *Follower) stream() (ok bool, err error) {
+	c, err := net.Dial("tcp", f.primary)
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	// Unblock the frame-loop read when Stop fires mid-wait.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-f.stop:
+			c.Close()
+		case <-watchDone:
+		}
+	}()
+	br := bufio.NewReaderSize(c, 1<<16)
+
+	for {
+		if f.seg.Load() == 0 {
+			if err := f.bootstrap(c, br); err != nil {
+				return false, fmt.Errorf("bootstrap: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintf(c, "REPLICATE %d %d\n", f.seg.Load(), f.off.Load()); err != nil {
+			return false, err
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case line == "STREAM":
+			f.setLink(true, nil)
+			return true, f.frameLoop(br)
+		case line == "TRUNCATED":
+			// The primary checkpointed past our position; start over
+			// from its snapshot.
+			f.seg.Store(0)
+		default:
+			return false, fmt.Errorf("repl: REPLICATE rejected: %s", line)
+		}
+	}
+}
+
+// bootstrap replaces the follower's state with the primary's snapshot
+// (or an empty index when the primary has never checkpointed) and
+// positions the stream at the start of the primary's retained history —
+// the same (snapshot, replay-from-oldest-segment) pair local recovery
+// uses, so the rebuilt state is exactly what the primary would recover.
+func (f *Follower) bootstrap(c net.Conn, br *bufio.Reader) error {
+	if _, err := fmt.Fprintln(c, "SNAPSHOT"); err != nil {
+		return err
+	}
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	var size int64
+	var startSeg uint64
+	if _, err := fmt.Sscanf(line, "SNAPSHOT %d %d", &size, &startSeg); err != nil {
+		return fmt.Errorf("repl: bad SNAPSHOT reply %q", line)
+	}
+	nb := alex.NewSharded(f.shards)
+	if size > 0 {
+		nb, err = alex.ReadFromSharded(io.LimitReader(br, size), f.shards)
+		if err != nil {
+			return err
+		}
+	}
+	f.backend.Store(nb)
+	f.seg.Store(startSeg)
+	f.off.Store(wal.HeaderSize)
+	return nil
+}
+
+// frameLoop applies the record stream. The replayer buffers records
+// for batch application; whenever the stream goes idle (no bytes
+// buffered) it flushes and publishes the applied position, so reads
+// catch up to the live tail the moment the primary pauses — and in
+// steady state a write storm is applied through the amortized batch
+// path, not record at a time.
+func (f *Follower) frameLoop(br *bufio.Reader) error {
+	rp := alex.NewReplayer(f.backend.Load())
+	pendSeg, pendOff := f.seg.Load(), f.off.Load()
+	var scratch []byte
+	for {
+		if br.Buffered() < frameHeaderSize {
+			rp.Flush()
+			f.seg.Store(pendSeg)
+			f.off.Store(pendOff)
+		}
+		seg, off, err := ReadFrameHeader(br)
+		if err != nil {
+			return err
+		}
+		rec, s, err := wal.ReadFramed(br, scratch)
+		if err != nil {
+			return err
+		}
+		scratch = s
+		if err := rp.Add(rec); err != nil {
+			return err
+		}
+		pendSeg, pendOff = seg, off
+	}
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return line[:len(line)-1], nil
+}
+
+// --- server.Store surface ------------------------------------------------
+//
+// Reads delegate to the applied index; the write methods exist only to
+// satisfy the interface (the server's replica mode rejects writes
+// before reaching them) and panic if called directly.
+
+func (f *Follower) idx() *alex.ShardedIndex { return f.backend.Load() }
+
+func (f *Follower) Get(key float64) (uint64, bool) { return f.idx().Get(key) }
+func (f *Follower) GetBatch(keys []float64) ([]uint64, []bool) {
+	return f.idx().GetBatch(keys)
+}
+func (f *Follower) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
+	f.idx().GetBatchInto(keys, payloads, found)
+}
+func (f *Follower) ScanN(start float64, max int) ([]float64, []uint64) {
+	return f.idx().ScanN(start, max)
+}
+func (f *Follower) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
+	return f.idx().ScanNInto(start, max, keys, payloads)
+}
+func (f *Follower) Len() int            { return f.idx().Len() }
+func (f *Follower) Stats() alex.Stats   { return f.idx().Stats() }
+func (f *Follower) IndexSizeBytes() int { return f.idx().IndexSizeBytes() }
+func (f *Follower) DataSizeBytes() int  { return f.idx().DataSizeBytes() }
+func (f *Follower) Flush() error        { return nil }
+func (f *Follower) Close() error        { return nil }
+
+func (f *Follower) Insert(float64, uint64) bool         { panic(errReadOnly) }
+func (f *Follower) Delete(float64) bool                 { panic(errReadOnly) }
+func (f *Follower) InsertBatch([]float64, []uint64) int { panic(errReadOnly) }
+func (f *Follower) DeleteBatch([]float64) int           { panic(errReadOnly) }
+
+var errReadOnly = errors.New("repl: follower is read-only; writes go to the primary")

@@ -1,0 +1,72 @@
+// Package repl implements WAL-shipping replication for the durable
+// index: a single writable primary streams its write-ahead log to any
+// number of read replicas, each of which applies the record stream
+// through the same coalescing replay path crash recovery uses. A
+// replica is therefore always *some* prefix of the primary's committed
+// history — asynchronous (a write is acknowledged before replicas see
+// it) but never divergent: after any crash and reconnect the replica
+// converges to exactly the state the primary recovers.
+//
+// Three protocol commands (spoken over the ordinary alexkv text
+// protocol) carry replication:
+//
+//	REPLINFO
+//	  Replication status. On a primary: ROLE, POSITION <seg> <off>,
+//	  CHECKPOINTS <n>, one FOLLOWER <addr> <seg> <off> <lag> line per
+//	  connected follower, END. On a replica: ROLE, SOURCE <addr>,
+//	  CONNECTED <bool>, APPLIED <seg> <off>, END.
+//
+//	SNAPSHOT
+//	  Bootstrap transfer. Reply "SNAPSHOT <bytes> <startSeg>\n"
+//	  followed by exactly <bytes> of raw snapshot (the checkpoint
+//	  file; 0 bytes when the primary has never checkpointed). The
+//	  follower loads it and resumes with REPLICATE <startSeg> 8.
+//
+//	REPLICATE <seg> <off>
+//	  Takes over the connection as an endless binary record stream
+//	  from the given WAL position. Reply is one text line — "STREAM"
+//	  (frames follow), "TRUNCATED" (the requested history was
+//	  checkpointed away; re-bootstrap with SNAPSHOT), or "ERR ..." —
+//	  then, after STREAM, a sequence of frames, each a 17-byte header
+//	  (marker 'R', little-endian u64 segment, u64 offset of the byte
+//	  *after* the record — the follower's resume position once the
+//	  record is applied) followed by the record in the WAL segment
+//	  wire format (length, CRC, payload). The stream ends only when
+//	  either side closes the connection.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// frameHeaderSize is the fixed prefix of every streamed record frame.
+const frameHeaderSize = 1 + 8 + 8
+
+// frameMarker tags every record frame, so a desynchronized stream is
+// detected immediately instead of decoding garbage.
+const frameMarker = 'R'
+
+// AppendFrameHeader appends a frame header for a record ending at
+// (seg, off) to dst.
+func AppendFrameHeader(dst []byte, seg uint64, off int64) []byte {
+	var h [frameHeaderSize]byte
+	h[0] = frameMarker
+	binary.LittleEndian.PutUint64(h[1:9], seg)
+	binary.LittleEndian.PutUint64(h[9:17], uint64(off))
+	return append(dst, h[:]...)
+}
+
+// ReadFrameHeader reads one frame header, returning the position after
+// the record that follows it.
+func ReadFrameHeader(r io.Reader) (seg uint64, off int64, err error) {
+	var h [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, err
+	}
+	if h[0] != frameMarker {
+		return 0, 0, fmt.Errorf("repl: bad frame marker 0x%02x (stream desynchronized)", h[0])
+	}
+	return binary.LittleEndian.Uint64(h[1:9]), int64(binary.LittleEndian.Uint64(h[9:17])), nil
+}

@@ -1,0 +1,325 @@
+package repl_test
+
+// In-process replication tests: a real DurableIndex primary served by
+// the real TCP server, with Follower instances streaming from it over
+// loopback. These run under -race in CI (the name regex matches Repl)
+// and are the fast complement to the process-level kill -9 torture in
+// the root package.
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	alex "repro"
+	"repro/internal/repl"
+	"repro/server"
+)
+
+// A follower must be servable directly by the TCP server.
+var _ server.Store = (*repl.Follower)(nil)
+
+// primaryHarness is one durable primary behind a live TCP server.
+type primaryHarness struct {
+	d    *alex.DurableIndex
+	srv  *server.Server
+	ln   net.Listener
+	addr string
+}
+
+func startPrimary(t testing.TB, dir string, opts ...alex.DurableOption) *primaryHarness {
+	t.Helper()
+	d, err := alex.OpenDurable(dir, append([]alex.DurableOption{
+		alex.WithFsyncPolicy(alex.FsyncNever), // tests flush explicitly; keeps CI off the fsync path
+		alex.WithCheckpointEvery(0),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &primaryHarness{d: d}
+	h.serve(t)
+	t.Cleanup(func() {
+		h.stop()
+		d.Close()
+	})
+	return h
+}
+
+// serve (re)starts the TCP front end, reusing the previous address
+// after a stop so followers can reconnect.
+func (h *primaryHarness) serve(t testing.TB) {
+	t.Helper()
+	addr := h.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ln = ln
+	h.addr = ln.Addr().String()
+	h.srv = server.New(h.d)
+	go h.srv.Serve(ln)
+}
+
+func (h *primaryHarness) stop() {
+	if h.srv != nil {
+		h.ln.Close()
+		h.srv.Close()
+		h.srv = nil
+	}
+}
+
+func startFollower(t testing.TB, addr string) *repl.Follower {
+	t.Helper()
+	f := repl.NewFollower(addr, 4)
+	f.Start()
+	t.Cleanup(f.Stop)
+	return f
+}
+
+// waitConverged blocks until the follower's applied position reaches
+// the primary's visible position (flush first so the position is
+// stable), then fails the test on timeout.
+func waitConverged(t testing.TB, d *alex.DurableIndex, f *repl.Follower, timeout time.Duration) {
+	t.Helper()
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pseg, poff := d.ReplicationPosition()
+	deadline := time.Now().Add(timeout)
+	for {
+		fseg, foff := f.Applied()
+		if fseg > pseg || (fseg == pseg && foff >= poff) {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, connected, lastErr, _, _ := f.Status()
+			t.Fatalf("follower stuck at %d/%d, primary at %d/%d (connected=%v lastErr=%v)",
+				fseg, foff, pseg, poff, connected, lastErr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// dump returns the full sorted contents of an index.
+func dump(idx interface {
+	Len() int
+	ScanN(start float64, max int) ([]float64, []uint64)
+}) ([]float64, []uint64) {
+	return idx.ScanN(math.Inf(-1), idx.Len()+1)
+}
+
+// assertIdentical checks byte-exact convergence: same length, same
+// sorted key sequence, same payloads.
+func assertIdentical(t testing.TB, d *alex.DurableIndex, f *repl.Follower) {
+	t.Helper()
+	pk, pv := dump(d)
+	fk, fv := dump(f)
+	if len(pk) != len(fk) {
+		t.Fatalf("follower has %d keys, primary %d", len(fk), len(pk))
+	}
+	for i := range pk {
+		if pk[i] != fk[i] || pv[i] != fv[i] {
+			t.Fatalf("divergence at rank %d: primary (%g,%d) follower (%g,%d)",
+				i, pk[i], pv[i], fk[i], fv[i])
+		}
+	}
+}
+
+// seqKeys returns n increasing keys starting at base with payloads.
+func seqKeys(base float64, n int) ([]float64, []uint64) {
+	keys := make([]float64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = base + float64(i)
+		vals[i] = uint64(i)
+	}
+	return keys, vals
+}
+
+// TestReplicationSmoke: two followers stream a mixed workload (batch
+// merge, point inserts, deletes, updates) and converge byte-exact.
+func TestReplicationSmoke(t *testing.T) {
+	h := startPrimary(t, t.TempDir())
+	f1 := startFollower(t, h.addr)
+	f2 := startFollower(t, h.addr)
+
+	keys, vals := seqKeys(0, 5000)
+	h.d.Merge(keys, vals)
+	for i := 0; i < 500; i++ {
+		h.d.Insert(1e6+float64(i), uint64(i))
+	}
+	del := keys[1000:1500]
+	h.d.DeleteBatch(del)
+	for i := 0; i < 200; i++ {
+		h.d.Update(keys[i], 777) // updates must replicate as updates
+	}
+
+	for _, f := range []*repl.Follower{f1, f2} {
+		waitConverged(t, h.d, f, 10*time.Second)
+		assertIdentical(t, h.d, f)
+	}
+	if got, ok := f1.Get(keys[10]); !ok || got != 777 {
+		t.Fatalf("follower Get(updated) = %d,%v want 777,true", got, ok)
+	}
+	if _, ok := f1.Get(del[0]); ok {
+		t.Fatal("follower still has a deleted key")
+	}
+
+	// The primary's REPLINFO surface should know both followers.
+	if got := len(h.d.Followers()); got != 2 {
+		t.Fatalf("primary reports %d followers, want 2", got)
+	}
+	ws := h.d.WALStats()
+	if ws.Followers != 2 {
+		t.Fatalf("WALStats.Followers = %d, want 2", ws.Followers)
+	}
+}
+
+// TestReplicationBacklogDrain: a follower that connects late must
+// drain a 100k-op backlog and converge.
+func TestReplicationBacklogDrain(t *testing.T) {
+	h := startPrimary(t, t.TempDir())
+
+	const batches, per = 100, 1000 // 100k ops across 100 WAL records
+	for b := 0; b < batches; b++ {
+		keys, vals := seqKeys(float64(b)*per, per)
+		h.d.Merge(keys, vals)
+	}
+	if err := h.d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	f := startFollower(t, h.addr)
+	waitConverged(t, h.d, f, 30*time.Second)
+	t.Logf("drained %d-op backlog in %v", batches*per, time.Since(start))
+	if f.Len() != batches*per {
+		t.Fatalf("follower Len = %d, want %d", f.Len(), batches*per)
+	}
+	assertIdentical(t, h.d, f)
+}
+
+// TestReplicationSnapshotBootstrap: after a checkpoint truncates the
+// log, a fresh follower must bootstrap from the snapshot and still see
+// pre-checkpoint data that exists in no retained WAL segment.
+func TestReplicationSnapshotBootstrap(t *testing.T) {
+	h := startPrimary(t, t.TempDir())
+
+	keys, vals := seqKeys(0, 10000)
+	h.d.Merge(keys, vals)
+	if err := h.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	keys2, vals2 := seqKeys(1e6, 5000)
+	h.d.Merge(keys2, vals2)
+
+	f := startFollower(t, h.addr)
+	waitConverged(t, h.d, f, 10*time.Second)
+	assertIdentical(t, h.d, f)
+	if _, ok := f.Get(keys[0]); !ok {
+		t.Fatal("pre-checkpoint key missing: snapshot bootstrap did not run")
+	}
+}
+
+// TestReplicationTruncatedRebootstrap: a follower that falls behind a
+// checkpoint while disconnected gets TRUNCATED on reconnect and must
+// re-bootstrap rather than stream from a hole in history.
+func TestReplicationTruncatedRebootstrap(t *testing.T) {
+	h := startPrimary(t, t.TempDir())
+	f := startFollower(t, h.addr)
+
+	keys, vals := seqKeys(0, 2000)
+	h.d.Merge(keys, vals)
+	waitConverged(t, h.d, f, 10*time.Second)
+
+	// Take the server down; the follower starts its reconnect loop.
+	h.stop()
+
+	// While it is away, advance and truncate history past its position.
+	keys2, vals2 := seqKeys(1e6, 2000)
+	h.d.Merge(keys2, vals2)
+	if err := h.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	keys3, vals3 := seqKeys(2e6, 1000)
+	h.d.Merge(keys3, vals3)
+
+	h.serve(t)
+	waitConverged(t, h.d, f, 15*time.Second)
+	assertIdentical(t, h.d, f)
+}
+
+// TestClientFanout drives the fan-out client end to end: writes to the
+// primary, reads spread across two replica servers, read-your-writes
+// honored via the applied-position wait.
+func TestClientFanout(t *testing.T) {
+	h := startPrimary(t, t.TempDir())
+
+	var replicaAddrs []string
+	for i := 0; i < 2; i++ {
+		f := startFollower(t, h.addr)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := server.New(f)
+		rs.ReadOnly = true
+		go rs.Serve(ln)
+		t.Cleanup(func() {
+			ln.Close()
+			rs.Close()
+		})
+		replicaAddrs = append(replicaAddrs, ln.Addr().String())
+	}
+
+	c := repl.NewClient(h.addr, replicaAddrs, repl.WithReadYourWrites(5*time.Second))
+	defer c.Close()
+
+	keys := make([]float64, 64)
+	vals := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = float64(i) * 3
+		vals[i] = uint64(i) + 100
+	}
+	if _, err := c.MSet(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Set(5000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-your-writes: these Gets go to replicas but must observe the
+	// writes above.
+	if v, ok, err := c.Get(5000); err != nil || !ok || v != 42 {
+		t.Fatalf("Get(5000) = %d,%v,%v want 42,true,nil", v, ok, err)
+	}
+	gv, gf, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !gf[i] || gv[i] != vals[i] {
+			t.Fatalf("MGet[%d] = %d,%v want %d,true", i, gv[i], gf[i], vals[i])
+		}
+	}
+	sk, _, err := c.Scan(-1e18, 1000) // the wire protocol rejects non-finite keys
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk) != 65 {
+		t.Fatalf("Scan returned %d keys, want 65", len(sk))
+	}
+	if _, err := c.Del(5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(5000); err != nil || ok {
+		t.Fatalf("Get after Del: ok=%v err=%v, want miss", ok, err)
+	}
+}

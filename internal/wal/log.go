@@ -55,11 +55,39 @@ type Log struct {
 	policy   Policy
 	interval time.Duration
 	stats    counters
+	tailers  notifier // bumped when the visible tail grows, rotates, or closes
 
 	mu     sync.RWMutex // appends share it; rotation/close take it exclusively
 	cur    *Writer
 	curSeq uint64
 	closed bool
+}
+
+// notifier is a coalescing broadcast: waiters grab the current channel
+// and block on it; bump closes it and installs a fresh one, waking
+// every waiter at once. Bumps happen at flush/fsync/rotate frequency,
+// never per append, so the cost stays off the write hot path.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ch == nil {
+		n.ch = make(chan struct{})
+	}
+	return n.ch
+}
+
+func (n *notifier) bump() {
+	n.mu.Lock()
+	if n.ch != nil {
+		close(n.ch)
+		n.ch = nil
+	}
+	n.mu.Unlock()
 }
 
 // OpenLog opens dir's log for appending, always starting a fresh
@@ -75,7 +103,7 @@ func OpenLog(dir string, policy Policy, interval time.Duration) (*Log, error) {
 		next = segs[len(segs)-1].Seq + 1
 	}
 	l := &Log{dir: dir, policy: policy, interval: interval, curSeq: next}
-	l.cur, err = NewWriter(segmentPath(dir, next), policy, interval, &l.stats)
+	l.cur, err = NewWriter(segmentPath(dir, next), policy, interval, &l.stats, l.tailers.bump)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +140,7 @@ func (l *Log) Rotate() error {
 	if l.closed {
 		return ErrClosed
 	}
-	next, err := NewWriter(segmentPath(l.dir, l.curSeq+1), l.policy, l.interval, &l.stats)
+	next, err := NewWriter(segmentPath(l.dir, l.curSeq+1), l.policy, l.interval, &l.stats, l.tailers.bump)
 	if err != nil {
 		return err
 	}
@@ -121,6 +149,9 @@ func (l *Log) Rotate() error {
 	if err := old.Close(); err != nil {
 		return err
 	}
+	// Wake tailers parked at the old segment's live tail: it is sealed
+	// now, so they advance into the new segment.
+	l.tailers.bump()
 	return nil
 }
 
@@ -162,7 +193,35 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	return l.cur.Close()
+	err := l.cur.Close()
+	// Wake tailers so they observe the closed log and return.
+	l.tailers.bump()
+	return err
+}
+
+// Position returns the live replication position: the current segment
+// and its visible tail watermark. A follower that has applied
+// everything up to Position has applied every record the durability
+// policy has committed.
+func (l *Log) Position() (seg uint64, off int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.curSeq, l.cur.Visible()
+}
+
+// visibleBytes reports how much of segment seg a tailer may read:
+// the whole file for sealed segments, the live writer's watermark for
+// the current one, and nothing for segments that do not exist yet.
+func (l *Log) visibleBytes(seg uint64) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	switch {
+	case seg < l.curSeq:
+		return int64(^uint64(0) >> 1) // sealed: the file itself bounds the read
+	case seg == l.curSeq:
+		return l.cur.Visible()
+	}
+	return 0
 }
 
 // Stats returns counters cumulative across all segments of this Log.

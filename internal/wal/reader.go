@@ -71,9 +71,16 @@ func (rd *Reader) Next() (*Record, error) {
 	return decodeRecord(payload)
 }
 
-// ReplaySegments streams every record of segs in order to fn, stopping
-// without error at the first invalid record (torn indicates whether one
-// was hit). fn errors and file-open errors abort the replay.
+// ReplaySegments streams every record of segs in order to fn. An
+// invalid record ends that *segment's* replay (torn reports whether any
+// segment ended that way) but not the whole history: a segment is
+// sealed either by a clean rotation (no tear possible) or by a crash —
+// and after a crash tear, nothing valid follows in that segment (fsync
+// order matches append order), while the segments a restarted process
+// appended afterwards hold acknowledged writes that must still replay.
+// Stopping the entire replay at the first tear would silently drop
+// them after a second crash. fn errors and file-open errors abort the
+// replay.
 func ReplaySegments(segs []Segment, fn func(*Record) error) (n int, torn bool, err error) {
 	for _, seg := range segs {
 		f, err := os.Open(seg.Path)
@@ -84,7 +91,8 @@ func ReplaySegments(segs []Segment, fn func(*Record) error) (n int, torn bool, e
 		if err != nil {
 			f.Close()
 			if errors.Is(err, ErrCorrupt) {
-				return n, true, nil
+				torn = true
+				continue
 			}
 			return n, torn, err
 		}
@@ -94,10 +102,10 @@ func ReplaySegments(segs []Segment, fn func(*Record) error) (n int, torn bool, e
 				break
 			}
 			if err != nil {
-				// Corruption mid-log: stop replay entirely — records past
-				// this point may depend on the lost ones.
-				f.Close()
-				return n, true, nil
+				// Crash tear: the rest of this segment is the un-fsynced
+				// (never acknowledged) tail; later segments are valid.
+				torn = true
+				break
 			}
 			if err := fn(rec); err != nil {
 				f.Close()

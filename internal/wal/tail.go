@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// HeaderSize is the byte length of the segment magic — the file offset
+// where a segment's first record starts, and therefore the canonical
+// "start of segment" replication position.
+const HeaderSize = int64(len(Magic))
+
+// ErrTruncated reports that a tailer's position points into log history
+// that a checkpoint has truncated away (or that a primary crash made
+// unreachable). The reader cannot catch up incrementally and must
+// re-bootstrap from a snapshot.
+var ErrTruncated = errors.New("wal: position truncated")
+
+// ErrStopped is returned by Tailer.Next when the caller's stop channel
+// fired while waiting at the live tail.
+var ErrStopped = errors.New("wal: tail stopped")
+
+// ErrShortFrame reports that a byte buffer ends before the framed
+// record it starts does.
+var ErrShortFrame = errors.New("wal: short frame")
+
+// DecodeFramed decodes one framed record (length, CRC, payload — the
+// exact segment wire format) from the front of b, returning the record
+// and the wire bytes it occupied. ErrShortFrame means b holds only a
+// prefix of a record; errors wrapping ErrCorrupt mean the bytes can
+// never become a valid record no matter how many more arrive.
+func DecodeFramed(b []byte) (*Record, int, error) {
+	if len(b) < 8 {
+		return nil, 0, ErrShortFrame
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > MaxRecordBytes {
+		return nil, 0, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	if len(b) < 8+int(n) {
+		return nil, 0, ErrShortFrame
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, 8 + int(n), nil
+}
+
+// ReadFramed reads one framed record from r (header first, then the
+// payload it announces), for streams that carry the segment wire format
+// outside a segment file — the replication stream. scratch is reused
+// across calls and returned possibly grown.
+func ReadFramed(r io.Reader, scratch []byte) (*Record, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, scratch, io.EOF
+		}
+		return nil, scratch, fmt.Errorf("%w: torn record header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 || n > MaxRecordBytes {
+		return nil, scratch, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	need := 8 + int(n)
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	scratch = scratch[:need]
+	copy(scratch, hdr[:])
+	if _, err := io.ReadFull(r, scratch[8:]); err != nil {
+		return nil, scratch, fmt.Errorf("%w: torn record payload", ErrCorrupt)
+	}
+	rec, _, err := DecodeFramed(scratch)
+	return rec, scratch, err
+}
+
+// Tailer streams a Log's records from a given position and never stops
+// at the end: at the live tail it blocks until the next group commit
+// lands, and at the end of a sealed segment it rolls into the next one.
+// It is the primary-side engine of WAL-shipping replication.
+//
+// Torn tails are disambiguated by segment state, which is the edge a
+// plain ReplaySegments cannot see: an incomplete record in the *live*
+// segment means the writer is mid-append (or bufio flushed mid-record),
+// so the Tailer waits and re-reads; an incomplete record in a *sealed*
+// segment is a permanent crash tear — the records past it were never
+// acknowledged or applied, so the Tailer skips to the next segment,
+// exactly matching what crash recovery reconstructs. The visible
+// watermark (advanced only at record boundaries, after the policy's
+// flush/fsync) bounds live reads, so a record is never shipped to a
+// follower before the primary itself is committed to it.
+//
+// A Tailer is not safe for concurrent use; each follower stream owns
+// one.
+type Tailer struct {
+	log        *Log
+	seg        uint64
+	off        int64 // file offset of the next unread byte
+	f          *os.File
+	sealedSize int64 // stat'd size once the segment is known sealed; -1 before
+	buf        []byte
+}
+
+// NewTailer positions a tailer at (seg, off). seg 0 means "the start of
+// retained history": the oldest segment still on disk. Offsets below
+// HeaderSize are rounded up to it. ErrTruncated reports that seg was
+// checkpointed away; positions beyond the current segment are invalid.
+func (l *Log) NewTailer(seg uint64, off int64) (*Tailer, error) {
+	l.mu.RLock()
+	closed, cur := l.closed, l.curSeq
+	l.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if seg == 0 {
+		segs, err := Segments(l.dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			seg = segs[0].Seq
+		} else {
+			seg = cur
+		}
+		off = HeaderSize
+	}
+	if seg > cur {
+		return nil, fmt.Errorf("wal: segment %d is beyond the log head %d", seg, cur)
+	}
+	if off < HeaderSize {
+		off = HeaderSize
+	}
+	t := &Tailer{log: l, seg: seg, off: off, sealedSize: -1}
+	if err := t.open(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// open opens the tailer's current segment file.
+func (t *Tailer) open() error {
+	f, err := os.Open(segmentPath(t.log.dir, t.seg))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: segment %d", ErrTruncated, t.seg)
+		}
+		return err
+	}
+	t.f = f
+	t.sealedSize = -1
+	t.buf = t.buf[:0]
+	return nil
+}
+
+// Seg returns the segment of the next unread record.
+func (t *Tailer) Seg() uint64 { return t.seg }
+
+// Off returns the file offset of the next unread record — together
+// with Seg, the position a follower resumes from.
+func (t *Tailer) Off() int64 { return t.off }
+
+// state samples the log: the live visible watermark (when the tailer's
+// segment is the current one), whether its segment is sealed, and
+// whether the log is closed.
+func (t *Tailer) state() (vis int64, sealed, closed bool) {
+	l := t.log
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if t.seg < l.curSeq {
+		return 0, true, l.closed
+	}
+	return l.cur.Visible(), false, l.closed
+}
+
+// limit returns the readable byte bound of the current segment: the
+// visible watermark while live, the file size once sealed.
+func (t *Tailer) limit(vis int64, sealed bool) (int64, error) {
+	if !sealed {
+		return vis, nil
+	}
+	if t.sealedSize < 0 {
+		st, err := t.f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		t.sealedSize = st.Size()
+	}
+	return t.sealedSize, nil
+}
+
+// advance rolls the tailer into the next segment.
+func (t *Tailer) advance() error {
+	t.f.Close()
+	t.seg++
+	t.off = HeaderSize
+	return t.open()
+}
+
+// fill loads more of the current segment into the buffer, which always
+// holds the bytes starting at t.off. It returns how many bytes were
+// added (0 at the readable limit).
+func (t *Tailer) fill(limit int64) (int, error) {
+	avail := limit - t.off - int64(len(t.buf))
+	if avail <= 0 {
+		return 0, nil
+	}
+	chunk := avail
+	if chunk > 1<<16 {
+		chunk = 1 << 16
+	}
+	start := len(t.buf)
+	t.buf = append(t.buf, make([]byte, chunk)...)
+	n, err := t.f.ReadAt(t.buf[start:], t.off+int64(start))
+	t.buf = t.buf[:start+n]
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	return n, nil
+}
+
+// Next returns the next record and the position immediately after it
+// (the follower's resume position once the record is applied). It
+// blocks at the live tail until new records land; stop (may be nil)
+// aborts the wait with ErrStopped. ErrClosed reports the log closed
+// with nothing left to drain; ErrTruncated reports the next segment
+// was checkpointed away (re-bootstrap required). Errors wrapping
+// ErrCorrupt are real corruption inside the committed prefix of the
+// live segment and should end the stream.
+func (t *Tailer) Next(stop <-chan struct{}) (rec *Record, seg uint64, off int64, err error) {
+	for {
+		// Grab the wait channel before sampling state: a bump between
+		// the sample and the wait closes this channel, so no visible
+		// advance can be lost.
+		waitCh := t.log.tailers.wait()
+		vis, sealed, closed := t.state()
+		limit, err := t.limit(vis, sealed)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for {
+			r, wire, derr := DecodeFramed(t.buf)
+			if derr == nil {
+				t.buf = t.buf[wire:]
+				t.off += int64(wire)
+				return r, t.seg, t.off, nil
+			}
+			recoverable := errors.Is(derr, ErrShortFrame) || errors.Is(derr, ErrCorrupt)
+			if !recoverable {
+				return nil, 0, 0, derr
+			}
+			if errors.Is(derr, ErrShortFrame) {
+				n, ferr := t.fill(limit)
+				if ferr != nil {
+					return nil, 0, 0, ferr
+				}
+				if n > 0 {
+					continue // more bytes arrived; retry the decode
+				}
+			}
+			// Nothing more readable below the limit, or bytes that can
+			// never decode. Sealed: this is the permanent crash tear (or
+			// clean end) of the segment — roll forward. Live: wait for
+			// the writer. A corrupt frame below the live visible
+			// watermark cannot be a mid-append tear (watermarks advance
+			// at record boundaries), so it is real corruption — but only
+			// once the frame is complete; short frames wait.
+			if sealed {
+				if err := t.advance(); err != nil {
+					return nil, 0, 0, err
+				}
+				break // outer loop: re-sample state for the new segment
+			}
+			if !errors.Is(derr, ErrShortFrame) {
+				return nil, 0, 0, derr
+			}
+			if closed {
+				return nil, 0, 0, ErrClosed
+			}
+			select {
+			case <-waitCh:
+			case <-stop:
+				return nil, 0, 0, ErrStopped
+			}
+			break // outer loop: re-sample state
+		}
+	}
+}
+
+// Pending reports whether a record is likely ready without blocking —
+// the stream flush heuristic: callers flush buffered output before a
+// Next that would block.
+func (t *Tailer) Pending() bool {
+	if len(t.buf) >= 8 {
+		if n := binary.LittleEndian.Uint32(t.buf); len(t.buf) >= 8+int(n) {
+			return true
+		}
+	}
+	vis, sealed, _ := t.state()
+	if sealed {
+		return true
+	}
+	return t.off+int64(len(t.buf)) < vis
+}
+
+// Close releases the tailer's file handle.
+func (t *Tailer) Close() error {
+	if t.f != nil {
+		return t.f.Close()
+	}
+	return nil
+}

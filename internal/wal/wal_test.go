@@ -175,7 +175,7 @@ func TestWALWriterReadBack(t *testing.T) {
 	for _, policy := range []Policy{SyncAlways, SyncInterval, SyncNever} {
 		dir := t.TempDir()
 		path := filepath.Join(dir, "seg.log")
-		w, err := NewWriter(path, policy, 5*time.Millisecond, nil)
+		w, err := NewWriter(path, policy, 5*time.Millisecond, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +205,7 @@ func TestWALWriterReadBack(t *testing.T) {
 // TestWALGroupCommit: 8 concurrent appenders under SyncAlways must
 // coalesce fsyncs — strictly fewer syncs than appends.
 func TestWALGroupCommit(t *testing.T) {
-	w, err := NewWriter(filepath.Join(t.TempDir(), "seg.log"), SyncAlways, 0, nil)
+	w, err := NewWriter(filepath.Join(t.TempDir(), "seg.log"), SyncAlways, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,7 @@ type Writer struct {
 	policy   Policy
 	interval time.Duration
 	stats    *counters
+	notify   func() // called after visible advances; may be nil
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -61,17 +62,29 @@ type Writer struct {
 	buf     *bufio.Writer
 	seq     uint64 // records appended
 	synced  uint64 // records known durable
+	written int64  // file offset past the last appended record (buffered or not)
 	syncing bool   // a leader is mid-fsync
 	err     error  // sticky I/O error
 	closed  bool
+
+	// visible is the tail watermark replication may ship: the file
+	// offset up to which the segment holds only whole records that the
+	// durability policy has committed to (flushed under SyncNever,
+	// fsynced otherwise). bufio may auto-flush mid-record when a record
+	// crosses the buffer boundary, so readers of a live segment must
+	// never trust raw file size — only this watermark, which advances
+	// exclusively at record boundaries.
+	visible atomic.Int64
 
 	stop chan struct{} // interval syncer shutdown
 	done chan struct{}
 }
 
 // NewWriter creates path (which must not exist — segments are never
-// reopened for append) and returns a Writer over it. stats may be nil.
-func NewWriter(path string, policy Policy, interval time.Duration, stats *counters) (*Writer, error) {
+// reopened for append) and returns a Writer over it. stats may be nil;
+// notify (may be nil) is invoked whenever the visible tail watermark
+// advances, so tailing readers can wake without polling.
+func NewWriter(path string, policy Policy, interval time.Duration, stats *counters, notify func()) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
@@ -87,9 +100,12 @@ func NewWriter(path string, policy Policy, interval time.Duration, stats *counte
 		policy:   policy,
 		interval: interval,
 		stats:    stats,
+		notify:   notify,
 		f:        f,
 		buf:      bufio.NewWriterSize(f, 1<<16),
+		written:  int64(len(Magic)),
 	}
+	w.visible.Store(int64(len(Magic)))
 	w.cond = sync.NewCond(&w.mu)
 	if policy == SyncInterval {
 		if interval <= 0 {
@@ -123,6 +139,7 @@ func (w *Writer) Append(rec *Record) error {
 		return err
 	}
 	w.seq++
+	w.written += int64(len(enc))
 	w.stats.appends.Add(1)
 	w.stats.bytes.Add(uint64(len(enc)))
 	switch w.policy {
@@ -135,6 +152,7 @@ func (w *Writer) Append(rec *Record) error {
 			w.cond.Broadcast()
 			return err
 		}
+		w.advanceVisible(w.written)
 		return nil
 	case SyncInterval:
 		// Buffered; the interval loop flushes and fsyncs.
@@ -155,6 +173,7 @@ func (w *Writer) syncToLocked(lsn uint64) error {
 		}
 		w.syncing = true
 		upTo := w.seq
+		upToBytes := w.written
 		err := w.buf.Flush()
 		if err == nil {
 			// fsync outside the lock: appenders keep buffering into the
@@ -169,6 +188,7 @@ func (w *Writer) syncToLocked(lsn uint64) error {
 		} else {
 			w.synced = upTo
 			w.stats.syncs.Add(1)
+			w.advanceVisible(upToBytes)
 		}
 		w.cond.Broadcast()
 	}
@@ -235,3 +255,20 @@ func (w *Writer) Close() error {
 
 // Stats returns this writer's cumulative counters.
 func (w *Writer) Stats() Stats { return w.stats.snapshot() }
+
+// advanceVisible publishes a new tail watermark and wakes tailing
+// readers. Watermarks only move forward; every call site passes a
+// record-boundary offset captured under w.mu.
+func (w *Writer) advanceVisible(off int64) {
+	if off > w.visible.Load() {
+		w.visible.Store(off)
+		if w.notify != nil {
+			w.notify()
+		}
+	}
+}
+
+// Visible returns the segment file offset up to which the segment is
+// safe to replicate: everything below it is whole records the sync
+// policy has committed (see the field comment).
+func (w *Writer) Visible() int64 { return w.visible.Load() }

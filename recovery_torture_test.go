@@ -37,16 +37,23 @@ func buildAlexkv(t *testing.T) string {
 	return bin
 }
 
-// startAlexkv launches the server on an ephemeral port and parses the
-// bound address from its log output.
+// startAlexkv launches a durable server on an ephemeral port and
+// parses the bound address from its log output.
 func startAlexkv(t *testing.T, bin, dataDir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	args := append([]string{
+	return startAlexkvArgs(t, bin, append([]string{
 		"-addr", "127.0.0.1:0",
 		"-data-dir", dataDir,
 		"-fsync", "always",
 		"-checkpoint-every", "0",
-	}, extra...)
+	}, extra...)...)
+}
+
+// startAlexkvArgs launches the binary with exactly these flags and
+// parses the bound address from its log output. Duplicate flags later
+// in the list override earlier ones.
+func startAlexkvArgs(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -326,4 +333,209 @@ func TestGracefulShutdown(t *testing.T) {
 	if replayed > 1 {
 		t.Fatalf("replayed %d records after clean shutdown, want <= 1 (checkpoint marker only)", replayed)
 	}
+}
+
+// reserveAddr grabs an ephemeral port and releases it, so a restarted
+// primary can come back on the same address its replicas dial.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// replPosition polls REPLINFO on one connection and returns the node's
+// position: POSITION for a primary, APPLIED for a replica.
+func replPosition(kv *kvConn) (seg uint64, off int64, err error) {
+	kv.c.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintln(kv.c, "REPLINFO"); err != nil {
+		return 0, 0, err
+	}
+	for {
+		line, err := kv.br.ReadString('\n')
+		if err != nil {
+			return 0, 0, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			return seg, off, nil
+		}
+		if n, _ := fmt.Sscanf(line, "POSITION %d %d", &seg, &off); n == 2 {
+			continue
+		}
+		fmt.Sscanf(line, "APPLIED %d %d", &seg, &off)
+	}
+}
+
+// dumpKV returns the full contents of a node as protocol lines.
+func dumpKV(t *testing.T, kv *kvConn) []string {
+	t.Helper()
+	resp, err := kv.roundTrip("LEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "LEN %d", &n); err != nil {
+		t.Fatalf("LEN reply %q: %v", resp, err)
+	}
+	kv.c.SetDeadline(time.Now().Add(60 * time.Second))
+	if _, err := fmt.Fprintf(kv.c, "SCAN -1e18 %d\n", n+10); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for {
+		line, err := kv.br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "END" {
+			break
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != n {
+		t.Fatalf("SCAN returned %d lines, LEN said %d", len(lines), n)
+	}
+	return lines
+}
+
+// TestReplicationKillNineConvergence is the replication acceptance
+// bar: two replicas stream a concurrent write storm, the primary dies
+// by SIGKILL mid-storm and restarts over the same data dir, and both
+// replicas reconnect and converge byte-exact with the recovered state.
+func TestReplicationKillNineConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	bin := buildAlexkv(t)
+	dir := t.TempDir()
+	primaryAddr := reserveAddr(t)
+	cmd, _ := startAlexkvArgs(t, bin,
+		"-addr", primaryAddr,
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-checkpoint-every", "0",
+	)
+
+	var replicas []string
+	for i := 0; i < 2; i++ {
+		_, raddr := startAlexkvArgs(t, bin, "-addr", "127.0.0.1:0", "-replica-of", primaryAddr)
+		replicas = append(replicas, raddr)
+	}
+
+	const writers = 4
+	logs := make([]writerLog, writers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			storm(g, primaryAddr, stop, &logs[g])
+		}(g)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	for g := range logs {
+		total += len(logs[g].acked)
+	}
+	if total == 0 {
+		t.Fatal("storm acked nothing before the kill; harness broken")
+	}
+	t.Logf("killed mid-storm after %d acked writes", total)
+
+	// Restart over the same dir on the same address; replicas reconnect
+	// on their own. Recovery opens a fresh WAL segment that stays empty
+	// until the next write, and an empty segment emits no frames — so
+	// write one sentinel to push the stream (and the replicas' applied
+	// positions) into the new segment.
+	startAlexkvArgs(t, bin,
+		"-addr", primaryAddr,
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-checkpoint-every", "0",
+	)
+	kv, err := dialKV(primaryAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.c.Close()
+	if resp, err := kv.roundTrip("SET -5 99"); err != nil || !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("sentinel SET = %q, %v", resp, err)
+	}
+	pseg, poff, err := replPosition(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for both replicas to reach the primary's position (reconnect
+	// backoff is up to 2s, then the backlog drains).
+	for _, raddr := range replicas {
+		rkv, err := dialKV(raddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			rseg, roff, err := replPosition(rkv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rseg > pseg || (rseg == pseg && roff >= poff) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s stuck at %d/%d, primary at %d/%d", raddr, rseg, roff, pseg, poff)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		rkv.c.Close()
+	}
+
+	// Byte-exact: every replica's full dump equals the primary's.
+	want := dumpKV(t, kv)
+	for _, raddr := range replicas {
+		rkv, err := dialKV(raddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dumpKV(t, rkv)
+		rkv.c.Close()
+		if len(got) != len(want) {
+			t.Fatalf("replica %s has %d keys, primary %d", raddr, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("replica %s diverges at line %d: %q vs primary %q", raddr, i, got[i], want[i])
+			}
+		}
+		// Writes must bounce off a replica.
+		if resp, err := rkv2Write(raddr); err != nil || !strings.HasPrefix(resp, "ERR read-only") {
+			t.Fatalf("replica accepted a write: %q, %v", resp, err)
+		}
+	}
+	t.Logf("both replicas converged byte-exact on %d keys", len(want))
+}
+
+// rkv2Write attempts one SET against a replica and returns the reply.
+func rkv2Write(addr string) (string, error) {
+	kv, err := dialKV(addr)
+	if err != nil {
+		return "", err
+	}
+	defer kv.c.Close()
+	return kv.roundTrip("SET 1 1")
 }

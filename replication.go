@@ -1,0 +1,250 @@
+package alex
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// Replayer coalesces consecutive same-kind WAL records into large
+// batches before applying them, converting a stream of point records
+// into the amortized batch path: inserts become bulk merges (the
+// sorted-merge rebuild, near bulk-load speed; last duplicate wins, the
+// same end state as sequential replay), deletes become sorted delete
+// batches (one descent per leaf). Crash recovery and replication
+// followers share it, so a replica applies the primary's record stream
+// through exactly the code path recovery uses — a follower's state is
+// byte-for-byte what the primary would reconstruct from the same log.
+//
+// Records buffered by Add are not observable in the backend until
+// Flush; a follower therefore advances its applied position only at
+// flush boundaries.
+type Replayer struct {
+	b    Backend
+	kind OpKind // 0 = nothing buffered
+	keys []float64
+	pays []uint64
+}
+
+// NewReplayer returns a replayer applying records to b.
+func NewReplayer(b Backend) *Replayer { return &Replayer{b: b} }
+
+// replayFlushAt bounds the coalescing buffer.
+const replayFlushAt = 1 << 16
+
+// Add buffers (or applies) one WAL record.
+func (r *Replayer) Add(rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpInsert, wal.OpInsertBatch, wal.OpMerge:
+		r.buffer(OpInsert, rec.Keys, rec.Payloads)
+	case wal.OpDelete, wal.OpDeleteBatch:
+		r.buffer(OpDelete, rec.Keys, nil)
+	case wal.OpUpdate:
+		// Conditional: applied in log position (after anything
+		// buffered), touching the key only if present.
+		r.Flush()
+		r.b.Update(rec.Keys[0], rec.Payloads[0])
+	case wal.OpCheckpoint:
+		// Marker only; the snapshot it announces was already loaded.
+	}
+	return nil
+}
+
+func (r *Replayer) buffer(kind OpKind, keys []float64, pays []uint64) {
+	if r.kind != 0 && r.kind != kind {
+		r.Flush()
+	}
+	r.kind = kind
+	r.keys = append(r.keys, keys...)
+	if kind == OpInsert {
+		r.pays = append(r.pays, pays...)
+	}
+	if len(r.keys) >= replayFlushAt {
+		r.Flush()
+	}
+}
+
+// Flush applies everything buffered to the backend.
+func (r *Replayer) Flush() {
+	if r.kind != 0 && len(r.keys) > 0 {
+		switch r.kind {
+		case OpInsert:
+			r.b.Apply(Op{Kind: OpMerge, Keys: r.keys, Payloads: r.pays})
+		case OpDelete:
+			sort.Float64s(r.keys)
+			r.b.Apply(Op{Kind: OpDelete, Keys: r.keys})
+		}
+	}
+	r.keys, r.pays, r.kind = r.keys[:0], r.pays[:0], 0
+}
+
+// ReplicationPosition returns the log head a fully caught-up follower
+// would have applied: the current WAL segment and its committed tail
+// watermark. A mutation is covered by the position returned after it
+// was acknowledged.
+func (d *DurableIndex) ReplicationPosition() (seg uint64, off int64) {
+	return d.log.Position()
+}
+
+// NewTailer opens a rotate-aware streaming reader over the index's WAL
+// at (seg, off) — the primary-side engine of one follower's REPLICATE
+// stream. seg 0 means the start of retained history. wal.ErrTruncated
+// reports that the requested history was checkpointed away; the
+// follower must bootstrap from SnapshotForReplication instead.
+func (d *DurableIndex) NewTailer(seg uint64, off int64) (*wal.Tailer, error) {
+	return d.log.NewTailer(seg, off)
+}
+
+// SnapshotForReplication opens the on-disk snapshot for streaming to a
+// bootstrapping follower, returning the open file (nil when no
+// checkpoint has run yet — the follower starts empty), its size, and
+// the segment the follower must replay and tail from after loading it.
+// The caller owns rc and must close it.
+//
+// The oldest retained segment is pinned *before* the snapshot is
+// opened: if a checkpoint lands between the two steps, the streamed
+// snapshot is newer than startSeg and the follower replays records the
+// snapshot already contains — an idempotent overlap (the same one
+// local recovery tolerates), never a gap. The pair (snapshot, replay
+// from startSeg) therefore reconstructs exactly what OpenDurable would
+// recover on the primary.
+func (d *DurableIndex) SnapshotForReplication() (rc *os.File, size int64, startSeg uint64, err error) {
+	segs, err := wal.Segments(d.dir)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(segs) > 0 {
+		startSeg = segs[0].Seq
+	} else {
+		startSeg = d.log.CurrentSeq()
+	}
+	f, err := os.Open(filepath.Join(d.dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, startSeg, nil
+		}
+		return nil, 0, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return f, st.Size(), startSeg, nil
+}
+
+// FollowerInfo is one connected follower's replication progress.
+type FollowerInfo struct {
+	Addr     string
+	Seg      uint64 // segment of the next record the follower will apply
+	Off      int64  // offset within it
+	LagBytes int64  // committed log bytes the follower has not applied
+}
+
+// FollowerHandle tracks one follower's acknowledged position for lag
+// reporting. The REPLICATE handler registers one per stream and
+// advances it as records ship.
+type FollowerHandle struct {
+	d    *DurableIndex
+	addr string
+	seg  atomic.Uint64
+	off  atomic.Int64
+}
+
+// RegisterFollower adds a follower (identified by its remote address)
+// to the lag registry, positioned at (seg, off).
+func (d *DurableIndex) RegisterFollower(addr string, seg uint64, off int64) *FollowerHandle {
+	h := &FollowerHandle{d: d, addr: addr}
+	h.seg.Store(seg)
+	h.off.Store(off)
+	d.folMu.Lock()
+	if d.followers == nil {
+		d.followers = make(map[*FollowerHandle]struct{})
+	}
+	d.followers[h] = struct{}{}
+	d.folMu.Unlock()
+	return h
+}
+
+// Advance records that the follower has been shipped everything up to
+// (seg, off).
+func (h *FollowerHandle) Advance(seg uint64, off int64) {
+	h.seg.Store(seg)
+	h.off.Store(off)
+}
+
+// Unregister removes the follower from the registry (stream ended).
+func (h *FollowerHandle) Unregister() {
+	h.d.folMu.Lock()
+	delete(h.d.followers, h)
+	h.d.folMu.Unlock()
+}
+
+// Followers snapshots every connected follower's progress and lag.
+func (d *DurableIndex) Followers() []FollowerInfo {
+	d.folMu.Lock()
+	hs := make([]*FollowerHandle, 0, len(d.followers))
+	for h := range d.followers {
+		hs = append(hs, h)
+	}
+	d.folMu.Unlock()
+	if len(hs) == 0 {
+		return nil
+	}
+	pseg, poff := d.log.Position()
+	segs, _ := wal.Segments(d.dir) // best effort: sizes for cross-segment lag
+	infos := make([]FollowerInfo, 0, len(hs))
+	for _, h := range hs {
+		fseg, foff := h.seg.Load(), h.off.Load()
+		infos = append(infos, FollowerInfo{
+			Addr:     h.addr,
+			Seg:      fseg,
+			Off:      foff,
+			LagBytes: lagBytes(segs, pseg, poff, fseg, foff),
+		})
+	}
+	return infos
+}
+
+// lagBytes measures committed-but-unshipped log bytes between a
+// follower position and the primary head: the remainder of the
+// follower's segment, the full bodies of the segments between, and the
+// committed prefix of the head segment. Segments already truncated
+// contribute nothing (the follower is about to re-bootstrap anyway).
+func lagBytes(segs []wal.Segment, pseg uint64, poff int64, fseg uint64, foff int64) int64 {
+	if fseg > pseg || (fseg == pseg && foff >= poff) {
+		return 0
+	}
+	if fseg == pseg {
+		return poff - foff
+	}
+	lag := poff - wal.HeaderSize // head segment's committed body
+	for _, s := range segs {
+		if s.Seq < fseg || s.Seq >= pseg {
+			continue
+		}
+		st, err := os.Stat(s.Path)
+		if err != nil {
+			continue
+		}
+		from := wal.HeaderSize
+		if s.Seq == fseg {
+			from = foff
+		}
+		if n := st.Size() - from; n > 0 {
+			lag += n
+		}
+	}
+	return lag
+}
+
+// folMu guards the follower registry; split into its own type to keep
+// DurableIndex's zero-value fields obvious at the declaration site.
+type followerRegistry struct {
+	folMu     sync.Mutex
+	followers map[*FollowerHandle]struct{}
+}

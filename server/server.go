@@ -12,11 +12,14 @@ import (
 	"io"
 	"math"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 
 	alex "repro"
+	"repro/internal/repl"
+	"repro/internal/wal"
 )
 
 // Store is the thread-safe index surface the protocol needs;
@@ -60,6 +63,24 @@ type WALStatser interface {
 	WALStats() alex.WALStats
 }
 
+// Replicator is the optional Store extension behind the primary side
+// of WAL-shipping replication (REPLINFO, SNAPSHOT and REPLICATE);
+// *alex.DurableIndex implements it.
+type Replicator interface {
+	ReplicationPosition() (seg uint64, off int64)
+	NewTailer(seg uint64, off int64) (*wal.Tailer, error)
+	SnapshotForReplication() (rc *os.File, size int64, startSeg uint64, err error)
+	RegisterFollower(addr string, seg uint64, off int64) *alex.FollowerHandle
+	Followers() []alex.FollowerInfo
+	Checkpoints() uint64
+}
+
+// ReplicaStatuser is the optional Store extension behind REPLINFO on a
+// read replica; repl.Follower implements it.
+type ReplicaStatuser interface {
+	ReplicaStatus() (source string, connected bool, seg uint64, off int64)
+}
+
 // The three index wrappers satisfy the Store surface.
 var (
 	_ Store = (*alex.SyncIndex)(nil)
@@ -68,12 +89,20 @@ var (
 
 	_ Checkpointer = (*alex.DurableIndex)(nil)
 	_ WALStatser   = (*alex.DurableIndex)(nil)
+	_ Replicator   = (*alex.DurableIndex)(nil)
 )
 
 // Server handles connections speaking the alexkv protocol against one
 // shared thread-safe index.
 type Server struct {
 	idx Store
+
+	// ReadOnly rejects every mutating command ("ERR read-only
+	// replica"), the replica mode of a server fed by a repl.Follower.
+	// Set before Serve.
+	ReadOnly bool
+
+	stop chan struct{} // closed first in Close; ends REPLICATE streams
 
 	mu       sync.Mutex
 	closed   bool
@@ -83,7 +112,7 @@ type Server struct {
 
 // New returns a server over idx.
 func New(idx Store) *Server {
-	return &Server{idx: idx, conns: make(map[net.Conn]struct{})}
+	return &Server{idx: idx, conns: make(map[net.Conn]struct{}), stop: make(chan struct{})}
 }
 
 // Serve accepts connections until the listener is closed; each
@@ -124,7 +153,12 @@ func (s *Server) Serve(ln net.Listener) error {
 // Store afterwards (the graceful-shutdown sequence of cmd/alexkv).
 func (s *Server) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		// Stop first: a REPLICATE handler parked at the live WAL tail
+		// holds no connection read, so only this channel unblocks it.
+		close(s.stop)
+	}
 	for c := range s.conns {
 		c.Close()
 	}
@@ -145,6 +179,13 @@ func (s *Server) Handle(rw io.ReadWriter) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
+		}
+		if fields := strings.Fields(line); strings.ToUpper(fields[0]) == "REPLICATE" {
+			// REPLICATE takes over the connection as a binary record
+			// stream; it never returns to the command loop.
+			s.handleReplicate(rw, w, fields[1:])
+			w.Flush()
+			return
 		}
 		if quit := s.dispatch(w, line); quit {
 			break
@@ -170,6 +211,13 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
+	if s.ReadOnly {
+		switch cmd {
+		case "SET", "DEL", "MSET", "MDEL", "SAVE", "BGSAVE":
+			fmt.Fprintln(w, "ERR read-only replica: writes go to the primary")
+			return false
+		}
+	}
 	switch cmd {
 	case "GET":
 		key, err := wantKey(args, 1)
@@ -326,8 +374,52 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			return false
 		}
 		st := ws.WALStats()
-		fmt.Fprintf(w, "WAL %d %d %d %d %d\n",
-			st.Appends, st.Syncs, st.Bytes, st.Checkpoints, st.Replayed)
+		fmt.Fprintf(w, "WAL %d %d %d %d %d %d %d\n",
+			st.Appends, st.Syncs, st.Bytes, st.Checkpoints, st.Replayed,
+			st.Followers, st.MaxFollowerLagBytes)
+	case "REPLINFO":
+		switch ix := s.idx.(type) {
+		case Replicator:
+			seg, off := ix.ReplicationPosition()
+			fmt.Fprintln(w, "ROLE primary")
+			fmt.Fprintf(w, "POSITION %d %d\n", seg, off)
+			fmt.Fprintf(w, "CHECKPOINTS %d\n", ix.Checkpoints())
+			for _, f := range ix.Followers() {
+				fmt.Fprintf(w, "FOLLOWER %s %d %d %d\n", f.Addr, f.Seg, f.Off, f.LagBytes)
+			}
+			fmt.Fprintln(w, "END")
+		case ReplicaStatuser:
+			source, connected, seg, off := ix.ReplicaStatus()
+			fmt.Fprintln(w, "ROLE replica")
+			fmt.Fprintf(w, "SOURCE %s\n", source)
+			fmt.Fprintf(w, "CONNECTED %v\n", connected)
+			fmt.Fprintf(w, "APPLIED %d %d\n", seg, off)
+			fmt.Fprintln(w, "END")
+		default:
+			fmt.Fprintln(w, "ERR store does not replicate")
+		}
+	case "SNAPSHOT":
+		rep, ok := s.idx.(Replicator)
+		if !ok {
+			fmt.Fprintln(w, "ERR store does not replicate")
+			return false
+		}
+		rc, size, startSeg, err := rep.SnapshotForReplication()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "SNAPSHOT %d %d\n", size, startSeg)
+		if rc != nil {
+			_, err := io.CopyN(w, rc, size)
+			rc.Close()
+			if err != nil {
+				// Mid-binary-stream there is no way to signal the error
+				// in-band; the short body desynchronizes the client,
+				// which drops the connection and retries.
+				return true
+			}
+		}
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true
@@ -335,6 +427,95 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 	return false
+}
+
+// handleReplicate serves one follower's record stream: validate the
+// requested position, reply STREAM (or TRUNCATED — the re-bootstrap
+// signal), then ship every committed record from there on, blocking at
+// the live tail until the next group commit lands. The stream ends
+// only when the connection dies, the server closes, or the tailer hits
+// truncated/corrupt history (the follower reconnects and re-syncs).
+func (s *Server) handleReplicate(rw io.ReadWriter, w *bufio.Writer, args []string) {
+	rep, ok := s.idx.(Replicator)
+	if !ok {
+		fmt.Fprintln(w, "ERR store does not replicate")
+		return
+	}
+	if len(args) != 2 {
+		fmt.Fprintln(w, "ERR usage: REPLICATE <segment> <offset>")
+		return
+	}
+	seg, err1 := strconv.ParseUint(args[0], 10, 64)
+	off, err2 := strconv.ParseInt(args[1], 10, 64)
+	if err1 != nil || err2 != nil || off < 0 {
+		fmt.Fprintln(w, "ERR bad position")
+		return
+	}
+	tl, err := rep.NewTailer(seg, off)
+	if err != nil {
+		if errors.Is(err, wal.ErrTruncated) {
+			fmt.Fprintln(w, "TRUNCATED")
+		} else {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		}
+		return
+	}
+	defer tl.Close()
+	fmt.Fprintln(w, "STREAM")
+	if w.Flush() != nil {
+		return
+	}
+
+	addr := "?"
+	if c, ok := rw.(net.Conn); ok {
+		addr = c.RemoteAddr().String()
+	}
+	h := rep.RegisterFollower(addr, tl.Seg(), tl.Off())
+	defer h.Unregister()
+
+	// The follower sends nothing after REPLICATE, so a pending read
+	// returns only when the connection dies — the signal that must end
+	// a stream parked at the live tail waiting for the next commit.
+	// Server.Close is the other such signal.
+	stop := make(chan struct{})
+	connDead := make(chan struct{})
+	go func() {
+		var buf [64]byte
+		for {
+			if _, err := rw.Read(buf[:]); err != nil {
+				close(connDead)
+				return
+			}
+		}
+	}()
+	go func() {
+		select {
+		case <-s.stop:
+		case <-connDead:
+		}
+		close(stop)
+	}()
+
+	var enc []byte
+	for {
+		rec, rseg, roff, err := tl.Next(stop)
+		if err != nil {
+			return
+		}
+		enc = repl.AppendFrameHeader(enc[:0], rseg, roff)
+		if enc, err = wal.AppendRecord(enc, rec); err != nil {
+			return
+		}
+		if _, err := w.Write(enc); err != nil {
+			return
+		}
+		h.Advance(rseg, roff)
+		// Flush before a Next that would block, so the follower sees
+		// the live tail without per-record flush syscalls mid-burst.
+		if !tl.Pending() && w.Flush() != nil {
+			return
+		}
+	}
 }
 
 func wantKey(args []string, n int) (float64, error) {

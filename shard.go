@@ -473,30 +473,27 @@ func (ps *partitionScratch) partition(t *shardTable, keys []float64, withPos boo
 	return ps.sub, ps.pos
 }
 
-// GetBatch looks up many keys, fanning per-shard sub-batches out to
-// parallel workers; see Index.GetBatch for the batch semantics. For
-// the zero-allocation sequential variant, see GetBatchInto.
+// GetBatch looks up many keys, allocating the result slices; it is
+// GetBatchInto (the sorted-run optimistic path, pooled sort+permute
+// for unsorted batches) plus two allocations for the results.
 func (s *ShardedIndex) GetBatch(keys []float64) (payloads []uint64, found []bool) {
 	payloads = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
-	s.fanOut(keys, true, true, func(sh *shard, ks []float64, at []int) int {
-		vs, fs := sh.idx.GetBatch(ks)
-		for j, p := range at {
-			payloads[p], found[p] = vs[j], fs[j]
-		}
-		return 0
-	})
+	s.GetBatchInto(keys, payloads, found)
 	return payloads, found
 }
 
 // GetBatchInto is GetBatch into caller-supplied result slices (both
 // must have len(keys) elements; every slot is overwritten), performing
-// no allocations. Instead of the parallel scatter fan-out it walks a
+// no allocations. Instead of a parallel scatter fan-out it walks a
 // sorted batch shard by shard in key order — one boundary search per
 // involved shard bounds the contiguous run the shard owns — probing
 // each run optimistically first and falling back to that shard's read
-// lock on writer overlap. Unsorted batches fall back to per-key
-// optimistic lookups.
+// lock on writer overlap. An unsorted batch is sorted into a pooled
+// scratch copy (with the permutation back to input slots) and resolved
+// through the same run path, so it pays one O(n log n) sort instead of
+// n independent root-to-leaf descents; only tiny batches fall back to
+// per-key lookups.
 func (s *ShardedIndex) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
 	if len(payloads) != len(keys) || len(found) != len(keys) {
 		panic("alex: GetBatchInto result slices must have len(keys)")
@@ -505,11 +502,14 @@ func (s *ShardedIndex) GetBatchInto(keys []float64, payloads []uint64, found []b
 		return
 	}
 	if !sort.Float64sAreSorted(keys) {
-		for i, k := range keys {
-			payloads[i], found[i] = s.Get(k)
-		}
+		s.getBatchUnsorted(keys, payloads, found)
 		return
 	}
+	s.getBatchSorted(keys, payloads, found)
+}
+
+// getBatchSorted resolves a key-sorted batch run by run.
+func (s *ShardedIndex) getBatchSorted(keys []float64, payloads []uint64, found []bool) {
 	i := 0
 	for i < len(keys) {
 		t := s.tab.Load()
@@ -533,6 +533,73 @@ func (s *ShardedIndex) GetBatchInto(keys []float64, payloads []uint64, found []b
 		}
 		i = hi
 	}
+}
+
+// getBatchUnsorted resolves an unsorted batch: copy the keys into a
+// pooled scratch, sort them together with the permutation of their
+// input slots, run the sorted-run path into pooled staging results,
+// and scatter those back to input order. Everything lives in the pool,
+// so a warm path performs no allocations. Tiny batches skip the sort —
+// per-key lookups win below the sort's fixed cost.
+func (s *ShardedIndex) getBatchUnsorted(keys []float64, payloads []uint64, found []bool) {
+	if len(keys) <= 8 {
+		for i, k := range keys {
+			payloads[i], found[i] = s.Get(k)
+		}
+		return
+	}
+	sc := getBatchPool.Get().(*getBatchScratch)
+	defer getBatchPool.Put(sc)
+	n := len(keys)
+	sc.sorter.keys = append(sc.sorter.keys[:0], keys...)
+	if cap(sc.sorter.perm) < n {
+		sc.sorter.perm = make([]int, 0, cap(sc.sorter.keys))
+	}
+	sc.sorter.perm = sc.sorter.perm[:0]
+	for i := range n {
+		sc.sorter.perm = append(sc.sorter.perm, i)
+	}
+	sort.Sort(&sc.sorter)
+	if cap(sc.pays) < n {
+		sc.pays = make([]uint64, n)
+		sc.found = make([]bool, n)
+	}
+	pays, fnd := sc.pays[:n], sc.found[:n]
+	s.getBatchSorted(sc.sorter.keys, pays, fnd)
+	for i, p := range sc.sorter.perm {
+		payloads[p], found[p] = pays[i], fnd[i]
+	}
+}
+
+// getBatchScratch pools the unsorted-batch buffers of GetBatchInto.
+type getBatchScratch struct {
+	sorter keyPermSorter
+	pays   []uint64
+	found  []bool
+}
+
+var getBatchPool = sync.Pool{New: func() any { return new(getBatchScratch) }}
+
+// keyPermSorter sorts a key copy and the permutation of input slots in
+// lockstep. NaN orders first *deterministically* — the `<` comparator
+// alone is inconsistent around NaN and can leave the slice unsorted,
+// which would silently break the run walk's boundary math.
+type keyPermSorter struct {
+	keys []float64
+	perm []int
+}
+
+func (s *keyPermSorter) Len() int { return len(s.keys) }
+func (s *keyPermSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+}
+func (s *keyPermSorter) Less(i, j int) bool {
+	a, b := s.keys[i], s.keys[j]
+	if an, bn := a != a, b != b; an || bn {
+		return an && !bn
+	}
+	return a < b
 }
 
 // getRun resolves one shard-contiguous run of a sorted batch:

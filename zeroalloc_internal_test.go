@@ -57,6 +57,15 @@ func testZeroAllocReads(t *testing.T, name string, idx readSurface, keys []float
 	assertZeroAlloc(t, name+".GetBatchInto", func() {
 		idx.GetBatchInto(batch, vals, found)
 	})
+	// Unsorted batches route through the pooled sort+permute scatter,
+	// which must also be allocation free once the pool is warm.
+	unsorted := make([]float64, len(batch))
+	for j, k := range batch {
+		unsorted[(j*29)%len(batch)] = k
+	}
+	assertZeroAlloc(t, name+".GetBatchInto(unsorted)", func() {
+		idx.GetBatchInto(unsorted, vals, found)
+	})
 	assertZeroAlloc(t, name+".ScanNInto", func() {
 		i++
 		scanK, scanV = idx.ScanNInto(keys[(i*13)%len(keys)], 128, scanK, scanV)
