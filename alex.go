@@ -42,11 +42,16 @@
 // is not safe for concurrent mutation — like the system evaluated in
 // the paper, it is single-writer (§7 lists concurrency as future work).
 // Two wrappers add concurrency on top: SyncIndex guards one index with
-// a readers-writer lock (simple, read-mostly), and ShardedIndex
-// partitions the key space across per-core shards behind a learned
-// quantile router so reads and writes to different regions run in
-// parallel (write-heavy, multi-core). DurableIndex adds crash safety
-// over either: every acknowledged mutation is written ahead to a
+// a readers-writer lock plus a lock-free optimistic read path (simple,
+// read-mostly), and ShardedIndex partitions the key space across
+// per-core shards behind a learned quantile router so reads and writes
+// to different regions run in parallel (write-heavy, multi-core). Both
+// publish structural changes with single atomic pointer stores and cut
+// consistent point-in-time views via Snapshot, whose retired structures
+// are reclaimed through epoch-based reclamation — see
+// docs/architecture.md for the layer map and docs/concurrency.md for
+// the full memory-model story. DurableIndex adds crash safety over
+// either: every acknowledged mutation is written ahead to a
 // group-committed log, a background checkpointer snapshots the index
 // and truncates the log, and OpenDurable recovers the acknowledged
 // state after any crash by replaying the log tail through the batch

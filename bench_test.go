@@ -10,9 +10,11 @@ package alex_test
 
 import (
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	alex "repro"
 	"repro/internal/bench"
@@ -599,4 +601,127 @@ func BenchmarkExtConcurrent(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.ExtConcurrent(io.Discard, benchOpts())
 	}
+}
+
+// --- Snapshot / checkpoint concurrency: since the epoch-snapshot work,
+// Stats, WriteTo, scans and the background checkpointer consume a
+// consistent point-in-time snapshot instead of holding the exclusive
+// gate for the operation's duration. These benchmarks record what that
+// buys: write tail latency while a checkpoint loop runs concurrently
+// (vs the undisturbed baseline — the acceptance bar wants the p99
+// within ~2x), and Stats / snapshot-scan / snapshot-cut latency under
+// a full write storm. benchjson folds the numbers into the `snapshot`
+// block of BENCH_ci.json.
+
+// benchSnapshotWriteP99 measures per-insert latency on a durable
+// sharded index and reports the p99 (µs); disturb, when non-nil, runs
+// concurrently until the timed loop ends.
+func benchSnapshotWriteP99(b *testing.B, disturb func(d *alex.DurableIndex, stop *atomic.Bool)) {
+	d, err := alex.OpenDurable(b.TempDir(),
+		alex.WithCheckpointEvery(0), alex.WithDurableShards(8),
+		alex.WithFsyncPolicy(alex.FsyncNever))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	keys := datasets.GenLongitudes(1<<17, 33)
+	d.Merge(keys, nil) // give checkpoints a real tree to serialize
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	if disturb != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			disturb(d, &stop)
+		}()
+	}
+	lats := make([]float64, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		d.Insert(keys[i%len(keys)]+0.5, uint64(i))
+		lats[i] = float64(time.Since(t0))
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+	sort.Float64s(lats)
+	p99 := lats[(len(lats)*99)/100]
+	b.ReportMetric(p99/1e3, "write-p99-us")
+}
+
+// BenchmarkSnapshotWriteP99Baseline is the undisturbed write loop — the
+// denominator of the checkpoint-concurrent p99 ratio.
+func BenchmarkSnapshotWriteP99Baseline(b *testing.B) {
+	benchSnapshotWriteP99(b, nil)
+}
+
+// BenchmarkSnapshotWriteP99Checkpointing runs checkpoints back to back
+// while the writes are timed. Each checkpoint cuts an epoch-pinned
+// snapshot (a brief exclusive section) and serializes it to disk with
+// no index lock held, so write p99 should stay in the same range as the
+// baseline instead of absorbing whole-serialization stalls.
+func BenchmarkSnapshotWriteP99Checkpointing(b *testing.B) {
+	benchSnapshotWriteP99(b, func(d *alex.DurableIndex, stop *atomic.Bool) {
+		for !stop.Load() {
+			if err := d.Checkpoint(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// benchUnderWriteStorm runs op b.N times on a sharded index while
+// background writers churn every shard.
+func benchUnderWriteStorm(b *testing.B, op func(idx *alex.ShardedIndex, i int)) {
+	idx := alex.NewSharded(8, alex.WithSplitOnInsert())
+	keys := datasets.GenLongitudes(1<<17, 33)
+	idx.Merge(keys, nil)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; !stop.Load(); i++ {
+				idx.Insert(keys[i%len(keys)]+0.25, uint64(i))
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(idx, i)
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+// BenchmarkSnapshotStatsUnderWriteStorm measures Stats() while writers
+// storm: a brief consistent cut, not a pause of the write pipeline.
+func BenchmarkSnapshotStatsUnderWriteStorm(b *testing.B) {
+	benchUnderWriteStorm(b, func(idx *alex.ShardedIndex, _ int) {
+		_ = idx.Stats()
+	})
+}
+
+// BenchmarkSnapshotCutUnderWriteStorm measures the full snapshot
+// life-cycle — cut, epoch pin, release — under the same storm.
+func BenchmarkSnapshotCutUnderWriteStorm(b *testing.B) {
+	benchUnderWriteStorm(b, func(idx *alex.ShardedIndex, _ int) {
+		idx.Snapshot().Close()
+	})
+}
+
+// BenchmarkSnapshotScan100UnderWriteStorm cuts a snapshot and scans 100
+// elements from it per op: the pattern Stats/WriteTo/Iter consumers use,
+// entirely lock-free after the cut.
+func BenchmarkSnapshotScan100UnderWriteStorm(b *testing.B) {
+	kbuf := make([]float64, 0, 100)
+	vbuf := make([]uint64, 0, 100)
+	benchUnderWriteStorm(b, func(idx *alex.ShardedIndex, i int) {
+		snap := idx.Snapshot()
+		kbuf, vbuf = snap.ScanNInto(float64(i%100), 100, kbuf, vbuf)
+		snap.Close()
+	})
 }

@@ -72,6 +72,14 @@ type Doc struct {
 	// ns/op over bounded ns/op on the same drifted tree (>1 means the
 	// error-bound strategy selection wins).
 	ErrorBounds map[string]float64 `json:"error_bounds,omitempty"`
+	// Snapshot archives the epoch-snapshot concurrency numbers: insert
+	// p99 latency (µs) with a checkpoint loop running concurrently vs
+	// the undisturbed baseline and their ratio (the checkpoint cuts a
+	// snapshot and serializes outside the index locks, so the bar is
+	// ~2x, not the order-of-magnitude a whole-serialization stall
+	// costs), plus Stats / snapshot-cut / 100-element snapshot-scan
+	// ns/op measured under a write storm.
+	Snapshot map[string]float64 `json:"snapshot,omitempty"`
 }
 
 // benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ...".
@@ -243,6 +251,40 @@ func main() {
 		if len(doc.ErrorBounds) == 0 {
 			doc.ErrorBounds = nil
 		}
+	}
+
+	// Snapshot block: checkpoint-concurrent write p99 vs baseline (min
+	// across repetitions on both sides) and the under-storm read/cut
+	// latencies.
+	doc.Snapshot = map[string]float64{}
+	p99 := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		if v, ok := r.Metrics["write-p99-us"]; ok {
+			if prev, seen := p99[r.Name]; !seen || v < prev {
+				p99[r.Name] = v
+			}
+		}
+	}
+	if base, ok := p99["SnapshotWriteP99Baseline"]; ok {
+		doc.Snapshot["write_p99_us_baseline"] = base
+		if ck, ok := p99["SnapshotWriteP99Checkpointing"]; ok {
+			doc.Snapshot["write_p99_us_checkpointing"] = ck
+			if base > 0 {
+				doc.Snapshot["checkpoint_p99_over_baseline"] = ck / base
+			}
+		}
+	}
+	for name, key := range map[string]string{
+		"SnapshotStatsUnderWriteStorm":   "stats_under_storm_ns",
+		"SnapshotCutUnderWriteStorm":     "cut_under_storm_ns",
+		"SnapshotScan100UnderWriteStorm": "scan100_under_storm_ns",
+	} {
+		if ns, ok := byName[name]; ok {
+			doc.Snapshot[key] = ns
+		}
+	}
+	if len(doc.Snapshot) == 0 {
+		doc.Snapshot = nil
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,143 @@
+// Command doccheck reports exported declarations that lack a doc
+// comment, and packages that lack a package comment. It is the
+// advisory documentation gate CI runs (continue-on-error) so godoc
+// coverage regressions are visible in the log without blocking a PR:
+//
+//	go run ./cmd/doccheck . ./server ./internal/wal ./internal/repl ./internal/core
+//
+// Exit status is the number of packages with findings (capped at 1 for
+// shell use); pass -q to print only the summary line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print only the summary line")
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	total := 0
+	for _, dir := range dirs {
+		total += checkDir(dir, *quiet)
+	}
+	fmt.Printf("doccheck: %d undocumented exported declarations\n", total)
+	if total > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one directory (non-recursive, like a package path)
+// and reports its undocumented exported declarations.
+func checkDir(dir string, quiet bool) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 0
+	}
+	n := 0
+	report := func(pos token.Pos, what string) {
+		n++
+		if !quiet {
+			p := fset.Position(pos)
+			fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, what)
+		}
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			for _, f := range pkg.Files {
+				report(f.Package, "package "+pkg.Name+" has no package comment")
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && !isMethodOfUnexported(d) {
+						report(d.Pos(), "exported "+kindOf(d)+" "+d.Name.Name+" has no doc comment")
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// isMethodOfUnexported reports whether f is a method on an unexported
+// receiver type — not part of the package's documented surface.
+func isMethodOfUnexported(f *ast.FuncDecl) bool {
+	if f.Recv == nil || len(f.Recv.List) == 0 {
+		return false
+	}
+	t := f.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func kindOf(f *ast.FuncDecl) string {
+	if f.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl reports undocumented exported types, constants and
+// variables. A doc comment on the grouped declaration covers every spec
+// in the group (the idiomatic const-block style).
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type "+s.Name.Name+" has no doc comment")
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), "exported "+d.Tok.String()+" "+name.Name+" has no doc comment")
+				}
+			}
+		}
+	}
+}

@@ -108,6 +108,20 @@ var (
 	_ Backend = (*ShardedIndex)(nil)
 )
 
+// Snapshotter is the optional backend capability DurableIndex prefers
+// when writing checkpoints: cutting an epoch-pinned IndexSnapshot lets
+// the snapshot file be serialized outside the backend's exclusive gate,
+// so a checkpoint never stalls concurrent reads or writes for the
+// duration of the disk write. Both concurrency wrappers implement it.
+type Snapshotter interface {
+	Snapshot() *IndexSnapshot
+}
+
+var (
+	_ Snapshotter = (*SyncIndex)(nil)
+	_ Snapshotter = (*ShardedIndex)(nil)
+)
+
 // FsyncPolicy selects when WAL appends reach stable storage.
 type FsyncPolicy int
 
@@ -283,7 +297,7 @@ func openBackend(dir string, cfg *durableConfig) (Backend, error) {
 		if err != nil {
 			return nil, fmt.Errorf("alex: load snapshot: %w", err)
 		}
-		return &SyncIndex{idx: ix}, nil
+		return newSyncFrom(ix), nil
 	}
 	s, err := ReadFromSharded(br, cfg.shards)
 	if err != nil {
@@ -579,7 +593,15 @@ func (d *DurableIndex) writeSnapshot() error {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	_, err = d.backend.WriteTo(bw)
+	if sn, ok := d.backend.(Snapshotter); ok {
+		// Cut a snapshot (brief exclusive section) and stream it without
+		// holding any index lock: writers proceed while the file is built.
+		snap := sn.Snapshot()
+		_, err = snap.WriteTo(bw)
+		snap.Close()
+	} else {
+		_, err = d.backend.WriteTo(bw)
+	}
 	if err == nil {
 		err = bw.Flush()
 	}

@@ -24,6 +24,13 @@ func New(n int) *Bitmap {
 	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// Clone returns a deep copy of the bitmap. Copy-on-write node rebuilds
+// use it to duplicate a sealed node's occupancy before mutating the
+// copy.
+func (b *Bitmap) Clone() *Bitmap {
+	return &Bitmap{words: append([]uint64(nil), b.words...), n: b.n, count: b.count}
+}
+
 // Len returns the capacity in bits.
 func (b *Bitmap) Len() int { return b.n }
 

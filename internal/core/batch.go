@@ -4,7 +4,6 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/gapped"
 	"repro/internal/search"
 )
 
@@ -20,8 +19,8 @@ import (
 // leafGroup is a contiguous run keys[lo:hi] of a sorted batch that
 // routes to one data node.
 type leafGroup struct {
-	leaf   *leafNode
-	parent *innerNode
+	leaf   *node
+	parent *node
 	lo, hi int
 }
 
@@ -30,39 +29,41 @@ type leafGroup struct {
 // it), so a child's key run is contiguous in the sorted batch and each
 // boundary is found with a binary search over the batch — O(L log B)
 // model evaluations for a batch of B keys spanning L leaves, instead
-// of B full descents.
+// of B full descents. Writer-side only: it assumes the child slots are
+// stable while it runs.
 func (t *Tree) groupSorted(keys []float64) []leafGroup {
 	groups := make([]leafGroup, 0, 8)
-	var descend func(c child, parent *innerNode, ks []float64, base int)
-	descend = func(c child, parent *innerNode, ks []float64, base int) {
+	var descend func(c, parent *node, ks []float64, base int)
+	descend = func(c, parent *node, ks []float64, base int) {
 		for {
-			n, ok := c.(*innerNode)
-			if !ok {
-				groups = append(groups, leafGroup{c.(*leafNode), parent, base, base + len(ks)})
+			if c.isLeaf() {
+				groups = append(groups, leafGroup{c, parent, base, base + len(ks)})
 				return
 			}
+			n := c
 			p := len(n.children)
 			first := n.model.PredictClamped(ks[0], p)
 			last := n.model.PredictClamped(ks[len(ks)-1], p)
-			if n.children[first] == n.children[last] {
+			if n.children[first].Load() == n.children[last].Load() {
 				// One child takes the whole run (a shared child always
 				// occupies a contiguous slot range): descend iteratively.
 				parent = n
-				c = n.children[first]
+				c = n.children[first].Load()
 				continue
 			}
 			i, idx := 0, first
 			for i < len(ks) {
 				// Slots [idx, run] all point at the same child; keys
 				// predicted into any of them form one group.
+				cur := n.children[idx].Load()
 				run := idx
-				for run+1 < p && n.children[run+1] == n.children[idx] {
+				for run+1 < p && n.children[run+1].Load() == cur {
 					run++
 				}
 				j := i + sort.Search(len(ks)-i, func(k int) bool {
 					return n.model.PredictClamped(ks[i+k], p) > run
 				})
-				descend(n.children[idx], n, ks[i:j], base+i)
+				descend(cur, n, ks[i:j], base+i)
 				i = j
 				if i < len(ks) {
 					idx = n.model.PredictClamped(ks[i], p)
@@ -72,7 +73,7 @@ func (t *Tree) groupSorted(keys []float64) []leafGroup {
 		}
 	}
 	if len(keys) > 0 {
-		descend(t.root, nil, keys, 0)
+		descend(t.root.Load(), nil, keys, 0)
 	}
 	return groups
 }
@@ -114,7 +115,7 @@ func (t *Tree) GetBatchInto(keys []float64, vals []uint64, found []bool) {
 	i := 0
 	for i < len(keys) {
 		leaf := t.leafFor(keys[i])
-		if leaf == nil || leaf.data == nil {
+		if leaf == nil {
 			// Only a torn optimistic probe can see a half-published
 			// descent; resolve the key as a miss and let the seqlock
 			// validation discard the batch.
@@ -126,11 +127,12 @@ func (t *Tree) GetBatchInto(keys []float64, vals []uint64, found []bool) {
 		// minimum. Routing is monotone, so for finite keys keys[i]
 		// itself is below that bound and the run is non-empty.
 		hi := len(keys)
-		for next := leaf.next; next != nil; next = next.next {
-			if next.data == nil {
+		for next := leaf.next.Load(); next != nil; next = next.next.Load() {
+			d := next.data()
+			if d == nil {
 				break // torn probe; the forced-progress guard covers it
 			}
-			if mn, ok := next.data.MinKey(); ok {
+			if mn, ok := d.MinKey(); ok {
 				hi = i + search.LowerBoundBranchless(keys[i:hi], mn)
 				break
 			}
@@ -142,10 +144,11 @@ func (t *Tree) GetBatchInto(keys []float64, vals []uint64, found []bool) {
 			// that one key against this leaf rather than spinning.
 			hi = i + 1
 		}
-		if g, ok := leaf.data.(*gapped.Array); ok {
+		// Devirtualize both layouts, like Get.
+		if g := leaf.ga.Load(); g != nil {
 			g.LookupBatch(keys[i:hi], vals[i:hi], found[i:hi])
-		} else {
-			leaf.data.LookupBatch(keys[i:hi], vals[i:hi], found[i:hi])
+		} else if p := leaf.pa.Load(); p != nil {
+			p.LookupBatch(keys[i:hi], vals[i:hi], found[i:hi])
 		}
 		i = hi
 	}
@@ -186,13 +189,13 @@ func (t *Tree) insertSorted(keys []float64, payloads []uint64) int {
 	n := 0
 	for _, g := range t.groupSorted(keys) {
 		ks, ps := keys[g.lo:g.hi], payloads[g.lo:g.hi]
-		if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && g.leaf.data.Num() >= t.cfg.MaxKeysPerLeaf {
+		if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && g.leaf.data().Num() >= t.cfg.MaxKeysPerLeaf {
 			if t.splitLeaf(g.leaf, g.parent) {
 				n += t.insertSorted(ks, ps)
 				continue
 			}
 		}
-		added := g.leaf.data.InsertSortedBatch(ks, ps)
+		added := t.leafInsertSortedBatch(g.leaf, ks, ps)
 		t.count += added
 		n += added
 		// One cost-model decision per node per batch, like the
@@ -216,12 +219,12 @@ func (t *Tree) restoreLeafBound(ks []float64) {
 	i := 0
 	for i < len(ks) {
 		leaf, parent := t.traverse(ks[i])
-		if leaf.data.Num() > t.cfg.MaxKeysPerLeaf && t.splitLeaf(leaf, parent) {
+		if leaf.data().Num() > t.cfg.MaxKeysPerLeaf && t.splitLeaf(leaf, parent) {
 			continue // re-check the same key against the new children
 		}
 		// Skip the rest of this leaf's keys.
 		adv := 1
-		if mx, ok := leaf.data.MaxKey(); ok {
+		if mx, ok := leaf.data().MaxKey(); ok {
 			if a := sort.Search(len(ks)-i, func(j int) bool { return ks[i+j] > mx }); a > adv {
 				adv = a
 			}
@@ -249,7 +252,7 @@ func (t *Tree) DeleteBatch(keys []float64) int {
 	}
 	n := 0
 	for _, g := range t.groupSorted(keys) {
-		d := g.leaf.data.DeleteSortedBatch(keys[g.lo:g.hi])
+		d := t.leafDeleteSortedBatch(g.leaf, keys[g.lo:g.hi])
 		t.count -= d
 		n += d
 	}
@@ -296,7 +299,7 @@ func (t *Tree) Merge(keys []float64, payloads []uint64) int {
 	}
 	n := 0
 	for _, g := range t.groupSorted(keys) {
-		added := g.leaf.data.MergeSorted(keys[g.lo:g.hi], payloads[g.lo:g.hi])
+		added := t.leafMergeSorted(g.leaf, keys[g.lo:g.hi], payloads[g.lo:g.hi])
 		t.count += added
 		n += added
 		t.restoreLeafBound(keys[g.lo:g.hi])
@@ -305,7 +308,9 @@ func (t *Tree) Merge(keys []float64, payloads []uint64) int {
 }
 
 // mergeIntoEmpty rebuilds the whole tree from a sorted batch — merging
-// into an empty index is a bulk load.
+// into an empty index is a bulk load. The fresh root is published with
+// one atomic store, so concurrent readers cut over atomically; the old
+// (empty) structure is retired.
 func (t *Tree) mergeIntoEmpty(keys []float64, payloads []uint64) int {
 	uk := make([]float64, 0, len(keys))
 	up := make([]uint64, 0, len(keys))
@@ -322,8 +327,10 @@ func (t *Tree) mergeIntoEmpty(keys []float64, payloads []uint64) int {
 		}
 	}
 	nt := bulkLoadSorted(uk, up, t.cfg)
-	t.root = nt.root
-	t.head = nt.head
+	old := t.root.Load()
+	t.head.Store(nt.head.Load())
+	t.root.Store(nt.root.Load())
 	t.count = nt.count
+	t.retireObj(old)
 	return nt.count
 }

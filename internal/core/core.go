@@ -10,8 +10,19 @@
 // splitting (used for the distribution-shift and sequential-insert
 // experiments).
 //
-// The index is single-writer, like the system the paper evaluates;
-// concurrency control is listed as future work there (§7).
+// The tree is single-writer, but it is built to be read lock-free while
+// that writer works (the paper's system is single-threaded; §7 lists
+// concurrency as future work, and the root package's seqlock + snapshot
+// protocols are this reproduction's answer). Every mutable reference —
+// child slots, a leaf's data array, the sibling links, root and head —
+// is an atomic.Pointer, and every structural change (split, expand,
+// retrain, contract, merge rebuild) builds its replacement off to the
+// side and publishes it with one atomic store, so a concurrent reader
+// always observes either the old or the new structure, never a torn
+// intermediate. Value-level mutations (gap claims, shifts, payload
+// overwrites) do happen in place; the wrappers' seqlock validation
+// discards any read that overlapped them. See docs/concurrency.md for
+// the full memory-model argument.
 package core
 
 import (
@@ -20,6 +31,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/gapped"
 	"repro/internal/leafbase"
@@ -38,6 +50,7 @@ const (
 	PackedMemoryArray
 )
 
+// String returns the layout's short name ("GA", "PMA").
 func (l Layout) String() string {
 	switch l {
 	case GappedArray:
@@ -61,6 +74,7 @@ const (
 	StaticRMI
 )
 
+// String returns the mode's short name ("ARMI", "SRMI").
 func (m RMIMode) String() string {
 	switch m {
 	case AdaptiveRMI:
@@ -131,6 +145,12 @@ func (c Config) VariantName() string {
 // methods take non-decreasing key runs (the tree groups a sorted batch
 // by destination node before calling them) and amortize the per-key
 // growth/contraction decisions to once per batch.
+//
+// The plain mutating methods (Insert, Delete, ...) may reallocate the
+// node's backing arrays in place; the tree therefore never calls them
+// on a published node — writer-side mutations go through the layouts'
+// COW variants (InsertCOW, ...), dispatched by the leaf-op helpers in
+// leafops.go, which republish capacity changes atomically.
 type DataNode interface {
 	Insert(key float64, payload uint64) bool
 	Lookup(key float64) (uint64, bool)
@@ -155,6 +175,11 @@ type DataNode interface {
 	ErrorBound() int
 	RetrainAdvised() bool
 	Retrain()
+	// Seal / Sealed are the snapshot freeze protocol (leafbase.Seal):
+	// SealLeaves marks a node frozen, and the writer clones it before
+	// its next mutation.
+	Seal()
+	Sealed() bool
 	DataSizeBytes(payloadBytes int) int
 	BaseStats() *leafbase.Stats
 	CheckInvariants() error
@@ -165,34 +190,55 @@ var (
 	_ DataNode = (*pma.Array)(nil)
 )
 
-// child is either *innerNode or *leafNode.
-type child interface{}
-
-// innerNode routes keys to children with a linear model: child index =
-// clamp(floor(model(key)), 0, len(children)-1). Adjacent slots may point
-// to the same child (merged partitions, §3.4.1).
-type innerNode struct {
+// node is a tree node — inner or leaf, distinguished by children:
+// non-nil marks an inner node routing keys through its linear model,
+// nil marks a leaf holding one data array. A single concrete type (no
+// interface) keeps every mutable reference a typed atomic.Pointer, so
+// lock-free readers can never observe a torn two-word interface value —
+// the root cause of the historical Get SIGSEGV this layout fixed.
+//
+// Publication discipline: all non-atomic fields (model, fanF, the
+// children slice header and its length) are written only before the
+// node is first published through an atomic pointer, and never after.
+// The atomic store that publishes the node is a release, every child
+// load an acquire, so readers see those fields fully initialized.
+type node struct {
+	// Inner-node routing state. children's *elements* are swapped after
+	// publication (splits replace a leaf with a fresh subtree), but the
+	// slice itself is never grown, shrunk, or reallocated.
 	model    linmodel.Model
-	children []child
-	// fanF caches float64(len(children)) so each routing step clamps the
-	// model output in float registers without an int→float conversion —
-	// the same trick the leaf predict uses. Set by newInner; children is
-	// never resized after construction.
-	fanF float64
+	fanF     float64 // cached float64(len(children)), see routeSlot
+	children []atomic.Pointer[node]
+
+	// Leaf state: exactly one of ga/pa is non-nil, matching the tree's
+	// configured layout. Two typed pointers instead of one DataNode
+	// interface keep the swap atomic and the hot probe devirtualized.
+	// Restructures store a rebuilt array; value-only mutations touch the
+	// current array in place.
+	ga atomic.Pointer[gapped.Array]
+	pa atomic.Pointer[pma.Array]
+
+	// Sibling links for range scans, maintained by the writer, followed
+	// lock-free by scans.
+	next, prev atomic.Pointer[node]
 }
 
 // newInner builds an inner node with n child slots (filled by the
-// caller) and the routing clamp precomputed.
-func newInner(model linmodel.Model, n int) *innerNode {
-	return &innerNode{model: model, children: make([]child, n), fanF: float64(n)}
+// caller before publication) and the routing clamp precomputed.
+func newInner(model linmodel.Model, n int) *node {
+	return &node{model: model, children: make([]atomic.Pointer[node], n), fanF: float64(n)}
 }
 
-func (n *innerNode) route(key float64) child {
-	return n.children[n.routeSlot(key)]
+// isLeaf reports whether the node is a leaf. The children slice is set
+// exactly once, before publication, so this needs no synchronization.
+func (n *node) isLeaf() bool { return n.children == nil }
+
+func (n *node) route(key float64) *node {
+	return n.children[n.routeSlot(key)].Load()
 }
 
 // routeSlot is the descent-hot clamped prediction over the child array.
-func (n *innerNode) routeSlot(key float64) int {
+func (n *node) routeSlot(key float64) int {
 	p := math.Floor(n.model.Slope*key + n.model.Intercept)
 	if !(p > 0) { // negative, -0, or NaN
 		return 0
@@ -203,11 +249,21 @@ func (n *innerNode) routeSlot(key float64) int {
 	return int(p)
 }
 
-// leafNode wraps a data node and its sibling links for range scans.
-type leafNode struct {
-	data       DataNode
-	next, prev *leafNode
+// data returns the leaf's data array through the DataNode interface —
+// the cold-path accessor (stats, scans, invariants). Hot paths load ga
+// or pa directly to stay devirtualized. Returns nil for inner nodes.
+func (n *node) data() DataNode {
+	if g := n.ga.Load(); g != nil {
+		return g
+	}
+	if p := n.pa.Load(); p != nil {
+		return p
+	}
+	return nil
 }
+
+// child returns slot i's current child; writer-side walks use it.
+func (n *node) child(i int) *node { return n.children[i].Load() }
 
 // Stats aggregates tree-level and data-node-level counters, plus the
 // distribution of per-leaf prediction-error bounds the §4 cost model
@@ -289,14 +345,34 @@ func (s *Stats) BoundedShare() float64 {
 	return float64(s.KeysBounded) / float64(s.KeysTotal)
 }
 
-// Tree is an ALEX index from float64 keys to uint64 payloads.
+// Tree is an ALEX index from float64 keys to uint64 payloads. A Tree
+// must not be copied after first use (it holds atomic pointers).
 type Tree struct {
 	cfg          Config
-	root         child
-	head         *leafNode // leftmost leaf
+	root         atomic.Pointer[node]
+	head         atomic.Pointer[node] // leftmost leaf
 	count        int
 	splits       uint64
 	costRetrains uint64
+
+	// retire, when set (SetRetireHook), receives every structure the
+	// writer unpublishes — replaced data arrays, superseded nodes — so
+	// the owner can run epoch-based reclamation over them. Called under
+	// the writer's exclusion.
+	retire func(any)
+}
+
+// SetRetireHook installs the unpublish callback for epoch-based
+// reclamation. It must be set before the tree is shared and not changed
+// afterwards; a nil hook (the default) drops unpublished structures
+// straight to the garbage collector.
+func (t *Tree) SetRetireHook(f func(any)) { t.retire = f }
+
+// retireObj hands an unpublished structure to the reclamation hook.
+func (t *Tree) retireObj(x any) {
+	if t.retire != nil && x != nil {
+		t.retire(x)
+	}
 }
 
 // maxBuildDepth caps adaptive-RMI recursion against degenerate data.
@@ -307,8 +383,8 @@ const maxBuildDepth = 48
 func New(cfg Config) *Tree {
 	t := &Tree{cfg: cfg.withDefaults()}
 	leaf := t.newLeaf(nil, nil)
-	t.root = leaf
-	t.head = leaf
+	t.root.Store(leaf)
+	t.head.Store(leaf)
 	return t
 }
 
@@ -375,15 +451,15 @@ func bulkLoadSorted(keys []float64, payloads []uint64, cfg Config) *Tree {
 	t := &Tree{cfg: cfg}
 	if len(keys) == 0 {
 		leaf := t.newLeaf(nil, nil)
-		t.root = leaf
-		t.head = leaf
+		t.root.Store(leaf)
+		t.head.Store(leaf)
 		return t
 	}
 	t.count = len(keys)
 	if cfg.RMI == StaticRMI {
-		t.root = t.buildStatic(keys, payloads)
+		t.root.Store(t.buildStatic(keys, payloads))
 	} else {
-		t.root = t.buildAdaptive(keys, payloads, 0)
+		t.root.Store(t.buildAdaptive(keys, payloads, 0))
 	}
 	t.linkLeaves()
 	return t
@@ -391,29 +467,29 @@ func bulkLoadSorted(keys []float64, payloads []uint64, cfg Config) *Tree {
 
 // newLeaf creates a data node of the configured layout from a sorted
 // unique segment.
-func (t *Tree) newLeaf(keys []float64, payloads []uint64) *leafNode {
-	var d DataNode
+func (t *Tree) newLeaf(keys []float64, payloads []uint64) *node {
+	n := &node{}
 	switch t.cfg.Layout {
 	case PackedMemoryArray:
 		if len(keys) == 0 {
-			d = pma.New(t.cfg.PMA)
+			n.pa.Store(pma.New(t.cfg.PMA))
 		} else {
-			d = pma.NewFromSorted(keys, payloads, t.cfg.PMA)
+			n.pa.Store(pma.NewFromSorted(keys, payloads, t.cfg.PMA))
 		}
 	default:
 		gcfg := gapped.Config{Density: t.cfg.Density}
 		if len(keys) == 0 {
-			d = gapped.New(gcfg)
+			n.ga.Store(gapped.New(gcfg))
 		} else {
-			d = gapped.NewFromSorted(keys, payloads, gcfg)
+			n.ga.Store(gapped.NewFromSorted(keys, payloads, gcfg))
 		}
 	}
-	return &leafNode{data: d}
+	return n
 }
 
 // buildStatic builds the two-level static RMI (§3.2): a root linear model
 // over M leaf models, each leaf holding its contiguous partition.
-func (t *Tree) buildStatic(keys []float64, payloads []uint64) child {
+func (t *Tree) buildStatic(keys []float64, payloads []uint64) *node {
 	n := len(keys)
 	m := t.cfg.NumLeafModels
 	if m <= 0 {
@@ -429,14 +505,14 @@ func (t *Tree) buildStatic(keys []float64, payloads []uint64) child {
 	inner := newInner(model, m)
 	for p := 0; p < m; p++ {
 		lo, hi := bounds[p], bounds[p+1]
-		inner.children[p] = t.newLeaf(keys[lo:hi], payloads[lo:hi])
+		inner.children[p].Store(t.newLeaf(keys[lo:hi], payloads[lo:hi]))
 	}
 	return inner
 }
 
 // buildAdaptive implements Algorithm 4. Keys is the sorted segment
 // assigned to this subtree; depth 0 is the root.
-func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) child {
+func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) *node {
 	n := len(keys)
 	maxKeys := t.cfg.MaxKeysPerLeaf
 	if n <= maxKeys || depth >= maxBuildDepth {
@@ -462,7 +538,7 @@ func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) child
 		size := bounds[i+1] - bounds[i]
 		if size > maxKeys {
 			// Oversized partition: recurse into a child inner node.
-			inner.children[i] = t.buildAdaptive(keys[bounds[i]:bounds[i+1]], payloads[bounds[i]:bounds[i+1]], depth+1)
+			inner.children[i].Store(t.buildAdaptive(keys[bounds[i]:bounds[i+1]], payloads[bounds[i]:bounds[i+1]], depth+1))
 			i++
 			continue
 		}
@@ -476,7 +552,7 @@ func (t *Tree) buildAdaptive(keys []float64, payloads []uint64, depth int) child
 		}
 		leaf := t.newLeaf(keys[bounds[begin]:bounds[i+1]], payloads[bounds[begin]:bounds[i+1]])
 		for q := begin; q <= i; q++ {
-			inner.children[q] = leaf
+			inner.children[q].Store(leaf)
 		}
 		i++
 	}
@@ -535,95 +611,90 @@ func boundaries(keys []float64, model linmodel.Model, p int) ([]int, int) {
 }
 
 // linkLeaves rebuilds the sibling chain by an in-order walk, deduplicating
-// repeated child pointers.
+// repeated child pointers. Only used at build time, before the tree is
+// shared.
 func (t *Tree) linkLeaves() {
-	var prev *leafNode
-	t.head = nil
-	var walk func(c child)
-	walk = func(c child) {
-		switch n := c.(type) {
-		case *innerNode:
-			var last child
-			for _, ch := range n.children {
+	var prev *node
+	t.head.Store(nil)
+	var walk func(c *node)
+	walk = func(c *node) {
+		if !c.isLeaf() {
+			var last *node
+			for i := range c.children {
+				ch := c.children[i].Load()
 				if ch == last {
 					continue
 				}
 				last = ch
 				walk(ch)
 			}
-		case *leafNode:
-			if prev == n {
-				return
-			}
-			n.prev = prev
-			n.next = nil
-			if prev != nil {
-				prev.next = n
-			} else {
-				t.head = n
-			}
-			prev = n
+			return
 		}
+		if prev == c {
+			return
+		}
+		c.prev.Store(prev)
+		c.next.Store(nil)
+		if prev != nil {
+			prev.next.Store(c)
+		} else {
+			t.head.Store(c)
+		}
+		prev = c
 	}
-	walk(t.root)
+	walk(t.root.Load())
 }
 
 // traverse returns the leaf responsible for key and its immediate parent
 // (nil when the root is a leaf).
-func (t *Tree) traverse(key float64) (*leafNode, *innerNode) {
-	var parent *innerNode
-	cur := t.root
-	for {
-		switch n := cur.(type) {
-		case *innerNode:
-			parent = n
-			cur = n.route(key)
-		case *leafNode:
-			return n, parent
-		default:
-			panic("core: corrupt tree node")
-		}
+func (t *Tree) traverse(key float64) (leaf, parent *node) {
+	cur := t.root.Load()
+	for !cur.isLeaf() {
+		parent = cur
+		cur = cur.route(key)
 	}
+	return cur, parent
 }
 
 // leafFor is the read-hot half of traverse: it returns only the leaf,
 // skipping the parent bookkeeping mutations need, so the descent loop
 // is small enough to stay in registers. Each level is one cached-clamp
-// model evaluation and one pointer chase.
+// model evaluation and one atomic pointer load.
 //
-// Both type assertions are comma-ok: on a consistent tree every child
-// is an inner or leaf node and the second assertion always succeeds,
-// but a lock-free optimistic reader (the root package's seqlock
-// protocol) can race a split publishing a fresh inner node and observe
-// a nil child slot. Such a probe gets a nil leaf — a miss the sequence
-// validation then discards — instead of an interface-conversion panic
-// on a path that deliberately carries no recover frame.
-func (t *Tree) leafFor(key float64) *leafNode {
-	cur := t.root
-	for {
-		n, ok := cur.(*innerNode)
-		if !ok {
-			leaf, _ := cur.(*leafNode)
-			return leaf
-		}
-		cur = n.children[n.routeSlot(key)]
+// The descent is safe against concurrent restructures by construction:
+// a child slot is a typed atomic pointer, and a split publishes its
+// fresh subtree with a single release store, so a lock-free reader
+// loads either the old child or the fully built new one — never a torn
+// reference. The nil check guards the (unreachable on a consistent
+// tree) case of a slot that was never filled; such a probe returns a
+// nil leaf — a miss the seqlock validation then discards — instead of
+// a fault.
+func (t *Tree) leafFor(key float64) *node {
+	cur := t.root.Load()
+	for cur != nil && !cur.isLeaf() {
+		cur = cur.children[cur.routeSlot(key)].Load()
 	}
+	return cur
 }
 
 // Get returns the payload stored for key.
 func (t *Tree) Get(key float64) (uint64, bool) {
 	leaf := t.leafFor(key)
-	if leaf == nil || leaf.data == nil {
+	if leaf == nil {
 		return 0, false // torn optimistic probe; see leafFor
 	}
-	// Devirtualize the dominant layout: a direct *gapped.Array call lets
-	// the probe chain (Find, the branchless searches) inline into one
-	// frame, where the interface call would pin it behind dynamic
-	// dispatch.
-	if g, ok := leaf.data.(*gapped.Array); ok {
+	// Devirtualize both layouts: a direct typed call lets the probe
+	// chain (Find, the branchless searches) inline into one frame, where
+	// an interface call would pin it behind dynamic dispatch. The array
+	// pointer is loaded once; a restructure publishing a rebuilt array
+	// concurrently leaves this probe on the old (intact) one.
+	if g := leaf.ga.Load(); g != nil {
 		return g.Lookup(key)
 	}
-	return leaf.data.Lookup(key)
+	if p := leaf.pa.Load(); p != nil {
+		return p.Lookup(key)
+	}
+	return 0, false
 }
 
 // Contains reports whether key is present.
@@ -638,12 +709,12 @@ func (t *Tree) Contains(key float64) bool {
 // nodes.
 func (t *Tree) Insert(key float64, payload uint64) bool {
 	leaf, parent := t.traverse(key)
-	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data.Num() >= t.cfg.MaxKeysPerLeaf {
+	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data().Num() >= t.cfg.MaxKeysPerLeaf {
 		if t.splitLeaf(leaf, parent) {
 			leaf, parent = t.traverse(key)
 		}
 	}
-	if leaf.data.Insert(key, payload) {
+	if t.leafInsert(leaf, key, payload) {
 		t.count++
 		t.costCheck(leaf, parent)
 		return true
@@ -662,17 +733,17 @@ func (t *Tree) Insert(key float64, payload uint64) bool {
 // mispredicting leaves retrain or split *sooner* than the density and
 // size bounds alone would: the expansion/split decision consumes the
 // measured error, not just occupancy.
-func (t *Tree) costCheck(leaf *leafNode, parent *innerNode) {
-	if !leaf.data.RetrainAdvised() {
+func (t *Tree) costCheck(leaf, parent *node) {
+	if !leaf.data().RetrainAdvised() {
 		return
 	}
-	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data.Num() >= t.cfg.MaxKeysPerLeaf/2 {
+	if t.cfg.RMI == AdaptiveRMI && t.cfg.SplitOnInsert && leaf.data().Num() >= t.cfg.MaxKeysPerLeaf/2 {
 		if t.splitLeaf(leaf, parent) {
 			t.costRetrains++
 			return
 		}
 	}
-	leaf.data.Retrain()
+	t.leafRetrain(leaf)
 	t.costRetrains++
 }
 
@@ -681,58 +752,72 @@ func (t *Tree) costCheck(leaf *leafNode, parent *innerNode) {
 // distributed to the children by that model; sibling links are spliced.
 // Returns false when the leaf's keys cannot be partitioned (all keys in
 // one partition), in which case the leaf is left in place to expand.
-func (t *Tree) splitLeaf(leaf *leafNode, parent *innerNode) bool {
-	keys, payloads := leaf.data.Collect(nil, nil)
+//
+// The replacement subtree — inner node, children, their data arrays,
+// their internal sibling links — is built completely off to the side;
+// publication is the final child-slot stores (or the root store). A
+// lock-free reader therefore sees either the old leaf, still intact
+// with all its data, or the finished subtree. The old leaf's own
+// next/prev are deliberately left pointing into the chain, so a scan
+// paused on it still terminates correctly; the seqlock validation
+// rejects its result.
+func (t *Tree) splitLeaf(leaf, parent *node) bool {
+	keys, payloads := leaf.data().Collect(nil, nil)
 	s := t.cfg.SplitFanout
 	model, bounds, nonEmpty := partition(keys, s)
 	if nonEmpty <= 1 {
 		return false
 	}
 	inner := newInner(model, s)
-	leaves := make([]*leafNode, 0, s)
-	var last *leafNode
+	leaves := make([]*node, 0, s)
+	var last *node
 	for p := 0; p < s; p++ {
 		lo, hi := bounds[p], bounds[p+1]
 		if last != nil && lo == hi {
 			// Empty partition: share the preceding leaf rather than
 			// materialize an empty node in the middle of the chain.
-			inner.children[p] = last
+			inner.children[p].Store(last)
 			continue
 		}
 		nl := t.newLeaf(keys[lo:hi], payloads[lo:hi])
-		inner.children[p] = nl
+		inner.children[p].Store(nl)
 		leaves = append(leaves, nl)
 		last = nl
 	}
-	// Splice the new leaves into the sibling chain.
+	// Link the new leaves among themselves, then splice them into the
+	// sibling chain. The chain stores are individually atomic; every
+	// intermediate state keeps both directions acyclic and terminating.
 	for i, nl := range leaves {
 		if i > 0 {
-			leaves[i-1].next = nl
-			nl.prev = leaves[i-1]
+			leaves[i-1].next.Store(nl)
+			nl.prev.Store(leaves[i-1])
 		}
 	}
 	first, lastNew := leaves[0], leaves[len(leaves)-1]
-	first.prev = leaf.prev
-	lastNew.next = leaf.next
-	if leaf.prev != nil {
-		leaf.prev.next = first
+	prev, next := leaf.prev.Load(), leaf.next.Load()
+	first.prev.Store(prev)
+	lastNew.next.Store(next)
+	if prev != nil {
+		prev.next.Store(first)
 	} else {
-		t.head = first
+		t.head.Store(first)
 	}
-	if leaf.next != nil {
-		leaf.next.prev = lastNew
+	if next != nil {
+		next.prev.Store(lastNew)
 	}
-	// Replace the pointer(s) in the parent (merged partitions may hold
-	// several copies), or the root.
+	// Publish: replace the pointer(s) in the parent (merged partitions
+	// may hold several copies), or the root. Each store atomically
+	// reroutes one slot from the old leaf to the new subtree.
 	if parent == nil {
-		t.root = inner
+		t.root.Store(inner)
 	} else {
 		for i := range parent.children {
-			if parent.children[i] == child(leaf) {
-				parent.children[i] = inner
+			if parent.children[i].Load() == leaf {
+				parent.children[i].Store(inner)
 			}
 		}
 	}
+	t.retireObj(leaf)
 	t.splits++
 	return true
 }
@@ -740,7 +825,7 @@ func (t *Tree) splitLeaf(leaf *leafNode, parent *innerNode) bool {
 // Delete removes key, reporting whether it was present.
 func (t *Tree) Delete(key float64) bool {
 	leaf, _ := t.traverse(key)
-	if leaf.data.Delete(key) {
+	if t.leafDelete(leaf, key) {
 		t.count--
 		return true
 	}
@@ -750,7 +835,7 @@ func (t *Tree) Delete(key float64) bool {
 // Update overwrites the payload of an existing key.
 func (t *Tree) Update(key float64, payload uint64) bool {
 	leaf, _ := t.traverse(key)
-	return leaf.data.Update(key, payload)
+	return t.leafUpdate(leaf, key, payload)
 }
 
 // Len returns the number of stored elements.
@@ -772,10 +857,13 @@ func (t *Tree) Scan(start float64, visit func(key float64, payload uint64) bool)
 		n++
 		return visit(k, v)
 	}
-	stopped := leaf.data.ScanFrom(start, wrapped)
-	for !stopped && leaf.next != nil {
-		leaf = leaf.next
-		stopped = leaf.data.ScanFrom(math.Inf(-1), wrapped)
+	stopped := leaf.data().ScanFrom(start, wrapped)
+	for !stopped {
+		leaf = leaf.next.Load()
+		if leaf == nil {
+			break
+		}
+		stopped = leaf.data().ScanFrom(math.Inf(-1), wrapped)
 	}
 	return n
 }
@@ -801,12 +889,16 @@ func (t *Tree) ScanNInto(start float64, max int, keys []float64, payloads []uint
 		return keys, payloads
 	}
 	leaf := t.leafFor(start)
-	for leaf != nil && leaf.data != nil { // nil only on a torn optimistic probe
-		keys, payloads = leaf.data.AppendFrom(start, max-len(keys), keys, payloads)
-		if len(keys) >= max || leaf.next == nil {
+	for leaf != nil {
+		d := leaf.data()
+		if d == nil {
+			break // torn optimistic probe
+		}
+		keys, payloads = d.AppendFrom(start, max-len(keys), keys, payloads)
+		if len(keys) >= max {
 			break
 		}
-		leaf = leaf.next
+		leaf = leaf.next.Load()
 		start = math.Inf(-1)
 	}
 	return keys, payloads
@@ -824,8 +916,8 @@ func (t *Tree) ScanCount(start float64, max int) int {
 
 // MinKey returns the smallest key in the index.
 func (t *Tree) MinKey() (float64, bool) {
-	for l := t.head; l != nil; l = l.next {
-		if k, ok := l.data.MinKey(); ok {
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
+		if k, ok := l.data().MinKey(); ok {
 			return k, true
 		}
 	}
@@ -834,12 +926,12 @@ func (t *Tree) MinKey() (float64, bool) {
 
 // MaxKey returns the largest key in the index.
 func (t *Tree) MaxKey() (float64, bool) {
-	var tail *leafNode
-	for l := t.head; l != nil; l = l.next {
+	var tail *node
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
 		tail = l
 	}
-	for l := tail; l != nil; l = l.prev {
-		if k, ok := l.data.MaxKey(); ok {
+	for l := tail; l != nil; l = l.prev.Load() {
+		if k, ok := l.data().MaxKey(); ok {
 			return k, true
 		}
 	}
@@ -848,25 +940,26 @@ func (t *Tree) MaxKey() (float64, bool) {
 
 // Height returns the number of levels (a lone leaf has height 1).
 func (t *Tree) Height() int {
-	var h func(c child) int
-	h = func(c child) int {
-		if n, ok := c.(*innerNode); ok {
-			best := 0
-			var last child
-			for _, ch := range n.children {
-				if ch == last {
-					continue
-				}
-				last = ch
-				if d := h(ch); d > best {
-					best = d
-				}
-			}
-			return best + 1
+	var h func(c *node) int
+	h = func(c *node) int {
+		if c.isLeaf() {
+			return 1
 		}
-		return 1
+		best := 0
+		var last *node
+		for i := range c.children {
+			ch := c.children[i].Load()
+			if ch == last {
+				continue
+			}
+			last = ch
+			if d := h(ch); d > best {
+				best = d
+			}
+		}
+		return best + 1
 	}
-	return h(t.root)
+	return h(t.root.Load())
 }
 
 // Stats aggregates counters over the whole tree, including the
@@ -876,12 +969,13 @@ func (t *Tree) Stats() Stats {
 	s.Splits = t.splits
 	s.CostRetrains = t.costRetrains
 	s.Height = t.Height()
-	for l := t.head; l != nil; l = l.next {
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
+		d := l.data()
 		s.NumLeaves++
-		s.Stats.Add(l.data.BaseStats())
-		n := uint64(l.data.Num())
+		s.Stats.Add(d.BaseStats())
+		n := uint64(d.Num())
 		s.KeysTotal += n
-		if e := l.data.ErrorBound(); e >= 0 {
+		if e := d.ErrorBound(); e >= 0 {
 			s.KeysModeled += n
 			s.ErrHist[errBucket(e)]++
 			if e > s.MaxLeafErr {
@@ -892,21 +986,23 @@ func (t *Tree) Stats() Stats {
 			}
 		}
 	}
-	var walk func(c child)
-	walk = func(c child) {
-		if n, ok := c.(*innerNode); ok {
-			s.NumInner++
-			var last child
-			for _, ch := range n.children {
-				if ch == last {
-					continue
-				}
-				last = ch
-				walk(ch)
+	var walk func(c *node)
+	walk = func(c *node) {
+		if c.isLeaf() {
+			return
+		}
+		s.NumInner++
+		var last *node
+		for i := range c.children {
+			ch := c.children[i].Load()
+			if ch == last {
+				continue
 			}
+			last = ch
+			walk(ch)
 		}
 	}
-	walk(t.root)
+	walk(t.root.Load())
 	return s
 }
 
@@ -914,8 +1010,8 @@ func (t *Tree) Stats() Stats {
 // (Fig 12, Appendix B).
 func (t *Tree) LeafSizes() []int {
 	var sizes []int
-	for l := t.head; l != nil; l = l.next {
-		sizes = append(sizes, l.data.Num())
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
+		sizes = append(sizes, l.data().Num())
 	}
 	return sizes
 }
@@ -928,24 +1024,24 @@ func (t *Tree) IndexSizeBytes() int {
 	const modelBytes = 16
 	const headerBytes = 24
 	total := 0
-	var walk func(c child)
-	walk = func(c child) {
-		switch n := c.(type) {
-		case *innerNode:
-			total += modelBytes + headerBytes + 8*len(n.children)
-			var last child
-			for _, ch := range n.children {
-				if ch == last {
-					continue
-				}
-				last = ch
-				walk(ch)
-			}
-		case *leafNode:
+	var walk func(c *node)
+	walk = func(c *node) {
+		if c.isLeaf() {
 			total += modelBytes + headerBytes + 16 // model + header + next/prev
+			return
+		}
+		total += modelBytes + headerBytes + 8*len(c.children)
+		var last *node
+		for i := range c.children {
+			ch := c.children[i].Load()
+			if ch == last {
+				continue
+			}
+			last = ch
+			walk(ch)
 		}
 	}
-	walk(t.root)
+	walk(t.root.Load())
 	return total
 }
 
@@ -953,8 +1049,8 @@ func (t *Tree) IndexSizeBytes() int {
 // including gaps, plus the occupancy bitmaps.
 func (t *Tree) DataSizeBytes() int {
 	total := 0
-	for l := t.head; l != nil; l = l.next {
-		total += l.data.DataSizeBytes(t.cfg.PayloadBytes)
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
+		total += l.data().DataSizeBytes(t.cfg.PayloadBytes)
 	}
 	return total
 }
@@ -963,7 +1059,7 @@ func (t *Tree) DataSizeBytes() int {
 // existing key (Fig 7).
 func (t *Tree) PredictionError(key float64) (int, bool) {
 	leaf, _ := t.traverse(key)
-	return leaf.data.PredictionError(key)
+	return leaf.data().PredictionError(key)
 }
 
 // CheckInvariants verifies the whole tree: every data node's internal
@@ -974,41 +1070,45 @@ func (t *Tree) CheckInvariants() error {
 	// Data node invariants + chain order.
 	total := 0
 	prevMax := math.Inf(-1)
-	seen := make(map[*leafNode]bool)
-	for l := t.head; l != nil; l = l.next {
+	seen := make(map[*node]bool)
+	for l := t.head.Load(); l != nil; l = l.next.Load() {
 		if seen[l] {
 			return errors.New("core: sibling chain has a cycle")
 		}
 		seen[l] = true
-		if err := l.data.CheckInvariants(); err != nil {
+		d := l.data()
+		if d == nil {
+			return errors.New("core: leaf without a data array")
+		}
+		if err := d.CheckInvariants(); err != nil {
 			return err
 		}
-		if mn, ok := l.data.MinKey(); ok {
+		if mn, ok := d.MinKey(); ok {
 			if mn <= prevMax {
 				return fmt.Errorf("core: leaf chain out of order: %v <= %v", mn, prevMax)
 			}
-			mx, _ := l.data.MaxKey()
+			mx, _ := d.MaxKey()
 			prevMax = mx
 		}
-		if l.next != nil && l.next.prev != l {
+		if next := l.next.Load(); next != nil && next.prev.Load() != l {
 			return errors.New("core: broken prev link")
 		}
-		total += l.data.Num()
+		total += d.Num()
 	}
 	if total != t.count {
 		return fmt.Errorf("core: leaf totals %d != count %d", total, t.count)
 	}
 	// Every leaf reachable from the root must be in the chain, and every
 	// stored key must be routed back to its leaf.
-	var walk func(c child) error
-	walk = func(c child) error {
-		switch n := c.(type) {
-		case *innerNode:
-			if len(n.children) == 0 {
+	var walk func(c *node) error
+	walk = func(c *node) error {
+		if !c.isLeaf() {
+			if len(c.children) == 0 {
 				return errors.New("core: inner node with no children")
 			}
-			var last child
-			for _, ch := range n.children {
+			var last *node
+			for i := range c.children {
+				ch := c.children[i].Load()
 				if ch == nil {
 					return errors.New("core: nil child")
 				}
@@ -1020,19 +1120,19 @@ func (t *Tree) CheckInvariants() error {
 					return err
 				}
 			}
-		case *leafNode:
-			if !seen[n] {
-				return errors.New("core: reachable leaf missing from sibling chain")
-			}
-			keys, _ := n.data.Collect(nil, nil)
-			for _, k := range keys {
-				routed, _ := t.traverse(k)
-				if routed != n {
-					return fmt.Errorf("core: key %v stored in one leaf but routed to another", k)
-				}
+			return nil
+		}
+		if !seen[c] {
+			return errors.New("core: reachable leaf missing from sibling chain")
+		}
+		keys, _ := c.data().Collect(nil, nil)
+		for _, k := range keys {
+			routed, _ := t.traverse(k)
+			if routed != c {
+				return fmt.Errorf("core: key %v stored in one leaf but routed to another", k)
 			}
 		}
 		return nil
 	}
-	return walk(t.root)
+	return walk(t.root.Load())
 }

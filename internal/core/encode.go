@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/linmodel"
 )
 
 // Serialization format (little-endian):
@@ -56,7 +58,7 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 			return bw.n, err
 		}
 	}
-	if err := t.writeNode(bw, t.root); err != nil {
+	if err := t.writeNode(bw, t.root.Load()); err != nil {
 		return bw.n, err
 	}
 	return bw.n, bw.w.(*bufio.Writer).Flush()
@@ -69,9 +71,11 @@ func boolU64(b bool) uint64 {
 	return 0
 }
 
-func (t *Tree) writeNode(w io.Writer, c child) error {
-	switch n := c.(type) {
-	case *innerNode:
+func (t *Tree) writeNode(w io.Writer, n *node) error {
+	if n == nil {
+		return fmt.Errorf("%w: nil node", ErrBadFormat)
+	}
+	if !n.isLeaf() {
 		if err := binary.Write(w, binary.LittleEndian, [3]uint64{
 			tagInner, math.Float64bits(n.model.Slope), math.Float64bits(n.model.Intercept),
 		}); err != nil {
@@ -80,8 +84,9 @@ func (t *Tree) writeNode(w io.Writer, c child) error {
 		if err := binary.Write(w, binary.LittleEndian, uint64(len(n.children))); err != nil {
 			return err
 		}
-		var last child
-		for _, ch := range n.children {
+		var last *node
+		for i := range n.children {
+			ch := n.children[i].Load()
 			if ch == last {
 				if err := binary.Write(w, binary.LittleEndian, uint64(tagRepeat)); err != nil {
 					return err
@@ -94,18 +99,15 @@ func (t *Tree) writeNode(w io.Writer, c child) error {
 			}
 		}
 		return nil
-	case *leafNode:
-		keys, payloads := n.data.Collect(nil, nil)
-		if err := binary.Write(w, binary.LittleEndian, [2]uint64{tagLeaf, uint64(len(keys))}); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, keys); err != nil {
-			return err
-		}
-		return binary.Write(w, binary.LittleEndian, payloads)
-	default:
-		return fmt.Errorf("%w: unknown node type", ErrBadFormat)
 	}
+	keys, payloads := n.data().Collect(nil, nil)
+	if err := binary.Write(w, binary.LittleEndian, [2]uint64{tagLeaf, uint64(len(keys))}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, keys); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, payloads)
 }
 
 // ReadFrom deserializes an index previously written with WriteTo.
@@ -153,13 +155,13 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 	if total != count {
 		return nil, fmt.Errorf("%w: leaf totals %d != header count %d", ErrBadFormat, total, count)
 	}
-	t.root = root
+	t.root.Store(root)
 	t.count = count
 	t.linkLeaves()
-	if t.head == nil {
+	if t.head.Load() == nil {
 		// Completely empty tree serialized as one empty leaf.
-		if lf, ok := root.(*leafNode); ok {
-			t.head = lf
+		if root.isLeaf() {
+			t.head.Store(root)
 		} else {
 			return nil, fmt.Errorf("%w: no leaves", ErrBadFormat)
 		}
@@ -169,7 +171,7 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 
 // readNode reconstructs one subtree. budget bounds total elements to the
 // header's count so corrupt streams cannot allocate unboundedly.
-func (t *Tree) readNode(r io.Reader, budget int) (child, int, error) {
+func (t *Tree) readNode(r io.Reader, budget int) (*node, int, error) {
 	var tag uint64
 	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
 		return nil, 0, fmt.Errorf("%w: missing node tag: %v", ErrBadFormat, err)
@@ -178,7 +180,7 @@ func (t *Tree) readNode(r io.Reader, budget int) (child, int, error) {
 }
 
 // readTagged reconstructs a node whose tag has already been consumed.
-func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (child, int, error) {
+func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (*node, int, error) {
 	switch tag {
 	case tagInner:
 		var bits [2]uint64
@@ -192,11 +194,12 @@ func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (child, int, erro
 		if nc == 0 || nc > 1<<24 {
 			return nil, 0, fmt.Errorf("%w: child count %d", ErrBadFormat, nc)
 		}
-		n := &innerNode{children: make([]child, nc), fanF: float64(nc)}
-		n.model.Slope = math.Float64frombits(bits[0])
-		n.model.Intercept = math.Float64frombits(bits[1])
+		var model linmodel.Model
+		model.Slope = math.Float64frombits(bits[0])
+		model.Intercept = math.Float64frombits(bits[1])
+		n := newInner(model, int(nc))
 		total := 0
-		var last child
+		var last *node
 		for i := range n.children {
 			var ctag uint64
 			if err := binary.Read(r, binary.LittleEndian, &ctag); err != nil {
@@ -206,14 +209,14 @@ func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (child, int, erro
 				if last == nil {
 					return nil, 0, fmt.Errorf("%w: repeat with no prior child", ErrBadFormat)
 				}
-				n.children[i] = last
+				n.children[i].Store(last)
 				continue
 			}
 			ch, sub, err := t.readTagged(r, ctag, budget-total)
 			if err != nil {
 				return nil, 0, err
 			}
-			n.children[i] = ch
+			n.children[i].Store(ch)
 			last = ch
 			total += sub
 		}
@@ -225,7 +228,7 @@ func (t *Tree) readTagged(r io.Reader, tag uint64, budget int) (child, int, erro
 	}
 }
 
-func (t *Tree) readLeafBody(r io.Reader, budget int) (child, int, error) {
+func (t *Tree) readLeafBody(r io.Reader, budget int) (*node, int, error) {
 	var cnt uint64
 	if err := binary.Read(r, binary.LittleEndian, &cnt); err != nil {
 		return nil, 0, fmt.Errorf("%w: short leaf count: %v", ErrBadFormat, err)

@@ -78,8 +78,8 @@ func TestErrBoundStatsDistribution(t *testing.T) {
 		histTotal += c
 	}
 	modeled := 0
-	for l := tr.head; l != nil; l = l.next {
-		if l.data.ErrorBound() >= 0 {
+	for l := tr.head.Load(); l != nil; l = l.next.Load() {
+		if l.data().ErrorBound() >= 0 {
 			modeled++
 		}
 	}

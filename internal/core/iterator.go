@@ -6,9 +6,10 @@ import "math"
 // It walks data nodes through the sibling links, skipping gaps via the
 // occupancy bitmaps. The iterator reads live structures: mutating the
 // index while iterating invalidates the cursor (like the single-writer
-// contract of the index itself).
+// contract of the index itself). For an iterator that stays valid under
+// concurrent writes, cut a Snapshot and use its SnapIterator.
 type Iterator struct {
-	leaf *leafNode
+	leaf *node
 	slot int
 	key  float64
 	val  uint64
@@ -33,7 +34,7 @@ func (t *Tree) Iter() *Iterator {
 // key is >= start.
 func (t *Tree) IterFrom(start float64) *Iterator {
 	leaf, _ := t.traverse(start)
-	acc := leaf.data.(iterAccessor)
+	acc := leaf.data().(iterAccessor)
 	slot := acc.LowerBoundOcc(start)
 	// Position "before" the target slot so the first Next lands on it.
 	return &Iterator{leaf: leaf, slot: slot, ok: false, key: start}
@@ -46,7 +47,7 @@ func (it *Iterator) Next() bool {
 	}
 	if it.ok {
 		// Advance past the current slot.
-		it.slot = it.leaf.data.(iterAccessor).NextSlot(it.slot)
+		it.slot = it.leaf.data().(iterAccessor).NextSlot(it.slot)
 	} else if it.slot >= 0 {
 		// First call: the stored slot, if any, is the element itself.
 		// (slot already points at the lower bound; nothing to do.)
@@ -54,14 +55,14 @@ func (it *Iterator) Next() bool {
 		it.slot = -1
 	}
 	for it.slot < 0 {
-		it.leaf = it.leaf.next
+		it.leaf = it.leaf.next.Load()
 		if it.leaf == nil {
 			it.ok = false
 			return false
 		}
-		it.slot = it.leaf.data.(iterAccessor).NextSlot(-1)
+		it.slot = it.leaf.data().(iterAccessor).NextSlot(-1)
 	}
-	it.key, it.val = it.leaf.data.(iterAccessor).At(it.slot)
+	it.key, it.val = it.leaf.data().(iterAccessor).At(it.slot)
 	it.ok = true
 	return true
 }

@@ -1,0 +1,134 @@
+// Package epoch implements epoch-based reclamation bookkeeping for the
+// index's copy-on-write node publication. Restructures replace a node's
+// storage behind an atomic pointer; the unpublished original may still
+// be referenced by lock-free readers mid-probe and by pinned snapshots,
+// so it cannot be recycled immediately. Instead the writer *retires* it
+// into the current epoch, and snapshot readers *pin* the epoch they
+// started in; a retired object becomes reclaimable once every pin from
+// its epoch or earlier has been released.
+//
+// In Go the garbage collector performs the actual freeing — a retired
+// object with no remaining references is collected regardless of this
+// package. What the manager adds is determinism and observability: the
+// retired list holds the only strong reference the index keeps to
+// unpublished structures, so dropping an entry makes the object
+// collectable at a known point (no unbounded retention while snapshots
+// churn), and Stats exposes how much the epoch machinery is holding —
+// the "no GC-pressure cliff" guarantee is measurable instead of
+// assumed.
+package epoch
+
+import "sync"
+
+// Manager tracks the global epoch, pinned readers, and retired objects
+// for one index. All methods are safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	current  uint64
+	pins     map[uint64]int // epoch -> active pins
+	retired  []entry
+	reclaims uint64
+}
+
+type entry struct {
+	epoch uint64
+	obj   any
+}
+
+// New returns a manager at epoch 0 with nothing pinned or retired.
+func New() *Manager {
+	return &Manager{pins: make(map[uint64]int)}
+}
+
+// Pin records a reader entering the current epoch (a snapshot being
+// taken) and returns the pinned epoch, to be passed to Unpin when the
+// reader is done. Pinning advances the global epoch, so objects retired
+// after the pin land in a later epoch and are never held back by it
+// longer than necessary.
+func (m *Manager) Pin() uint64 {
+	m.mu.Lock()
+	e := m.current
+	m.pins[e]++
+	m.current++
+	m.mu.Unlock()
+	return e
+}
+
+// Unpin releases a pin taken with Pin and reclaims every retired object
+// whose epoch is no longer protected.
+func (m *Manager) Unpin(e uint64) {
+	m.mu.Lock()
+	if n := m.pins[e]; n > 1 {
+		m.pins[e] = n - 1
+	} else {
+		delete(m.pins, e)
+	}
+	m.reclaimLocked()
+	m.mu.Unlock()
+}
+
+// Retire hands an unpublished object to the manager, stamped with the
+// current epoch. The object is kept reachable until every pin at or
+// after its stamp is released, then dropped for the garbage collector.
+// A nil obj is ignored.
+func (m *Manager) Retire(obj any) {
+	if obj == nil {
+		return
+	}
+	m.mu.Lock()
+	m.retired = append(m.retired, entry{epoch: m.current, obj: obj})
+	if len(m.pins) == 0 {
+		// Nothing pinned: the retired list only exists to outlive pins,
+		// so reclaim eagerly instead of accumulating.
+		m.reclaimLocked()
+	}
+	m.mu.Unlock()
+}
+
+// minPinnedLocked returns the smallest pinned epoch and whether any pin
+// is active. Callers hold m.mu.
+func (m *Manager) minPinnedLocked() (uint64, bool) {
+	var min uint64
+	found := false
+	for e := range m.pins {
+		if !found || e < min {
+			min = e
+			found = true
+		}
+	}
+	return min, found
+}
+
+// reclaimLocked drops every retired entry no pin can still observe: an
+// object retired in epoch E was published-out after every pin < E... —
+// precisely, a pin taken at epoch P observes objects live at P, which
+// includes anything retired at epoch >= P. An entry is therefore safe
+// once minPinned > entry.epoch, or unconditionally when nothing is
+// pinned. Callers hold m.mu.
+func (m *Manager) reclaimLocked() {
+	min, pinned := m.minPinnedLocked()
+	kept := m.retired[:0]
+	for _, e := range m.retired {
+		if pinned && e.epoch >= min {
+			kept = append(kept, e)
+			continue
+		}
+		m.reclaims++
+	}
+	// Zero the freed tail so the backing array drops its references.
+	for i := len(kept); i < len(m.retired); i++ {
+		m.retired[i] = entry{}
+	}
+	m.retired = kept
+}
+
+// Stats reports the manager's state: the current epoch, active pins,
+// objects still held on the retired list, and objects reclaimed so far.
+func (m *Manager) Stats() (current uint64, pins int, retired int, reclaimed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.pins {
+		pins += n
+	}
+	return m.current, pins, len(m.retired), m.reclaims
+}

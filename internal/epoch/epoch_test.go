@@ -1,0 +1,75 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRetireWithoutPinsReclaimsEagerly(t *testing.T) {
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.Retire(i)
+	}
+	_, pins, retired, reclaimed := m.Stats()
+	if pins != 0 || retired != 0 || reclaimed != 10 {
+		t.Fatalf("pins=%d retired=%d reclaimed=%d, want 0/0/10", pins, retired, reclaimed)
+	}
+}
+
+func TestPinHoldsRetiredObjects(t *testing.T) {
+	m := New()
+	e := m.Pin()
+	m.Retire("a") // retired at an epoch >= the pin: must be held
+	m.Retire("b")
+	if _, _, retired, reclaimed := m.Stats(); retired != 2 || reclaimed != 0 {
+		t.Fatalf("retired=%d reclaimed=%d before unpin, want 2/0", retired, reclaimed)
+	}
+	m.Unpin(e)
+	if _, _, retired, reclaimed := m.Stats(); retired != 0 || reclaimed != 2 {
+		t.Fatalf("retired=%d reclaimed=%d after unpin, want 0/2", retired, reclaimed)
+	}
+}
+
+func TestOldPinDoesNotHoldNothingButItsView(t *testing.T) {
+	m := New()
+	e1 := m.Pin()
+	m.Retire("seen-by-e1")
+	e2 := m.Pin() // advances the epoch past the first retirement
+	m.Retire("seen-by-both")
+	m.Unpin(e2)
+	// e1 still pinned: both retirements are at epochs >= e1, both held.
+	if _, _, retired, _ := m.Stats(); retired != 2 {
+		t.Fatalf("retired=%d with oldest pin held, want 2", retired)
+	}
+	m.Unpin(e1)
+	if _, _, retired, reclaimed := m.Stats(); retired != 0 || reclaimed != 2 {
+		t.Fatalf("retired=%d reclaimed=%d after all unpins, want 0/2", retired, reclaimed)
+	}
+}
+
+func TestEpochConcurrentPinRetire(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e := m.Pin()
+				m.Retire(i)
+				m.Unpin(e)
+			}
+		}()
+	}
+	wg.Wait()
+	_, pins, retired, reclaimed := m.Stats()
+	if pins != 0 {
+		t.Fatalf("pins=%d after all unpins", pins)
+	}
+	if retired != 0 {
+		t.Fatalf("retired=%d after all unpins, want 0", retired)
+	}
+	if reclaimed != 8000 {
+		t.Fatalf("reclaimed=%d, want 8000", reclaimed)
+	}
+}

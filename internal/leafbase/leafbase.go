@@ -143,6 +143,15 @@ type Base struct {
 	// RetrainAdvised uses it to amortize cost-model retrains so a leaf
 	// cannot retrain on every insert.
 	sinceRebuild int
+
+	// sealed marks the node as frozen by a snapshot (see Seal). It is a
+	// plain word accessed with sync/atomic functions rather than an
+	// atomic.Uint32 so Base stays trivially copyable (CloneInto and the
+	// COW rebuilds assign whole Base values); the flag is only ever
+	// written under the index's writer exclusion, the atomics exist so
+	// the store in Seal and the load in Sealed are data-race-free when
+	// snapshot creation overlaps lock-free readers.
+	sealed uint32
 }
 
 // Init sets up an empty node with the given capacity.

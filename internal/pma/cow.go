@@ -1,0 +1,143 @@
+package pma
+
+import (
+	"math"
+
+	"repro/internal/leafbase"
+)
+
+// Copy-on-write variants of the mutating operations, for nodes
+// published behind atomic pointers (see the gapped package's cow.go for
+// the protocol). For the PMA the in-place/COW boundary falls naturally
+// out of Algorithm 2: segment-local placements and window
+// redistributions move values within the existing arrays (value-only
+// mutations, tolerated by seqlock readers), while a doubling, a
+// contraction halving, a retrain, or a merge rebuild reallocates — and
+// is therefore built off to the side and returned for atomic
+// publication. A nil repl means the receiver stayed the live array.
+
+// CloneForWrite returns an unsealed deep copy of the array, including
+// the segment geometry and adaptive heat, the copy-on-write step taken
+// before first mutating a snapshot-sealed node.
+func (a *Array) CloneForWrite() *Array {
+	r := &Array{cfg: a.cfg, segSize: a.segSize}
+	a.Base.CloneInto(&r.Base)
+	if a.heat != nil {
+		r.heat = append([]float64(nil), a.heat...)
+	}
+	return r
+}
+
+// rebuiltCopy builds a fresh array holding the receiver's current
+// elements at the given capacity — the COW counterpart of rebuildInto.
+// Work counters carry over; the rebuild counts its retrain as usual.
+func (a *Array) rebuiltCopy(capacity int) *Array {
+	r := &Array{cfg: a.cfg}
+	r.Stats = a.Stats
+	keys, payloads := a.Collect(nil, nil)
+	r.rebuildInto(keys, payloads, capacity)
+	return r
+}
+
+// InsertCOW is Insert for a published node: Algorithm 2 with the
+// expansion fallback rebuilt off to the side. The common case — the
+// segment absorbs the insert, or a window redistribution makes room —
+// mutates in place and returns nil.
+func (a *Array) InsertCOW(key float64, payload uint64) (repl *Array, inserted bool) {
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		panic("pma: key must be finite")
+	}
+	switch a.tryInsert(key, payload) {
+	case leafbase.Inserted:
+		return nil, true
+	case leafbase.Duplicate:
+		return nil, false
+	}
+	// Density bounds violated everywhere: expand by doubling into a copy
+	// (Alg 2 lines 7-10) and retry there.
+	repl = a.rebuiltCopy(a.Cap() * 2)
+	repl.Stats.Expands++
+	switch repl.tryInsert(key, payload) {
+	case leafbase.Inserted:
+		return repl, true
+	case leafbase.Duplicate:
+		return repl, false
+	}
+	// Model-based re-insertion can leave badly skewed windows; a uniform
+	// root rebalance always makes room after an expansion.
+	repl.Stats.Rebalances++
+	repl.RedistributeUniform(0, repl.Cap(), true, key, payload)
+	return repl, true
+}
+
+// DeleteCOW is Delete for a published node: in-place removal, COW
+// contraction.
+func (a *Array) DeleteCOW(key float64) (repl *Array, deleted bool) {
+	if !a.Base.Delete(key) {
+		return nil, false
+	}
+	if a.Cap() > minCapacity && a.Density() < a.cfg.RhoRoot/2 {
+		repl = a.rebuiltCopy(a.capacityFor(a.NumKeys))
+		repl.Stats.Contracts++
+	}
+	return repl, true
+}
+
+// RetrainCOW is Retrain for a published node.
+func (a *Array) RetrainCOW() *Array {
+	return a.rebuiltCopy(a.capacityFor(a.NumKeys))
+}
+
+// MergeSortedCOW is MergeSorted for a published node; Base.MergeSorted
+// is pure, so nothing here touches the receiver.
+func (a *Array) MergeSortedCOW(keys []float64, payloads []uint64) (repl *Array, added int) {
+	checkFiniteBatch(keys)
+	mk, mp, added := a.Base.MergeSorted(keys, payloads)
+	r := &Array{cfg: a.cfg}
+	r.Stats = a.Stats
+	newCap := a.capacityFor(len(mk))
+	if newCap > a.Cap() {
+		r.Stats.Expands++
+	} else if newCap < a.Cap() {
+		r.Stats.Contracts++
+	}
+	r.rebuildInto(mk, mp, newCap)
+	return r, added
+}
+
+// InsertSortedBatchCOW is InsertSortedBatch for a published node; after
+// a mid-batch expansion the remainder of the batch continues on the
+// (not yet published) copy.
+func (a *Array) InsertSortedBatchCOW(keys []float64, payloads []uint64) (repl *Array, added int) {
+	if len(keys) == 0 {
+		return nil, 0
+	}
+	checkFiniteBatch(keys)
+	if float64(a.NumKeys+len(keys)) > a.cfg.TauRoot*float64(a.Cap()) {
+		return a.MergeSortedCOW(keys, payloads)
+	}
+	cur := a
+	n := 0
+	for i := range keys {
+		r, ok := cur.InsertCOW(keys[i], payloads[i])
+		if r != nil {
+			repl = r
+			cur = r
+		}
+		if ok {
+			n++
+		}
+	}
+	return repl, n
+}
+
+// DeleteSortedBatchCOW is DeleteSortedBatch for a published node:
+// in-place removals, one COW contraction decision per batch.
+func (a *Array) DeleteSortedBatchCOW(keys []float64) (repl *Array, deleted int) {
+	n := a.DeleteSortedNoRepack(keys)
+	if n > 0 && a.Cap() > minCapacity && a.Density() < a.cfg.RhoRoot/2 {
+		repl = a.rebuiltCopy(a.capacityFor(a.NumKeys))
+		repl.Stats.Contracts++
+	}
+	return repl, n
+}

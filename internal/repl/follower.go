@@ -271,29 +271,57 @@ func readLine(br *bufio.Reader) (string, error) {
 
 func (f *Follower) idx() *alex.ShardedIndex { return f.backend.Load() }
 
+// Get serves a point lookup from the applied prefix.
 func (f *Follower) Get(key float64) (uint64, bool) { return f.idx().Get(key) }
+
+// GetBatch serves a batch lookup from the applied prefix.
 func (f *Follower) GetBatch(keys []float64) ([]uint64, []bool) {
 	return f.idx().GetBatch(keys)
 }
+
+// GetBatchInto is GetBatch into caller-supplied slices.
 func (f *Follower) GetBatchInto(keys []float64, payloads []uint64, found []bool) {
 	f.idx().GetBatchInto(keys, payloads, found)
 }
+
+// ScanN serves a bounded scan from the applied prefix.
 func (f *Follower) ScanN(start float64, max int) ([]float64, []uint64) {
 	return f.idx().ScanN(start, max)
 }
+
+// ScanNInto is ScanN into caller-supplied slices.
 func (f *Follower) ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64) {
 	return f.idx().ScanNInto(start, max, keys, payloads)
 }
-func (f *Follower) Len() int            { return f.idx().Len() }
-func (f *Follower) Stats() alex.Stats   { return f.idx().Stats() }
-func (f *Follower) IndexSizeBytes() int { return f.idx().IndexSizeBytes() }
-func (f *Follower) DataSizeBytes() int  { return f.idx().DataSizeBytes() }
-func (f *Follower) Flush() error        { return nil }
-func (f *Follower) Close() error        { return nil }
 
-func (f *Follower) Insert(float64, uint64) bool         { panic(errReadOnly) }
-func (f *Follower) Delete(float64) bool                 { panic(errReadOnly) }
+// Len returns the element count of the applied prefix.
+func (f *Follower) Len() int { return f.idx().Len() }
+
+// Stats returns the applied index's statistics.
+func (f *Follower) Stats() alex.Stats { return f.idx().Stats() }
+
+// IndexSizeBytes accounts the applied index's RMI structure.
+func (f *Follower) IndexSizeBytes() int { return f.idx().IndexSizeBytes() }
+
+// DataSizeBytes accounts the applied index's data node storage.
+func (f *Follower) DataSizeBytes() int { return f.idx().DataSizeBytes() }
+
+// Flush is a no-op: a follower has nothing of its own to flush.
+func (f *Follower) Flush() error { return nil }
+
+// Close is a no-op on the serving surface; Stop ends replication.
+func (f *Follower) Close() error { return nil }
+
+// Insert panics: followers are read-only.
+func (f *Follower) Insert(float64, uint64) bool { panic(errReadOnly) }
+
+// Delete panics: followers are read-only.
+func (f *Follower) Delete(float64) bool { panic(errReadOnly) }
+
+// InsertBatch panics: followers are read-only.
 func (f *Follower) InsertBatch([]float64, []uint64) int { panic(errReadOnly) }
-func (f *Follower) DeleteBatch([]float64) int           { panic(errReadOnly) }
+
+// DeleteBatch panics: followers are read-only.
+func (f *Follower) DeleteBatch([]float64) int { panic(errReadOnly) }
 
 var errReadOnly = errors.New("repl: follower is read-only; writes go to the primary")

@@ -10,17 +10,30 @@ package alex
 // sequence number to odd before mutating and back to even after, and a
 // reader snapshots the sequence, probes the index with plain loads, and
 // only trusts the result if the sequence was even and unchanged across
-// the probe. The speculative probe intentionally races with writers —
-// that is the entire point; any value read during a mutation is thrown
-// away by the revalidation. The point-lookup probe is panic-proof by
-// construction against torn state (clamped and unsigned-guarded
-// indexing in internal/leafbase, comma-ok descent in internal/core);
-// the longer batch and scan probes additionally carry a recover frame.
-// But the race detector cannot see the revalidation, so under `-race`
-// builds this constant disables the speculation and every read takes
-// the RLock fallback path. Race CI therefore verifies the locked path
-// and the writer-side seq discipline; the stress tests run in both
-// modes.
+// the probe. The speculative probe intentionally races with writers on
+// slot *values* — that is the entire point; any value read during a
+// mutation is thrown away by the revalidation.
+//
+// Structure, by contrast, no longer races at all: every node reference
+// in internal/core is an atomic.Pointer, restructures (expand, retrain,
+// split, merge, redistribute) build their replacement off to the side
+// and publish it with a single atomic store, and retired structures are
+// held by the epoch manager until no snapshot pins them. A speculative
+// probe therefore always walks a tree that was fully constructed at
+// some instant — it can observe a *stale* leaf (fixed by revalidation)
+// but never a torn one, so the probe cannot fault. The remaining racy
+// reads are confined to slot values inside a data node (keys, payloads,
+// occupancy words) during in-place gap claims, which the seqlock check
+// discards. The batch and scan probes keep a recover frame as
+// defense-in-depth, not because a fault path is known.
+//
+// The race detector cannot model "racy value read, then revalidate and
+// discard", so under `-race` builds this constant disables the
+// speculation and every read takes the RLock fallback path. The
+// structural path needs no such opt-out — atomic publication is
+// race-clean and `-race` exercises it as-is; only the seqlock value
+// reads are compiled out. See docs/concurrency.md for the full memory
+// model.
 const optimisticReads = true
 
 // raceEnabled mirrors the race detector's presence for tests that need

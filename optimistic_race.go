@@ -2,10 +2,13 @@
 
 package alex
 
-// Under the race detector the seqlock probe's deliberate data race
-// would be reported (the detector cannot model "racy read, then
-// revalidate and discard"), so optimistic reads are compiled out and
-// every read takes the RLock path. See optimistic.go for the protocol.
+// Under the race detector the seqlock probe's deliberate data race on
+// slot values would be reported (the detector cannot model "racy read,
+// then revalidate and discard"), so optimistic reads are compiled out
+// and every read takes the RLock path. Structural publication needs no
+// such opt-out: node references are atomic.Pointers, so `-race` builds
+// exercise the copy-on-write restructure path unchanged. See
+// optimistic.go and docs/concurrency.md for the protocol.
 const optimisticReads = false
 
 // raceEnabled mirrors the race detector's presence for tests.

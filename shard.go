@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/search"
 )
 
@@ -62,6 +63,11 @@ type ShardedIndex struct {
 
 	// lockOnly forces the locked read path; see SetOptimisticReads.
 	lockOnly atomic.Bool
+
+	// em tracks epoch-based reclamation across all shards: shard writers
+	// retire every structure they unpublish, Snapshot pins the epoch its
+	// view was cut in, and router retrains retire the superseded table.
+	em *epoch.Manager
 }
 
 // shard is one key-space partition: an Index plus its lock and seqlock
@@ -161,8 +167,6 @@ const (
 	// retrainSlack triggers a retrain when the largest shard exceeds
 	// this multiple of the ideal per-shard share.
 	retrainSlack = 2
-	// shardIterChunk is the snapshot chunk size of ShardedIterator.
-	shardIterChunk = 256
 )
 
 // NewSharded returns an empty sharded index with the given shard count
@@ -173,8 +177,8 @@ func NewSharded(shards int, opts ...Option) *ShardedIndex {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	s := &ShardedIndex{cfg: buildConfig(opts)}
-	s.tab.Store(buildShardTable(shards, nil, nil, s.cfg))
+	s := &ShardedIndex{cfg: buildConfig(opts), em: epoch.New()}
+	s.tab.Store(s.hookTable(buildShardTable(shards, nil, nil, s.cfg)))
 	return s
 }
 
@@ -191,8 +195,8 @@ func LoadSharded(shards int, keys []float64, payloads []uint64, opts ...Option) 
 	if err != nil {
 		return nil, err
 	}
-	s := &ShardedIndex{cfg: buildConfig(opts)}
-	s.tab.Store(buildShardTable(shards, ks, ps, s.cfg))
+	s := &ShardedIndex{cfg: buildConfig(opts), em: epoch.New()}
+	s.tab.Store(s.hookTable(buildShardTable(shards, ks, ps, s.cfg)))
 	s.lastdistSize.Store(int64(len(ks)))
 	return s, nil
 }
@@ -220,6 +224,15 @@ func buildShardTable(nsh int, keys []float64, payloads []uint64, cfg core.Config
 		}
 		t.shards[i] = &shard{idx: &Index{t: core.BulkLoadSorted(keys[prev:hi], sub, cfg)}}
 		prev = hi
+	}
+	return t
+}
+
+// hookTable wires every shard tree's retirement hook to the index's
+// epoch manager, before the table is published. Returns t for chaining.
+func (s *ShardedIndex) hookTable(t *shardTable) *shardTable {
+	for _, sh := range t.shards {
+		sh.idx.t.SetRetireHook(s.em.Retire)
 	}
 	return t
 }
@@ -824,20 +837,23 @@ func (s *ShardedIndex) ScanRange(start, end float64, visit func(key float64, pay
 
 // ShardedIterator is a cursor over a ShardedIndex in ascending key
 // order. Unlike Index.Iterator it is safe under concurrent mutation:
-// it buffers chunks of elements under the shard locks and serves from
-// the snapshot, resuming after the last returned key. Iteration is
-// weakly consistent — elements inserted or deleted behind the cursor
-// are not revisited, elements ahead may or may not appear.
+// construction seals a point-in-time snapshot of every shard (an
+// O(#leaves) flag pass, no copying — writers clone sealed nodes on
+// first write), and the cursor serves from those sealed structures
+// with no further locking. Iteration is therefore *strongly*
+// consistent: the cursor observes exactly the elements present at
+// construction, never a later insert or delete. It used to stream
+// chunks under the shard locks with weakly consistent semantics; the
+// snapshot cut is both cheaper per element and a strictly stronger
+// contract.
 type ShardedIterator struct {
-	s    *ShardedIndex
-	keys []float64
-	vals []uint64
-	pos  int
-	next float64 // start key of the next chunk fetch
-	key  float64
-	val  uint64
-	ok   bool
-	done bool
+	parts []*core.Snapshot
+	pi    int // current part index; -1 before the first part
+	cur   *core.SnapIterator
+	start float64
+	key   float64
+	val   uint64
+	ok    bool
 }
 
 // Iter returns a cursor positioned before the first element.
@@ -846,32 +862,29 @@ func (s *ShardedIndex) Iter() *ShardedIterator { return s.IterFrom(math.Inf(-1))
 // IterFrom returns a cursor positioned before the first element whose
 // key is >= start.
 func (s *ShardedIndex) IterFrom(start float64) *ShardedIterator {
-	return &ShardedIterator{s: s, next: start, pos: -1}
+	return &ShardedIterator{parts: s.sealAll(), pi: -1, start: start}
 }
 
 // Next advances to the next element, reporting whether one exists.
 func (it *ShardedIterator) Next() bool {
-	it.pos++
-	if it.pos >= len(it.keys) {
-		if it.done {
-			it.ok = false
-			return false
+	for {
+		if it.cur == nil {
+			it.pi++
+			if it.pi >= len(it.parts) {
+				it.ok = false
+				return false
+			}
+			// Parts own ascending disjoint key ranges; IterFrom skips any
+			// part entirely below the start key on its first Next.
+			it.cur = it.parts[it.pi].IterFrom(it.start)
 		}
-		keys, vals := it.s.ScanN(it.next, shardIterChunk)
-		if len(keys) < shardIterChunk {
-			it.done = true
+		if it.cur.Next() {
+			it.key, it.val = it.cur.Key(), it.cur.Payload()
+			it.ok = true
+			return true
 		}
-		if len(keys) == 0 {
-			it.ok = false
-			return false
-		}
-		it.keys, it.vals, it.pos = keys, vals, 0
-		// Resume strictly after the last buffered key.
-		it.next = math.Nextafter(keys[len(keys)-1], math.Inf(1))
+		it.cur = nil
 	}
-	it.key, it.val = it.keys[it.pos], it.vals[it.pos]
-	it.ok = true
-	return true
 }
 
 // Key returns the current element's key; valid only after Next
@@ -1027,15 +1040,16 @@ func (s *ShardedIndex) Retrains() uint64 { return s.retrains.Load() }
 
 // WriteTo serializes a point-in-time snapshot of the whole index in
 // the single-Index format (configuration included), so ReadFrom /
-// ReadFromSharded can restore it with any shard count. The snapshot
-// is materialized and bulk-loaded into a temporary single index before
-// streaming — the format embeds exact inner-node models, so there is
-// no way to emit it without building the tree — which transiently
-// costs roughly the index's own data size in extra memory.
+// ReadFromSharded can restore it with any shard count. It cuts a
+// Snapshot — the exclusive gate is held only for the O(#leaves)
+// sealing pass — and does all O(n) collection, bulk-loading and
+// streaming from the sealed view, concurrently with writers. (The
+// pre-snapshot implementation collected under lockAllRead, stalling
+// every writer for the whole O(n) copy.)
 func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
-	keys, vals := s.snapshot()
-	merged := &Index{t: core.BulkLoadSorted(keys, vals, s.cfg)}
-	return merged.WriteTo(w)
+	snap := s.Snapshot()
+	defer snap.Close()
+	return snap.WriteTo(w)
 }
 
 // ReadFromSharded deserializes an index written by Index.WriteTo or
@@ -1057,19 +1071,46 @@ func ReadFromSharded(r io.Reader, shards int) (*ShardedIndex, error) {
 		vals = append(vals, v)
 		return true
 	})
-	s := &ShardedIndex{cfg: ix.t.Config()}
-	s.tab.Store(buildShardTable(shards, keys, vals, s.cfg))
+	s := &ShardedIndex{cfg: ix.t.Config(), em: epoch.New()}
+	s.tab.Store(s.hookTable(buildShardTable(shards, keys, vals, s.cfg)))
 	s.lastdistSize.Store(int64(len(keys)))
 	return s, nil
 }
 
-// snapshot collects all elements in key order as a true point-in-time
-// cut (see lockAllRead): a batch spanning several shards is either
-// wholly present or wholly absent.
-func (s *ShardedIndex) snapshot() ([]float64, []uint64) {
+// Snapshot cuts a consistent point-in-time view across every shard.
+// The cut takes the exclusive gate and all shard read locks only for
+// the O(#leaves) sealing pass — no data is copied — after which the
+// returned snapshot reads lock-free forever while shard writers
+// proceed by cloning sealed nodes on first write. Close the snapshot
+// when done to release its epoch pin.
+func (s *ShardedIndex) Snapshot() *IndexSnapshot {
+	t, unlock := s.lockAllRead()
+	parts := make([]*core.Snapshot, len(t.shards))
+	for i, sh := range t.shards {
+		parts[i] = sh.idx.t.SealLeaves()
+	}
+	e := s.em.Pin()
+	unlock()
+	return newIndexSnapshot(parts, s.cfg, func() { s.em.Unpin(e) })
+}
+
+// sealAll is Snapshot without the epoch pin, for short-lived internal
+// consumers (the snapshot iterator) that hold the sealed parts by
+// strong reference alone and have no Close point to unpin at.
+func (s *ShardedIndex) sealAll() []*core.Snapshot {
 	t, unlock := s.lockAllRead()
 	defer unlock()
-	return collectAll(t)
+	parts := make([]*core.Snapshot, len(t.shards))
+	for i, sh := range t.shards {
+		parts[i] = sh.idx.t.SealLeaves()
+	}
+	return parts
+}
+
+// EpochStats reports the index's epoch-based reclamation state.
+func (s *ShardedIndex) EpochStats() EpochStats {
+	cur, pins, retired, reclaimed := s.em.Stats()
+	return EpochStats{Epoch: cur, Pins: pins, Retired: retired, Reclaimed: reclaimed}
 }
 
 // collectAll gathers every element of the table in key order. The
@@ -1209,10 +1250,14 @@ func (s *ShardedIndex) retrainLocked() {
 		sh.mu.Lock()
 	}
 	keys, vals := collectAll(t)
-	s.tab.Store(buildShardTable(len(t.shards), keys, vals, s.cfg))
+	s.tab.Store(s.hookTable(buildShardTable(len(t.shards), keys, vals, s.cfg)))
 	for _, sh := range t.shards {
 		sh.moved = true
 	}
+	// The old table (and every tree in it) is now unreachable through
+	// the router; hand it to epoch-based reclamation so pinned snapshots
+	// keep it exactly as long as they need it.
+	s.em.Retire(t)
 	for _, sh := range t.shards {
 		sh.mu.Unlock()
 	}

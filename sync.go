@@ -4,6 +4,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
 )
 
 // SyncIndex wraps Index with a readers-writer lock so concurrent readers
@@ -38,6 +41,11 @@ type SyncIndex struct {
 	seq atomic.Uint64
 	// lockOnly forces the RLock path; see SetOptimisticReads.
 	lockOnly atomic.Bool
+	// em tracks epoch-based reclamation: structures the writer
+	// unpublishes (replaced arrays, superseded nodes) are retired here,
+	// and Snapshot pins the epoch its view was cut in. See
+	// docs/concurrency.md.
+	em *epoch.Manager
 }
 
 // SetOptimisticReads toggles the lock-free read path (default on; also
@@ -51,7 +59,7 @@ func (s *SyncIndex) optimistic() bool { return optimisticReads && !s.lockOnly.Lo
 
 // NewSync returns an empty thread-safe index.
 func NewSync(opts ...Option) *SyncIndex {
-	return &SyncIndex{idx: New(opts...)}
+	return newSyncFrom(New(opts...))
 }
 
 // LoadSync bulk loads a thread-safe index.
@@ -60,7 +68,16 @@ func LoadSync(keys []float64, payloads []uint64, opts ...Option) (*SyncIndex, er
 	if err != nil {
 		return nil, err
 	}
-	return &SyncIndex{idx: idx}, nil
+	return newSyncFrom(idx), nil
+}
+
+// newSyncFrom wraps an existing Index, wiring its retirement hook to a
+// fresh epoch manager. Every SyncIndex construction path goes through
+// it so unpublished structures are always accounted.
+func newSyncFrom(idx *Index) *SyncIndex {
+	s := &SyncIndex{idx: idx, em: epoch.New()}
+	idx.t.SetRetireHook(s.em.Retire)
+	return s
 }
 
 // Get returns the payload stored for key.
@@ -313,11 +330,37 @@ func (s *SyncIndex) DataSizeBytes() int {
 	return s.idx.DataSizeBytes()
 }
 
-// WriteTo serializes the index under the read lock.
+// Snapshot cuts a consistent point-in-time view of the index. The cut
+// holds the write lock only for the O(#leaves) sealing pass — no data
+// is copied — after which the returned snapshot reads lock-free
+// forever, while writers proceed by cloning any sealed node before
+// first mutating it. Close the snapshot when done to release its epoch
+// pin.
+func (s *SyncIndex) Snapshot() *IndexSnapshot {
+	s.mu.Lock()
+	parts := []*core.Snapshot{s.idx.t.SealLeaves()}
+	e := s.em.Pin()
+	s.mu.Unlock()
+	return newIndexSnapshot(parts, s.idx.t.Config(), func() { s.em.Unpin(e) })
+}
+
+// WriteTo serializes a consistent snapshot of the index. Unlike the
+// pre-snapshot implementation, which held the read lock (blocking all
+// writers) for the whole O(n) serialization, it cuts a Snapshot —
+// briefly taking the write lock to seal — and streams from that, so
+// writers are blocked only for the cut. The stream re-bulk-loads on
+// read (exactly as documented on Index.WriteTo), so a round trip
+// restores an equivalent index with identical contents.
 func (s *SyncIndex) WriteTo(w io.Writer) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.WriteTo(w)
+	snap := s.Snapshot()
+	defer snap.Close()
+	return snap.WriteTo(w)
+}
+
+// EpochStats reports the index's epoch-based reclamation state.
+func (s *SyncIndex) EpochStats() EpochStats {
+	cur, pins, retired, reclaimed := s.em.Stats()
+	return EpochStats{Epoch: cur, Pins: pins, Retired: retired, Reclaimed: reclaimed}
 }
 
 // CheckInvariants verifies the tree under the read lock.
