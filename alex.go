@@ -123,8 +123,33 @@ func WithInnerFanout(n int) Option {
 }
 
 // WithSplitFanout sets the children created per node split (default 4).
+// With the default cost-optimal load mode this is the fanout *budget*:
+// the split planner may choose any power of two up to it, or nest
+// deeper where the modeled cost is lower.
 func WithSplitFanout(n int) Option {
 	return func(c *core.Config) { c.SplitFanout = n }
+}
+
+// WithCostOptimalLoad selects cost-model-optimal bulk loading (§4 of
+// the paper): construction plans each node's fanout by minimizing the
+// modeled cost of future operations — expected search iterations from
+// the prediction-error distribution plus expected insert shifts — and
+// merges adjacent undersized partitions when a single data node is
+// modeled cheaper. This is the default for the adaptive RMI; the option
+// exists to state it explicitly and to override an earlier
+// WithHeuristicLoad. Prefer it whenever loads are large and read
+// performance matters: it adapts fanout to the data instead of applying
+// one fixed fanout everywhere.
+func WithCostOptimalLoad() Option {
+	return func(c *core.Config) { c.Load = core.CostOptimalLoad }
+}
+
+// WithHeuristicLoad restores the fixed-fanout heuristic bulk load
+// (root fanout from the key-space shape, fixed inner fanout below) as
+// an A/B baseline against WithCostOptimalLoad, or for loads where
+// minimum build time beats modeled operation cost.
+func WithHeuristicLoad() Option {
+	return func(c *core.Config) { c.Load = core.HeuristicLoad }
 }
 
 // WithDensity sets the gapped array's upper density limit d directly.
@@ -328,6 +353,15 @@ func (ix *Index) PredictionError(key float64) (int, bool) { return ix.t.Predicti
 
 // LeafSizes returns the key count of every data node, left to right.
 func (ix *Index) LeafSizes() []int { return ix.t.LeafSizes() }
+
+// Rebuild reconstructs the whole index from its current contents
+// through the cost-optimal fanout-tree planner, regardless of the
+// configured load mode. Incremental growth — merges, splits, expansions
+// — optimizes one node at a time; Rebuild re-plans globally, restoring
+// bulk-load-quality structure after the tree has drifted far from its
+// loaded shape (it is what recovery uses after replaying a large log
+// tail). The old structure is retired through the retire hook.
+func (ix *Index) Rebuild() { ix.t.RebuildCostOptimal() }
 
 // CheckInvariants verifies the structural invariants of the whole tree;
 // it is meant for tests and debugging and costs a full traversal.

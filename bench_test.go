@@ -328,6 +328,73 @@ func BenchmarkBulkLoad(b *testing.B) {
 	}
 }
 
+// --- Cost-optimal bulk load: fanout-tree planner vs the fixed-fanout
+// heuristic on the drifted-longitudes dataset, whose local density spans
+// orders of magnitude so one fanout cannot fit the whole key space. The
+// pair reports load ns/key plus the post-load per-leaf error-bound
+// percentiles and the bounded-search share; benchjson folds them into
+// the `bulk_load` block of BENCH_ci.json and the CI gate holds the
+// cost-optimal load time to +15% over BENCH_baseline.json. ---
+
+func benchBulkLoadMode(b *testing.B, opt alex.Option) {
+	keys := datasets.Generate(datasets.LongitudesDrifted, 1<<18, 11)
+	sorted := datasets.Sorted(keys)
+	var idx *alex.Index
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx = alex.LoadSorted(sorted, nil, opt)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(sorted)), "ns/key")
+	st := idx.Stats()
+	b.ReportMetric(float64(st.LeafErrPercentile(50)), "p50-leaf-err")
+	b.ReportMetric(float64(st.LeafErrPercentile(99)), "p99-leaf-err")
+	b.ReportMetric(st.BoundedShare(), "bounded-share")
+}
+
+func BenchmarkBulkLoadCostOptimal(b *testing.B) { benchBulkLoadMode(b, alex.WithCostOptimalLoad()) }
+func BenchmarkBulkLoadHeuristic(b *testing.B)   { benchBulkLoadMode(b, alex.WithHeuristicLoad()) }
+
+// BenchmarkRecoveryRebuild times OpenDurable over a WAL tail heavy
+// enough to trip the recovery rebuild threshold: replay coalesces the
+// log into merges and the backend is then rebuilt through the
+// cost-optimal planner before the index opens.
+func BenchmarkRecoveryRebuild(b *testing.B) {
+	dir := b.TempDir()
+	opts := []alex.DurableOption{
+		alex.WithCheckpointEvery(0), alex.WithDurableShards(4),
+		alex.WithFsyncPolicy(alex.FsyncNever),
+	}
+	d, err := alex.OpenDurable(dir, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := datasets.Generate(datasets.LongitudesDrifted, 1<<17, 13)
+	pays := make([]uint64, 4096)
+	for at := 0; at < len(keys); at += len(pays) {
+		end := at + len(pays)
+		if end > len(keys) {
+			end = len(keys)
+		}
+		d.InsertBatch(keys[at:end], pays[:end-at])
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := alex.OpenDurable(dir, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 // --- Read path: optimistic (lock-free) vs locked, and the *Into
 // zero-allocation variants. The Get/GetLocked (and ShardedGet/
 // ShardedGetLocked) pairs measure the same probe with the seqlock

@@ -306,9 +306,24 @@ func openBackend(dir string, cfg *durableConfig) (Backend, error) {
 	return s, nil
 }
 
+// Rebuilder is the optional backend capability recovery uses to restore
+// bulk-load-quality structure after a heavy replay; both *SyncIndex and
+// *ShardedIndex implement it.
+type Rebuilder interface{ Rebuild() }
+
+// rebuildMinMerged is the merged-key volume below which a recovery
+// rebuild cannot pay for itself: replay that touched fewer keys left
+// most of the snapshot-loaded structure intact.
+const rebuildMinMerged = 1 << 16
+
 // replayInto applies the WAL tail to b through the batch apply path,
 // reporting how many records replayed and whether replay stopped at an
-// invalid record.
+// invalid record. When the coalesced merges dominated the recovered
+// contents — at least rebuildMinMerged keys and half the final size —
+// the tree's shape is replay-grown rather than planned, and the backend
+// is rebuilt through the cost-optimal planner before the index opens.
+// Followers tailing a primary never take this path: they apply records
+// incrementally through their own Replayer and stay open throughout.
 func replayInto(dir string, b Backend) (int, bool, error) {
 	segs, err := wal.Segments(dir)
 	if err != nil {
@@ -320,6 +335,11 @@ func replayInto(dir string, b Backend) (int, bool, error) {
 		return n, torn, err
 	}
 	r.Flush()
+	if rb, ok := b.(Rebuilder); ok {
+		if m := r.MergedKeys(); m >= rebuildMinMerged && 2*m >= b.Len() {
+			rb.Rebuild()
+		}
+	}
 	return n, torn, nil
 }
 

@@ -15,6 +15,7 @@ import (
 type AblationRow struct {
 	Param      string
 	Value      int
+	Label      string // non-empty overrides Value in the printed table (e.g. "cost")
 	Throughput float64
 	IndexBytes int
 	Leaves     int
@@ -57,17 +58,34 @@ func AblationInnerFanout(w io.Writer, o Options) []AblationRow {
 	o = o.withFloors()
 	all := datasets.GenLognormal(o.RWInit+o.Ops, o.Seed)
 	init, stream := all[:o.RWInit], all[o.RWInit:]
+	spec := workload.Spec{
+		Kind: workload.ReadHeavy, InitKeys: init, InsertStream: stream,
+		Ops: o.Ops, Seed: o.Seed + 22,
+	}
 	var rows []AblationRow
+	// The fixed-fanout series needs the heuristic load explicitly: the
+	// default cost-optimal builder plans its own fanouts and would make
+	// the sweep a no-op.
 	for _, fan := range []int{4, 8, 16, 32, 64, 128} {
-		cfg := core.Config{RMI: core.AdaptiveRMI, InnerFanout: fan, MaxKeysPerLeaf: 1024}
+		cfg := core.Config{RMI: core.AdaptiveRMI, InnerFanout: fan, MaxKeysPerLeaf: 1024, Load: core.HeuristicLoad}
 		at := buildALEX(init, cfg)
-		res := workload.Run(at, workload.Spec{
-			Kind: workload.ReadHeavy, InitKeys: init, InsertStream: stream,
-			Ops: o.Ops, Seed: o.Seed + 22,
-		})
+		res := workload.Run(at, spec)
 		st := at.Stats()
 		rows = append(rows, AblationRow{
 			Param: "InnerFanout", Value: fan,
+			Throughput: res.Throughput, IndexBytes: res.IndexBytes,
+			Leaves: st.NumLeaves, Height: st.Height,
+		})
+	}
+	// Cost-chosen series: the fanout-tree planner picks per-node fanouts
+	// from the cost model instead of one swept constant.
+	{
+		cfg := core.Config{RMI: core.AdaptiveRMI, MaxKeysPerLeaf: 1024, Load: core.CostOptimalLoad}
+		at := buildALEX(init, cfg)
+		res := workload.Run(at, spec)
+		st := at.Stats()
+		rows = append(rows, AblationRow{
+			Param: "InnerFanout", Label: "cost",
 			Throughput: res.Throughput, IndexBytes: res.IndexBytes,
 			Leaves: st.NumLeaves, Height: st.Height,
 		})
@@ -87,20 +105,39 @@ func AblationSplitFanout(w io.Writer, o Options) []AblationRow {
 	datasets.Shuffle(initHalf, o.Seed+1)
 	datasets.Shuffle(insertHalf, o.Seed+2)
 
+	spec := workload.Spec{
+		Kind: workload.WriteHeavy, InitKeys: initHalf, InsertStream: insertHalf,
+		Ops: o.Ops, Seed: o.Seed + 23,
+	}
 	var rows []AblationRow
+	// Fixed midpoint splits need the heuristic mode explicitly — the
+	// default cost-optimal mode plans split points from the cost model.
 	for _, fan := range []int{2, 4, 8, 16} {
 		cfg := core.Config{
 			RMI: core.AdaptiveRMI, SplitOnInsert: true, SplitFanout: fan,
-			MaxKeysPerLeaf: 2048,
+			MaxKeysPerLeaf: 2048, Load: core.HeuristicLoad,
 		}
 		at := buildALEX(initHalf, cfg)
-		res := workload.Run(at, workload.Spec{
-			Kind: workload.WriteHeavy, InitKeys: initHalf, InsertStream: insertHalf,
-			Ops: o.Ops, Seed: o.Seed + 23,
-		})
+		res := workload.Run(at, spec)
 		st := at.Stats()
 		rows = append(rows, AblationRow{
 			Param: "SplitFanout", Value: fan,
+			Throughput: res.Throughput, IndexBytes: res.IndexBytes,
+			Leaves: st.NumLeaves, Height: st.Height,
+		})
+	}
+	// Cost-chosen series: splits pick their point and fanout (up to the
+	// default budget) by minimizing the children's modeled cost.
+	{
+		cfg := core.Config{
+			RMI: core.AdaptiveRMI, SplitOnInsert: true,
+			MaxKeysPerLeaf: 2048, Load: core.CostOptimalLoad,
+		}
+		at := buildALEX(initHalf, cfg)
+		res := workload.Run(at, spec)
+		st := at.Stats()
+		rows = append(rows, AblationRow{
+			Param: "SplitFanout", Label: "cost",
 			Throughput: res.Throughput, IndexBytes: res.IndexBytes,
 			Leaves: st.NumLeaves, Height: st.Height,
 		})
@@ -112,7 +149,11 @@ func AblationSplitFanout(w io.Writer, o Options) []AblationRow {
 func printAblation(w io.Writer, title string, rows []AblationRow) {
 	t := stats.NewTable("param", "value", "throughput", "index size", "leaves", "height")
 	for _, r := range rows {
-		t.AddRow(r.Param, fmt.Sprintf("%d", r.Value),
+		val := r.Label
+		if val == "" {
+			val = fmt.Sprintf("%d", r.Value)
+		}
+		t.AddRow(r.Param, val,
 			stats.FormatOps(r.Throughput), stats.FormatBytes(r.IndexBytes),
 			fmt.Sprintf("%d", r.Leaves), fmt.Sprintf("%d", r.Height))
 	}

@@ -291,7 +291,7 @@ func TestAblationLeafBound(t *testing.T) {
 func TestAblationInnerFanout(t *testing.T) {
 	var buf bytes.Buffer
 	rows := AblationInnerFanout(&buf, tiny())
-	if len(rows) != 6 {
+	if len(rows) != 7 { // 6 swept fanouts + the cost-chosen row
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {
@@ -299,19 +299,25 @@ func TestAblationInnerFanout(t *testing.T) {
 			t.Fatalf("bad row %+v", r)
 		}
 	}
+	if rows[len(rows)-1].Label != "cost" {
+		t.Fatalf("last row = %+v, want the cost-chosen series", rows[len(rows)-1])
+	}
 }
 
 func TestAblationSplitFanout(t *testing.T) {
 	var buf bytes.Buffer
 	rows := AblationSplitFanout(&buf, tiny())
-	if len(rows) != 4 {
+	if len(rows) != 5 { // 4 swept fanouts + the cost-chosen row
 		t.Fatalf("rows = %d", len(rows))
 	}
 	// Larger split fanout must produce at least as many leaves under the
-	// same shift workload.
-	if rows[len(rows)-1].Leaves < rows[0].Leaves {
+	// same shift workload (comparing within the swept series).
+	if rows[3].Leaves < rows[0].Leaves {
 		t.Fatalf("fanout 16 leaves %d < fanout 2 leaves %d",
-			rows[len(rows)-1].Leaves, rows[0].Leaves)
+			rows[3].Leaves, rows[0].Leaves)
+	}
+	if rows[len(rows)-1].Label != "cost" {
+		t.Fatalf("last row = %+v, want the cost-chosen series", rows[len(rows)-1])
 	}
 }
 

@@ -117,6 +117,11 @@ type Config struct {
 	// PayloadBytes is the payload size used in data-size accounting
 	// (8 for most datasets, 80 for YCSB). Default 8.
 	PayloadBytes int
+	// Load selects how adaptive-RMI structure is chosen: the zero
+	// value CostOptimalLoad plans bulk loads, rebuilds and splits with
+	// the §4 cost-model fanout tree; HeuristicLoad keeps the fixed
+	// fanout heuristics. Ignored by StaticRMI.
+	Load LoadMode
 }
 
 func (c Config) withDefaults() Config {
@@ -401,14 +406,40 @@ func BulkLoad(keys []float64, payloads []uint64, cfg Config) (*Tree, error) {
 	return bulkLoadSorted(sortedK, sortedP, cfg), nil
 }
 
-// SortPairs copies keys (with their payloads riding along) into sorted
+// SortPairs returns keys (with their payloads riding along) in sorted
 // order and validates the bulk-load contract: keys unique and finite.
 // payloads may be nil, in which case zero payloads are returned. Every
 // entry point that accepts unsorted user keys shares this one
 // implementation of the acceptance rules.
+//
+// Already-sorted input — the common case for bulk loads from scans,
+// merge batches, and replay coalescing — is detected with one O(n)
+// pass and returned as-is, skipping the index sort and the permutation
+// copy: a strict ascent proves both order and uniqueness (and NaN,
+// which fails every comparison, falls through to the slow path), so
+// only finiteness still needs checking. Callers must therefore not
+// assume the returned slices are fresh copies.
 func SortPairs(keys []float64, payloads []uint64) ([]float64, []uint64, error) {
 	if payloads != nil && len(payloads) != len(keys) {
 		return nil, nil, errors.New("core: len(payloads) != len(keys)")
+	}
+	sorted := true
+	for i := 1; i < len(keys); i++ {
+		if !(keys[i] > keys[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		for _, k := range keys {
+			if math.IsNaN(k) || math.IsInf(k, 0) {
+				return nil, nil, fmt.Errorf("core: non-finite key %v", k)
+			}
+		}
+		if payloads == nil {
+			payloads = make([]uint64, len(keys))
+		}
+		return keys, payloads, nil
 	}
 	idx := make([]int, len(keys))
 	for i := range idx {
@@ -456,10 +487,13 @@ func bulkLoadSorted(keys []float64, payloads []uint64, cfg Config) *Tree {
 		return t
 	}
 	t.count = len(keys)
-	if cfg.RMI == StaticRMI {
+	switch {
+	case cfg.RMI == StaticRMI:
 		t.root.Store(t.buildStatic(keys, payloads))
-	} else {
+	case cfg.Load == HeuristicLoad:
 		t.root.Store(t.buildAdaptive(keys, payloads, 0))
+	default:
+		t.root.Store(t.buildCostOptimal(keys, payloads))
 	}
 	t.linkLeaves()
 	return t
@@ -610,12 +644,19 @@ func boundaries(keys []float64, model linmodel.Model, p int) ([]int, int) {
 	return bounds, nonEmpty
 }
 
-// linkLeaves rebuilds the sibling chain by an in-order walk, deduplicating
-// repeated child pointers. Only used at build time, before the tree is
-// shared.
+// linkLeaves rebuilds the sibling chain by an in-order walk. Only used
+// at build time, before the tree is shared.
 func (t *Tree) linkLeaves() {
+	head, _ := linkChain(t.root.Load())
+	t.head.Store(head)
+}
+
+// linkChain links the subtree's leaves among themselves by an in-order
+// walk, deduplicating repeated child pointers, and returns the
+// leftmost and rightmost leaf. The links are internal to the subtree —
+// safe to set before the subtree is published.
+func linkChain(root *node) (head, tail *node) {
 	var prev *node
-	t.head.Store(nil)
 	var walk func(c *node)
 	walk = func(c *node) {
 		if !c.isLeaf() {
@@ -638,11 +679,12 @@ func (t *Tree) linkLeaves() {
 		if prev != nil {
 			prev.next.Store(c)
 		} else {
-			t.head.Store(c)
+			head = c
 		}
 		prev = c
 	}
-	walk(t.root.Load())
+	walk(root)
+	return head, prev
 }
 
 // traverse returns the leaf responsible for key and its immediate parent
@@ -747,53 +789,57 @@ func (t *Tree) costCheck(leaf, parent *node) {
 	t.costRetrains++
 }
 
-// splitLeaf implements node splitting on inserts (§3.4.2): the leaf's
-// model becomes an inner node with SplitFanout children; the data is
-// distributed to the children by that model; sibling links are spliced.
-// Returns false when the leaf's keys cannot be partitioned (all keys in
+// splitLeaf implements node splitting on inserts (§3.4.2): the leaf
+// becomes an inner subtree whose structure is chosen by the configured
+// LoadMode — the fanout-tree planner minimizing the children's modeled
+// cost under CostOptimalLoad (falling back to the heuristic when the
+// planner cannot partition), a flat SplitFanout partition of the
+// leaf's model under HeuristicLoad; sibling links are spliced. Returns
+// false when the leaf's keys cannot be partitioned at all (all keys in
 // one partition), in which case the leaf is left in place to expand.
 //
-// The replacement subtree — inner node, children, their data arrays,
-// their internal sibling links — is built completely off to the side;
-// publication is the final child-slot stores (or the root store). A
-// lock-free reader therefore sees either the old leaf, still intact
-// with all its data, or the finished subtree. The old leaf's own
-// next/prev are deliberately left pointing into the chain, so a scan
-// paused on it still terminates correctly; the seqlock validation
+// The replacement subtree — inner node(s), children, their data
+// arrays, their internal sibling links — is built completely off to
+// the side; publication is the final child-slot stores (or the root
+// store). A lock-free reader therefore sees either the old leaf, still
+// intact with all its data, or the finished subtree. The old leaf's
+// own next/prev are deliberately left pointing into the chain, so a
+// scan paused on it still terminates correctly; the seqlock validation
 // rejects its result.
 func (t *Tree) splitLeaf(leaf, parent *node) bool {
 	keys, payloads := leaf.data().Collect(nil, nil)
-	s := t.cfg.SplitFanout
-	model, bounds, nonEmpty := partition(keys, s)
-	if nonEmpty <= 1 {
-		return false
-	}
-	inner := newInner(model, s)
-	leaves := make([]*node, 0, s)
-	var last *node
-	for p := 0; p < s; p++ {
-		lo, hi := bounds[p], bounds[p+1]
-		if last != nil && lo == hi {
-			// Empty partition: share the preceding leaf rather than
-			// materialize an empty node in the middle of the chain.
-			inner.children[p].Store(last)
-			continue
+	var sub *node
+	if t.cfg.Load != HeuristicLoad {
+		if pl := t.planParams().NewSplitPlan(keys, t.cfg.SplitFanout); pl != nil {
+			sub = t.buildFromPlan(keys, payloads, pl, 0)
 		}
-		nl := t.newLeaf(keys[lo:hi], payloads[lo:hi])
-		inner.children[p].Store(nl)
-		leaves = append(leaves, nl)
-		last = nl
+	}
+	if sub == nil {
+		s := t.cfg.SplitFanout
+		model, bounds, nonEmpty := partition(keys, s)
+		if nonEmpty <= 1 {
+			return false
+		}
+		inner := newInner(model, s)
+		var last *node
+		for p := 0; p < s; p++ {
+			lo, hi := bounds[p], bounds[p+1]
+			if last != nil && lo == hi {
+				// Empty partition: share the preceding leaf rather than
+				// materialize an empty node in the middle of the chain.
+				inner.children[p].Store(last)
+				continue
+			}
+			nl := t.newLeaf(keys[lo:hi], payloads[lo:hi])
+			inner.children[p].Store(nl)
+			last = nl
+		}
+		sub = inner
 	}
 	// Link the new leaves among themselves, then splice them into the
 	// sibling chain. The chain stores are individually atomic; every
 	// intermediate state keeps both directions acyclic and terminating.
-	for i, nl := range leaves {
-		if i > 0 {
-			leaves[i-1].next.Store(nl)
-			nl.prev.Store(leaves[i-1])
-		}
-	}
-	first, lastNew := leaves[0], leaves[len(leaves)-1]
+	first, lastNew := linkChain(sub)
 	prev, next := leaf.prev.Load(), leaf.next.Load()
 	first.prev.Store(prev)
 	lastNew.next.Store(next)
@@ -809,11 +855,11 @@ func (t *Tree) splitLeaf(leaf, parent *node) bool {
 	// may hold several copies), or the root. Each store atomically
 	// reroutes one slot from the old leaf to the new subtree.
 	if parent == nil {
-		t.root.Store(inner)
+		t.root.Store(sub)
 	} else {
 		for i := range parent.children {
 			if parent.children[i].Load() == leaf {
-				parent.children[i].Store(inner)
+				parent.children[i].Store(sub)
 			}
 		}
 	}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// fuzzDist generates n sorted unique finite keys for one adversarial
+// distribution family.
+type fuzzDist struct {
+	name string
+	gen  func(n int, seed int64) []float64
+}
+
+func uniqueSorted(n int, seed int64, draw func(*rand.Rand) float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := draw(rng)
+		if math.IsNaN(k) || math.IsInf(k, 0) || seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+var fuzzDists = []fuzzDist{
+	{"uniform", func(n int, seed int64) []float64 {
+		return uniqueSorted(n, seed, func(r *rand.Rand) float64 { return r.Float64() * 1e6 })
+	}},
+	{"lognormal", func(n int, seed int64) []float64 {
+		return uniqueSorted(n, seed, func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 3) })
+	}},
+	{"clustered", func(n int, seed int64) []float64 {
+		return uniqueSorted(n, seed, func(r *rand.Rand) float64 {
+			return float64(r.Intn(16))*1e10 + r.NormFloat64()
+		})
+	}},
+	{"sequential", func(n int, seed int64) []float64 {
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(i) * 3
+		}
+		return keys
+	}},
+	// Duplicate-free keys adjacent to ±MaxFloat64 and to zero: the
+	// magnitudes where model training cancels catastrophically and
+	// slot predictions overflow if unclamped.
+	{"extremes", genExtremes},
+}
+
+func genExtremes(n int, _ int64) []float64 {
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	hi := math.MaxFloat64
+	lo := -math.MaxFloat64
+	d := 5e-324
+	for len(keys) < n {
+		for _, k := range []float64{hi, lo, d, -d} {
+			if !seen[k] && len(keys) < n {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		hi = math.Nextafter(hi, 0)
+		lo = math.Nextafter(lo, 0)
+		d *= 1.5
+		if math.IsInf(d, 0) {
+			d = 7e-324
+		}
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// TestCostOptimalEquivalenceFuzz builds every layout over every
+// adversarial distribution with both the fanout-tree planner and the
+// heuristic builder, and requires identical key→payload contents and
+// clean invariants (CheckInvariants audits the exact post-build
+// ErrBound via each data node's own checks) from both.
+func TestCostOptimalEquivalenceFuzz(t *testing.T) {
+	layouts := []Layout{GappedArray, PackedMemoryArray}
+	for _, dist := range fuzzDists {
+		for _, layout := range layouts {
+			t.Run(dist.name+"/"+layout.String(), func(t *testing.T) {
+				keys := dist.gen(20000, 42)
+				payloads := make([]uint64, len(keys))
+				for i := range payloads {
+					payloads[i] = uint64(i) * 7
+				}
+				cfgOpt := Config{Layout: layout, MaxKeysPerLeaf: 512, Load: CostOptimalLoad}
+				cfgHeu := Config{Layout: layout, MaxKeysPerLeaf: 512, Load: HeuristicLoad}
+				opt := BulkLoadSorted(keys, payloads, cfgOpt)
+				heu := BulkLoadSorted(keys, payloads, cfgHeu)
+				if err := opt.CheckInvariants(); err != nil {
+					t.Fatalf("cost-optimal invariants: %v", err)
+				}
+				if err := heu.CheckInvariants(); err != nil {
+					t.Fatalf("heuristic invariants: %v", err)
+				}
+				requireSameContents(t, opt, heu)
+			})
+		}
+	}
+}
+
+// TestCostOptimalStaticRMIUnaffected: StaticRMI ignores LoadMode — both
+// settings build the identical static structure.
+func TestCostOptimalStaticRMIUnaffected(t *testing.T) {
+	keys := fuzzDists[0].gen(8000, 7)
+	a := BulkLoadSorted(keys, nil, Config{RMI: StaticRMI, Load: CostOptimalLoad})
+	b := BulkLoadSorted(keys, nil, Config{RMI: StaticRMI, Load: HeuristicLoad})
+	if ha, hb := a.Height(), b.Height(); ha != hb {
+		t.Fatalf("static RMI heights differ by load mode: %d vs %d", ha, hb)
+	}
+	requireSameContents(t, a, b)
+}
+
+// TestCostOptimalSplitEquivalence drives splits through an insert storm
+// in both modes; both trees must keep clean invariants and identical
+// contents.
+func TestCostOptimalSplitEquivalence(t *testing.T) {
+	for _, dist := range fuzzDists[:3] {
+		t.Run(dist.name, func(t *testing.T) {
+			all := dist.gen(24000, 99)
+			rng := rand.New(rand.NewSource(5))
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+			init, stream := all[:8000], all[8000:]
+			initK, initP, err := SortPairs(append([]float64(nil), init...), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(mode LoadMode) *Tree {
+				cfg := Config{MaxKeysPerLeaf: 256, SplitOnInsert: true, SplitFanout: 4, Load: mode}
+				tr := BulkLoadSorted(initK, initP, cfg)
+				for _, k := range stream {
+					tr.Insert(k, math.Float64bits(k))
+				}
+				return tr
+			}
+			opt, heu := mk(CostOptimalLoad), mk(HeuristicLoad)
+			if err := opt.CheckInvariants(); err != nil {
+				t.Fatalf("cost-optimal invariants after splits: %v", err)
+			}
+			if err := heu.CheckInvariants(); err != nil {
+				t.Fatalf("heuristic invariants after splits: %v", err)
+			}
+			requireSameContents(t, opt, heu)
+		})
+	}
+}
+
+// TestRebuildCostOptimal rebuilds a merge-grown tree through the
+// planner and checks contents, invariants, and that the old structure
+// is retired.
+func TestRebuildCostOptimal(t *testing.T) {
+	keys := fuzzDists[1].gen(30000, 3)
+	cfg := Config{MaxKeysPerLeaf: 512, Load: HeuristicLoad}
+	tr := BulkLoadSorted(keys[:1000], nil, cfg)
+	// Grow by merges, the shape recovery replay leaves behind.
+	for lo := 1000; lo < len(keys); lo += 4096 {
+		hi := lo + 4096
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		tr.Merge(keys[lo:hi], nil)
+	}
+	retired := 0
+	tr.SetRetireHook(func(any) { retired++ })
+	before, _ := chainCollect(tr)
+	tr.RebuildCostOptimal()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rebuild: %v", err)
+	}
+	after, _ := chainCollect(tr)
+	if len(before) != len(after) {
+		t.Fatalf("rebuild changed count: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rebuild changed key %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if retired == 0 {
+		t.Fatal("rebuild retired nothing")
+	}
+	// Rebuilding an empty tree must stay sane too.
+	empty := New(Config{})
+	empty.RebuildCostOptimal()
+	if err := empty.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after empty rebuild: %v", err)
+	}
+}
+
+// chainCollect walks the leaf chain directly, so keys beyond Scan's
+// -1e308 start (the ±MaxFloat64-adjacent extremes) are included.
+func chainCollect(tr *Tree) ([]float64, []uint64) {
+	var ks []float64
+	var ps []uint64
+	for l := tr.head.Load(); l != nil; l = l.next.Load() {
+		ks, ps = l.data().Collect(ks, ps)
+	}
+	return ks, ps
+}
+
+func requireSameContents(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	ak, ap := chainCollect(a)
+	bk, bp := chainCollect(b)
+	if len(ak) != len(bk) {
+		t.Fatalf("collected lengths differ: %d vs %d", len(ak), len(bk))
+	}
+	for i := range ak {
+		if ak[i] != bk[i] || ap[i] != bp[i] {
+			t.Fatalf("contents differ at %d: (%v,%d) vs (%v,%d)", i, ak[i], ap[i], bk[i], bp[i])
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/linmodel"
+)
+
+func sortedUnique(n int, gen func(*rand.Rand) float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		k := gen(rng)
+		if math.IsNaN(k) || math.IsInf(k, 0) || seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// refFit is the well-conditioned reference: a two-pass fit in the
+// segment-shifted domain (u = k - keys[lo]), where every quantity is
+// small. On far-offset data it is strictly better conditioned than
+// linmodel.TrainRange, whose global mean accumulates rounding at the
+// raw key magnitude.
+func refFit(keys []float64, lo, hi int) linmodel.Model {
+	n := hi - lo
+	off := keys[lo]
+	var meanU, meanR float64
+	for i := lo; i < hi; i++ {
+		meanU += keys[i] - off
+	}
+	fn := float64(n)
+	meanU /= fn
+	meanR = (fn - 1) / 2
+	var cov, varU float64
+	for i := lo; i < hi; i++ {
+		du := (keys[i] - off) - meanU
+		cov += du * (float64(i-lo) - meanR)
+		varU += du * du
+	}
+	if varU == 0 {
+		return linmodel.Model{Intercept: meanR}
+	}
+	slope := cov / varU
+	return linmodel.Model{Slope: slope, Intercept: meanR - slope*meanU - slope*off}
+}
+
+// The prefix-moment fit must agree with the well-conditioned reference
+// fit on arbitrary sub-segments, within float tolerance.
+func TestAccumulatorMatchesTrainRange(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 1e6 }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 4) }},
+		{"offset", func(r *rand.Rand) float64 { return 1e12 + r.Float64() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := sortedUnique(5000, tc.gen, 1)
+			acc := NewAccumulator(keys)
+			rng := rand.New(rand.NewSource(2))
+			for trial := 0; trial < 200; trial++ {
+				lo := rng.Intn(len(keys) - 2)
+				hi := lo + 2 + rng.Intn(len(keys)-lo-2)
+				got := acc.Model(lo, hi)
+				want := refFit(keys, lo, hi)
+				// Compare predictions at the segment ends. The
+				// tolerance scales with the rank range: the fits are
+				// evaluated in the raw key domain, where Slope*key +
+				// Intercept cancels at magnitude |Slope*key|, and the
+				// moment differences themselves carry conditioning
+				// error — half a percent of the rank range is far
+				// below what the cost terms can distinguish.
+				tol := 2 + 0.005*float64(hi-lo)
+				for _, k := range []float64{keys[lo], keys[hi-1]} {
+					g, w := got.Predict(k), want.Predict(k)
+					if d := math.Abs(g - w); d > tol {
+						t.Fatalf("segment [%d,%d) predict(%v): prefix fit %v, reference fit %v", lo, hi, k, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Stats must agree with residuals measured directly against the
+// segment model on small segments, and the strided-sampled estimates
+// on large segments must stay close to (and the max never above) the
+// exact values.
+func TestAccumulatorStats(t *testing.T) {
+	keys := sortedUnique(2000, func(r *rand.Rand) float64 { return r.NormFloat64() * 100 }, 3)
+	acc := NewAccumulator(keys)
+	exact := func(lo, hi int) (int, float64) {
+		m := acc.Model(lo, hi)
+		maxErr, sum := 0, 0.0
+		for i := lo; i < hi; i++ {
+			e := int(math.Floor(m.Predict(keys[i]))) - (i - lo)
+			if e < 0 {
+				e = -e
+			}
+			if e > maxErr {
+				maxErr = e
+			}
+			sum += float64(e)
+		}
+		return maxErr, sum / float64(hi-lo)
+	}
+
+	// Small segment (≤ statsMaxSamples): the pass is exhaustive.
+	lo, hi := 100, 340
+	st := acc.Stats(lo, hi)
+	maxErr, meanErr := exact(lo, hi)
+	if st.Count != hi-lo || st.MaxErr != maxErr {
+		t.Fatalf("Stats = %+v, want Count %d MaxErr %d", st, hi-lo, maxErr)
+	}
+	if math.Abs(st.MeanErr-meanErr) > 1e-9 {
+		t.Fatalf("MeanErr = %v, want %v", st.MeanErr, meanErr)
+	}
+
+	// Large segment: strided sampling. The sampled max is a lower bound
+	// on the exact max and the mean estimate stays in the ballpark.
+	lo, hi = 100, 1700
+	st = acc.Stats(lo, hi)
+	maxErr, meanErr = exact(lo, hi)
+	if st.Count != hi-lo {
+		t.Fatalf("Count = %d, want %d", st.Count, hi-lo)
+	}
+	if st.MaxErr > maxErr {
+		t.Fatalf("sampled MaxErr %d exceeds exact %d", st.MaxErr, maxErr)
+	}
+	if st.MaxErr < 0 {
+		t.Fatalf("sampled MaxErr = %d on a modeled segment", st.MaxErr)
+	}
+	if math.Abs(st.MeanErr-meanErr) > 0.5*meanErr+1 {
+		t.Fatalf("sampled MeanErr = %v too far from exact %v", st.MeanErr, meanErr)
+	}
+}
+
+// Cold segments (below the model threshold) report MaxErr -1 and a
+// binary-search cost.
+func TestColdSegment(t *testing.T) {
+	keys := []float64{1, 2, 3, 4, 5}
+	acc := NewAccumulator(keys)
+	st := acc.Stats(0, len(keys))
+	if st.MaxErr != -1 {
+		t.Fatalf("cold segment MaxErr = %d, want -1", st.MaxErr)
+	}
+	p := Params{}.WithDefaults()
+	if c := p.LeafCost(st); c <= 0 {
+		t.Fatalf("cold leaf cost = %v, want > 0", c)
+	}
+}
+
+// LeafCost must price larger errors higher, and must charge the
+// exponential-search rate once the bound leaves the bounded window.
+func TestLeafCostMonotone(t *testing.T) {
+	p := Params{}.WithDefaults()
+	prev := 0.0
+	for _, e := range []float64{0, 1, 4, 9, 40, 400, 4000} {
+		c := p.LeafCost(SegStats{Count: 1000, MaxErr: int(e), MeanErr: e / 2})
+		if c <= prev {
+			t.Fatalf("LeafCost not increasing at err %v: %v <= %v", e, c, prev)
+		}
+		prev = c
+	}
+}
+
+// checkPlan verifies structural sanity: leaves tile [0, n) exactly in
+// order, children arrays are powers of two, and repeated child
+// pointers are only ever adjacent.
+func checkPlan(t *testing.T, pl *Plan, lo, hi int) {
+	t.Helper()
+	if pl.Children == nil {
+		if pl.Lo != lo || pl.Hi != hi {
+			t.Fatalf("leaf covers [%d,%d), want [%d,%d)", pl.Lo, pl.Hi, lo, hi)
+		}
+		return
+	}
+	if f := len(pl.Children); f&(f-1) != 0 || f < 2 {
+		t.Fatalf("fanout %d is not a power of two >= 2", f)
+	}
+	seen := map[*Plan]bool{}
+	var last *Plan
+	at := lo
+	for i, c := range pl.Children {
+		if c == nil {
+			t.Fatalf("nil child at slot %d", i)
+		}
+		if c == last {
+			continue
+		}
+		if seen[c] {
+			t.Fatalf("non-adjacent repeated child at slot %d", i)
+		}
+		seen[c] = true
+		last = c
+		checkPlan(t, c, at, c.Hi)
+		at = c.Hi
+	}
+	if at != hi {
+		t.Fatalf("children cover up to %d, want %d", at, hi)
+	}
+}
+
+func TestNewPlanTilesKeySpace(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 2) }},
+		{"clustered", func(r *rand.Rand) float64 {
+			return float64(r.Intn(8))*1e9 + r.Float64()
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := sortedUnique(60000, tc.gen, 7)
+			p := Params{MaxKeysPerLeaf: 1024}
+			pl := p.NewPlan(keys)
+			checkPlan(t, pl, 0, len(keys))
+			if pl.Children == nil {
+				t.Fatal("60k keys with 1k-leaf bound planned as a single leaf")
+			}
+		})
+	}
+}
+
+func TestNewPlanSmallInput(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 15, 16, 17} {
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(i)
+		}
+		pl := Params{}.NewPlan(keys)
+		checkPlan(t, pl, 0, n)
+	}
+}
+
+// A split plan must divide the data or admit it can't (nil).
+func TestNewSplitPlanDivides(t *testing.T) {
+	keys := sortedUnique(4096, func(r *rand.Rand) float64 { return r.NormFloat64() }, 11)
+	pl := Params{MaxKeysPerLeaf: 4096}.NewSplitPlan(keys, 4)
+	if pl == nil {
+		t.Fatal("split plan nil for a splittable node")
+	}
+	checkPlan(t, pl, 0, len(keys))
+	distinct := 0
+	var last *Plan
+	for _, c := range pl.Children {
+		if c == last {
+			continue
+		}
+		last = c
+		if c.Hi > c.Lo {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatalf("split plan has %d non-empty children, want >= 2", distinct)
+	}
+	if pl2 := (Params{}).NewSplitPlan([]float64{42}, 4); pl2 != nil {
+		t.Fatalf("split plan for a single key = %+v, want nil", pl2)
+	}
+}
+
+// Adversarial magnitudes: keys adjacent to ±MaxFloat64 and denormals
+// must plan without panics and tile correctly.
+func TestNewPlanExtremeMagnitudes(t *testing.T) {
+	var keys []float64
+	k := math.MaxFloat64
+	for i := 0; i < 300; i++ {
+		keys = append(keys, -k, k)
+		k = math.Nextafter(k, 0)
+	}
+	d := 5e-324
+	for i := 0; i < 300; i++ {
+		keys = append(keys, d)
+		d *= 2
+	}
+	sort.Float64s(keys)
+	pl := Params{MaxKeysPerLeaf: 64}.NewPlan(keys)
+	checkPlan(t, pl, 0, len(keys))
+}

@@ -1,0 +1,338 @@
+package costmodel
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/linmodel"
+)
+
+// Plan is one node of a cost-optimal build plan over a sorted key
+// slice. A nil Children marks a data-node plan over keys[Lo:Hi); a
+// non-nil Children is an inner node routing through Model, scaled so
+// floor(Model.Predict(key)) clamped into [0, len(Children)) is the
+// child slot. Adjacent slots may repeat the same *Plan pointer — the
+// planner's merged undersized partitions — mirroring the repeated
+// child-pointer convention of the tree itself.
+type Plan struct {
+	// Lo and Hi delimit the half-open segment of the planned key slice
+	// this node covers.
+	Lo, Hi int
+	// Model is the routing model for inner plans (zero for leaves), in
+	// the original key domain, scaled to len(Children) slots.
+	Model linmodel.Model
+	// Children holds the power-of-two child slots; nil for a leaf.
+	Children []*Plan
+	// Cost is the modeled expected cost per stored key of operations on
+	// this subtree, excluding the traverse into it.
+	Cost float64
+	// LeafErr is the estimated post-build slot-domain prediction-error
+	// bound of a leaf plan (-1 for cold leaves and inner plans).
+	LeafErr int
+}
+
+// Leaves appends the distinct leaf plans of the subtree in key order.
+func (pl *Plan) Leaves(dst []*Plan) []*Plan {
+	if pl.Children == nil {
+		return append(dst, pl)
+	}
+	var last *Plan
+	for _, c := range pl.Children {
+		if c == last {
+			continue
+		}
+		last = c
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// maxPlanDepth caps plan recursion against degenerate data, matching
+// the tree builder's own recursion cap.
+const maxPlanDepth = 48
+
+// DP cell choices.
+const (
+	choiceLeaf    uint8 = iota // serve the region with one data node
+	choiceSplit                // split into the two halves one level down
+	choiceRecurse              // region still oversized at max fanout: fresh child node
+)
+
+// cell is one region of the per-node dynamic program.
+type cell struct {
+	cost   float64 // total modeled cost over the region's keys
+	choice uint8
+	err    int   // estimated leaf error bound (choiceLeaf)
+	child  *Plan // recursed plan (choiceRecurse)
+}
+
+// NewPlan builds the cost-optimal fanout-tree plan for the sorted
+// unique keys: per node it trains one partition model, evaluates the
+// power-of-two fanout candidates by halving its range, merges adjacent
+// undersized partitions when the merged data node is modeled cheaper,
+// and recurses into regions still oversized at the fanout budget. The
+// returned plan's Lo/Hi index the given slice.
+func (p Params) NewPlan(keys []float64) *Plan {
+	p = p.WithDefaults()
+	return p.plan(NewAccumulator(keys), 0, len(keys), 0, 0)
+}
+
+// NewSplitPlan plans the replacement subtree for a splitting data node:
+// like NewPlan but the root must partition (a single-leaf answer
+// returns nil, meaning the node cannot usefully split) and the root
+// fanout is capped at the next power of two >= maxFanout. Lo/Hi of the
+// returned plan index the given slice.
+func (p Params) NewSplitPlan(keys []float64, maxFanout int) *Plan {
+	p = p.WithDefaults()
+	if maxFanout < 2 {
+		maxFanout = 2
+	}
+	p.MaxFanout = 1 << ceilLog2(maxFanout)
+	pl := p.plan(NewAccumulator(keys), 0, len(keys), 0, ceilLog2(p.MaxFanout))
+	if pl == nil || pl.Children == nil {
+		return nil
+	}
+	// A split must actually divide the data: a plan whose slots all
+	// collapse onto one non-empty child would re-create the unsplit
+	// leaf under a useless inner node (and let the caller loop).
+	distinct := 0
+	var last *Plan
+	for _, c := range pl.Children {
+		if c == last {
+			continue
+		}
+		last = c
+		if c.Hi > c.Lo {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		return nil
+	}
+	return pl
+}
+
+// plan builds the plan for acc.keys[lo:hi). forcedLevels > 0 pins the
+// fanout-tree depth and forbids the whole-node leaf answer (the split
+// path); it returns nil only in that mode, when the segment cannot be
+// partitioned at all.
+func (p Params) plan(acc *Accumulator, lo, hi, depth, forcedLevels int) *Plan {
+	n := hi - lo
+	force := forcedLevels > 0
+	if !force && (n <= p.MinLeafKeys || depth >= maxPlanDepth) {
+		return p.leafPlan(acc, lo, hi)
+	}
+
+	// One model per node; candidates are its power-of-two halvings.
+	m0 := acc.Model(lo, hi)
+	if !usable(m0) {
+		m0 = linmodel.TrainEndpoints(acc.keys, lo, hi)
+	}
+	if !usable(m0) {
+		if force {
+			return nil
+		}
+		return p.leafPlan(acc, lo, hi)
+	}
+
+	ld := forcedLevels
+	if ld == 0 {
+		// Deep enough that expected regions fit a leaf, plus headroom
+		// for refinement; never deeper than average MinLeafKeys regions
+		// and never past the fanout budget.
+		ld = ceilLog2((n+p.MaxKeysPerLeaf-1)/p.MaxKeysPerLeaf) + 3
+		if m := ceilLog2(p.MaxFanout); ld > m {
+			ld = m
+		}
+		if m := ceilLog2(maxInt(2, n/p.MinLeafKeys)); ld > m {
+			ld = m
+		}
+		if ld < 1 {
+			ld = 1
+		}
+	}
+	deepFan := 1 << ld
+	md := m0.Scale(float64(deepFan) / float64(n))
+	bounds, nonEmpty := regionBounds(acc.keys, md, lo, hi, deepFan)
+	if nonEmpty <= 1 {
+		if force {
+			return nil
+		}
+		return p.leafPlan(acc, lo, hi)
+	}
+
+	// Bottom-up DP over the fanout-tree levels. The deepest level
+	// resolves oversized regions by recursing into fresh child plans;
+	// every level above may merge two half-regions back into one data
+	// node when the merged cost is lower.
+	levels := make([][]cell, ld+1)
+	deep := make([]cell, deepFan)
+	for j := range deep {
+		sLo, sHi := bounds[j], bounds[j+1]
+		cnt := sHi - sLo
+		switch {
+		case cnt == 0:
+			deep[j] = cell{choice: choiceLeaf, err: -1}
+		case cnt <= p.MaxKeysPerLeaf:
+			st := acc.Stats(sLo, sHi)
+			deep[j] = cell{cost: float64(cnt) * p.LeafCost(st), choice: choiceLeaf, err: p.slotErr(st)}
+		default:
+			child := p.plan(acc, sLo, sHi, depth+1, 0)
+			deep[j] = cell{cost: float64(cnt) * (p.TraverseCost + child.Cost), choice: choiceRecurse, child: child}
+		}
+	}
+	levels[ld] = deep
+	for l := ld - 1; l >= 0; l-- {
+		step := 1 << (ld - l)
+		row := make([]cell, 1<<l)
+		for j := range row {
+			sLo, sHi := bounds[j*step], bounds[(j+1)*step]
+			cnt := sHi - sLo
+			left, right := levels[l+1][2*j], levels[l+1][2*j+1]
+			row[j] = cell{cost: left.cost + right.cost + float64(cnt)*p.FanoutPenalty, choice: choiceSplit}
+			if cnt <= p.MaxKeysPerLeaf && !(l == 0 && force) {
+				st := acc.Stats(sLo, sHi)
+				if lc := float64(cnt) * p.LeafCost(st); lc <= row[j].cost {
+					row[j] = cell{cost: lc, choice: choiceLeaf, err: p.slotErr(st)}
+				}
+			}
+		}
+		levels[l] = row
+	}
+
+	if levels[0][0].choice == choiceLeaf {
+		root := levels[0][0]
+		return &Plan{Lo: lo, Hi: hi, Cost: root.cost / float64(n), LeafErr: root.err}
+	}
+	return p.materialize(acc, lo, hi, levels, bounds, md)
+}
+
+// frontierCell is one chosen (level, index) region of the DP solution.
+type frontierCell struct {
+	level, idx int
+}
+
+// materialize turns the DP solution into a Plan node: the frontier of
+// non-split cells becomes the children, placed at fanout 2^(deepest
+// frontier level) with shallower cells repeated across their slot
+// ranges, and empty regions sharing a neighboring child.
+func (p Params) materialize(acc *Accumulator, lo, hi int, levels [][]cell, bounds []int, md linmodel.Model) *Plan {
+	ld := len(levels) - 1
+	var frontier []frontierCell
+	maxLevel := 0
+	var walk func(l, j int)
+	walk = func(l, j int) {
+		if levels[l][j].choice == choiceSplit {
+			walk(l+1, 2*j)
+			walk(l+1, 2*j+1)
+			return
+		}
+		frontier = append(frontier, frontierCell{l, j})
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	walk(0, 0)
+
+	fan := 1 << maxLevel
+	// Scaling by a power of two is exact, so the published model's
+	// predictions are the deep model's divided by 2^(ld-maxLevel)
+	// bit-for-bit — routing at the final fanout lands every key in the
+	// deep region group it was planned into.
+	mf := md.Scale(1 / float64(int(1)<<(ld-maxLevel)))
+	children := make([]*Plan, fan)
+	var last *Plan
+	pending := 0 // leading empty slots awaiting the first real child
+	for _, fc := range frontier {
+		slotLo := fc.idx << (maxLevel - fc.level)
+		slotHi := (fc.idx + 1) << (maxLevel - fc.level)
+		segLo, segHi := bounds[fc.idx<<(ld-fc.level)], bounds[(fc.idx+1)<<(ld-fc.level)]
+		c := levels[fc.level][fc.idx]
+		var child *Plan
+		switch {
+		case segHi == segLo:
+			if last == nil {
+				pending = slotHi // backfilled by the first real child
+				continue
+			}
+			child = last // empty region: share the preceding child
+		case c.choice == choiceRecurse:
+			child = c.child
+		default:
+			child = &Plan{Lo: segLo, Hi: segHi, Cost: c.cost / float64(segHi-segLo), LeafErr: c.err}
+		}
+		for s := slotLo; s < slotHi; s++ {
+			children[s] = child
+		}
+		if last == nil {
+			for s := 0; s < pending; s++ {
+				children[s] = child
+			}
+		}
+		last = child
+	}
+
+	total := levels[0][0].cost
+	return &Plan{Lo: lo, Hi: hi, Model: mf, Children: children, Cost: total / float64(hi-lo)}
+}
+
+// leafPlan prices serving keys[lo:hi) with a single data node.
+func (p Params) leafPlan(acc *Accumulator, lo, hi int) *Plan {
+	st := acc.Stats(lo, hi)
+	return &Plan{Lo: lo, Hi: hi, Cost: p.LeafCost(st), LeafErr: p.slotErr(st)}
+}
+
+// slotErr translates a rank-domain residual bound into the slot domain
+// the built leaf's ErrBound lives in; -1 stays -1 (cold).
+func (p Params) slotErr(st SegStats) int {
+	if st.MaxErr < 0 {
+		return -1
+	}
+	return int(math.Ceil(float64(st.MaxErr) / p.Density))
+}
+
+// regionBounds computes the deep-level region boundaries for a monotone
+// model scaled to fan regions: bounds[i]-lo is the first segment index
+// whose prediction is >= i, exactly the routing rule of the built node.
+func regionBounds(keys []float64, m linmodel.Model, lo, hi, fan int) ([]int, int) {
+	n := hi - lo
+	bounds := make([]int, fan+1)
+	bounds[0] = lo
+	bounds[fan] = hi
+	for i := 1; i < fan; i++ {
+		target := float64(i)
+		bounds[i] = lo + sort.Search(n, func(j int) bool { return m.Predict(keys[lo+j]) >= target })
+	}
+	nonEmpty := 0
+	for i := 0; i < fan; i++ {
+		if bounds[i+1] < bounds[i] { // pathological slope: clamp
+			bounds[i+1] = bounds[i]
+		}
+		if bounds[i+1] > bounds[i] {
+			nonEmpty++
+		}
+	}
+	return bounds, nonEmpty
+}
+
+// usable reports whether a model can partition monotonically.
+func usable(m linmodel.Model) bool {
+	return m.Slope > 0 && !math.IsInf(m.Slope, 0) && !math.IsNaN(m.Slope) && !math.IsNaN(m.Intercept) && !math.IsInf(m.Intercept, 0)
+}
+
+// ceilLog2 returns ceil(log2(v)) for v >= 1.
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len(uint(v - 1))
+}
+
+// maxInt returns the larger of a and b.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

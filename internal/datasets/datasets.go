@@ -34,6 +34,15 @@ const (
 	YCSB       Name = "ycsb"
 )
 
+// LongitudesDrifted is a longitudes variant whose local density drifts
+// across the key space: the western hemisphere keeps the smooth cluster
+// mixture, while eastward the mass concentrates into progressively
+// sharper spikes. One fixed fanout cannot serve both regimes — the
+// smooth half wants few large well-modeled leaves while the spiky half
+// wants deep subdivision — making it the stress dataset for
+// cost-optimal (adaptive-fanout) bulk loading. Not part of Table 1.
+const LongitudesDrifted Name = "longitudes-drifted"
+
 // All lists the datasets in the paper's column order.
 var All = []Name{Longitudes, LongLat, Lognormal, YCSB}
 
@@ -49,7 +58,7 @@ func (n Name) PayloadBytes() int {
 // KeyType returns the paper's key type description for the dataset.
 func (n Name) KeyType() string {
 	switch n {
-	case Longitudes, LongLat:
+	case Longitudes, LongLat, LongitudesDrifted:
 		return "double"
 	default:
 		return "64-bit int"
@@ -69,6 +78,8 @@ func Generate(name Name, n int, seed int64) []float64 {
 		return GenLognormal(n, seed)
 	case YCSB:
 		return GenYCSB(n, seed)
+	case LongitudesDrifted:
+		return GenLongitudesDrifted(n, seed)
 	default:
 		panic(fmt.Sprintf("datasets: unknown dataset %q", name))
 	}
@@ -141,6 +152,48 @@ func GenLongitudes(n int, seed int64) []float64 {
 	keys := make([]float64, 0, n)
 	for len(keys) < n {
 		k := sampleLongitude(rng, clusters, total)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// GenLongitudesDrifted synthesizes the drifted-longitudes dataset (see
+// LongitudesDrifted): 55% of the mass is the smooth cluster mixture,
+// 45% is drawn from spike clusters marching eastward across [0, 170]
+// with geometrically shrinking spread, so local key density spans
+// several orders of magnitude within one dataset.
+func GenLongitudesDrifted(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	clusters := worldClusters(rng)
+	var total float64
+	for _, c := range clusters {
+		total += c.weight
+	}
+	// Spikes sharpen eastward: the same key mass lands in an
+	// exponentially narrower longitude band each step.
+	const spikes = 12
+	centers := make([]float64, spikes)
+	sigmas := make([]float64, spikes)
+	for i := range centers {
+		centers[i] = float64(i)*170/spikes + rng.NormFloat64()
+		sigmas[i] = 4 * math.Pow(0.45, float64(i))
+	}
+	seen := make(map[float64]bool, n)
+	keys := make([]float64, 0, n)
+	for len(keys) < n {
+		var k float64
+		if rng.Float64() < 0.55 {
+			k = sampleLongitude(rng, clusters, total)
+		} else {
+			i := rng.Intn(spikes)
+			k = centers[i] + rng.NormFloat64()*sigmas[i]
+			if k < -180 || k > 180 {
+				continue
+			}
+		}
 		if !seen[k] {
 			seen[k] = true
 			keys = append(keys, k)

@@ -1,0 +1,162 @@
+package alex_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	alex "repro"
+)
+
+// rebuildBackend abstracts the two concurrent wrappers for the shared
+// stress body.
+type rebuildBackend interface {
+	Get(key float64) (uint64, bool)
+	GetBatchInto(keys []float64, payloads []uint64, found []bool)
+	ScanNInto(start float64, max int, keys []float64, payloads []uint64) ([]float64, []uint64)
+	Insert(key float64, payload uint64) bool
+	Rebuild()
+	Len() int
+	CheckInvariants() error
+}
+
+// TestRebuildUnderConcurrentReads hammers a wrapper with lock-free
+// readers and a point writer while the main goroutine repeatedly
+// rebuilds the whole structure through the cost-optimal planner. Every
+// loaded key must stay visible through every rebuild, and the final
+// tree must hold clean invariants. Run under -race this also checks the
+// rebuild publishes its new root with the same discipline splits use.
+func TestRebuildUnderConcurrentReads(t *testing.T) {
+	const n = 50000
+	keys := make([]float64, n)
+	pays := make([]uint64, n)
+	for i := range keys {
+		keys[i] = float64(i) * 1.25
+		pays[i] = uint64(i)
+	}
+	sIdx, err := alex.LoadSync(keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shIdx, err := alex.LoadSharded(4, keys, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		b    rebuildBackend
+	}{
+		{"Sync", sIdx},
+		{"Sharded", shIdx},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					kb := make([]float64, 64)
+					pb := make([]uint64, 64)
+					fb := make([]bool, 64)
+					for !stop.Load() {
+						i := rng.Intn(n)
+						if v, ok := tc.b.Get(keys[i]); !ok || v != pays[i] {
+							t.Errorf("Get(%v) = %d,%v during rebuild; want %d,true", keys[i], v, ok, pays[i])
+							return
+						}
+						at := rng.Intn(n - 64)
+						copy(kb, keys[at:at+64])
+						tc.b.GetBatchInto(kb, pb, fb)
+						for j, ok := range fb {
+							if !ok || pb[j] != pays[at+j] {
+								t.Errorf("GetBatch(%v) = %d,%v during rebuild; want %d,true", kb[j], pb[j], ok, pays[at+j])
+								return
+							}
+						}
+						kb2, _ := tc.b.ScanNInto(keys[rng.Intn(n)], 32, nil, nil)
+						for j := 1; j < len(kb2); j++ {
+							if kb2[j] <= kb2[j-1] {
+								t.Errorf("ScanN out of order during rebuild: %v", kb2)
+								return
+							}
+						}
+					}
+				}(int64(g))
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(99))
+				for i := 0; !stop.Load(); i++ {
+					tc.b.Insert(float64(n)*1.25+float64(i)+rng.Float64()/2, uint64(i))
+				}
+			}()
+			for r := 0; r < 5; r++ {
+				tc.b.Rebuild()
+			}
+			stop.Store(true)
+			wg.Wait()
+			if err := tc.b.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after concurrent rebuilds: %v", err)
+			}
+			if got := tc.b.Len(); got < n {
+				t.Fatalf("Len = %d after rebuilds, want >= %d", got, n)
+			}
+		})
+	}
+}
+
+// TestDurableRecoveryRebuild replays a WAL tail large enough to trip
+// the recovery rebuild threshold (>= 1<<16 merged keys, more than half
+// the recovered contents) and verifies the rebuilt index serves exactly
+// the acknowledged state.
+func TestDurableRecoveryRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []alex.DurableOption
+	}{
+		{"Sharded", []alex.DurableOption{alex.WithCheckpointEvery(0), alex.WithDurableShards(4)}},
+		{"Sync", []alex.DurableOption{alex.WithCheckpointEvery(0), alex.WithSyncBackend()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := openDurable(t, dir, tc.opts...)
+			const n = 1<<16 + 1024
+			keys := make([]float64, 0, 4096)
+			pays := make([]uint64, 0, 4096)
+			for i := 0; i < n; i++ {
+				keys = append(keys, float64(i)*1.5)
+				pays = append(pays, uint64(i))
+				if len(keys) == 4096 {
+					d.InsertBatch(keys, pays)
+					keys, pays = keys[:0], pays[:0]
+				}
+			}
+			if len(keys) > 0 {
+				d.InsertBatch(keys, pays)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re := openDurable(t, dir, tc.opts...)
+			defer re.Close()
+			if got := re.Len(); got != n {
+				t.Fatalf("Len after recovery rebuild = %d, want %d", got, n)
+			}
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 2000; i++ {
+				j := rng.Intn(n)
+				if v, ok := re.Get(float64(j) * 1.5); !ok || v != uint64(j) {
+					t.Fatalf("Get(%v) = %d,%v after recovery rebuild; want %d,true", float64(j)*1.5, v, ok, j)
+				}
+			}
+			if err := re.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -28,6 +28,11 @@ type Replayer struct {
 	kind OpKind // 0 = nothing buffered
 	keys []float64
 	pays []uint64
+	// merged counts keys applied through coalesced merges, the signal
+	// recovery uses to decide whether the replayed tree has drifted far
+	// enough from bulk-load shape to be worth rebuilding (see
+	// MergedKeys).
+	merged int
 }
 
 // NewReplayer returns a replayer applying records to b.
@@ -74,6 +79,7 @@ func (r *Replayer) Flush() {
 		switch r.kind {
 		case OpInsert:
 			r.b.Apply(Op{Kind: OpMerge, Keys: r.keys, Payloads: r.pays})
+			r.merged += len(r.keys)
 		case OpDelete:
 			sort.Float64s(r.keys)
 			r.b.Apply(Op{Kind: OpDelete, Keys: r.keys})
@@ -81,6 +87,13 @@ func (r *Replayer) Flush() {
 	}
 	r.keys, r.pays, r.kind = r.keys[:0], r.pays[:0], 0
 }
+
+// MergedKeys returns the cumulative number of keys this replayer has
+// applied through coalesced merges. Each merge rebuilds only the leaves
+// it touches, so a large merged volume over a small snapshot means the
+// tree's shape is merge-grown rather than planned; recovery compares
+// this against the recovered size to decide on a cost-optimal rebuild.
+func (r *Replayer) MergedKeys() int { return r.merged }
 
 // ReplicationPosition returns the log head a fully caught-up follower
 // would have applied: the current WAL segment and its committed tail

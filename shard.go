@@ -1007,6 +1007,25 @@ func (s *ShardedIndex) sumShards(f func(*Index) int) int {
 	return n
 }
 
+// Rebuild reconstructs every shard from its current contents through
+// the cost-optimal planner (see Index.Rebuild), one shard at a time so
+// readers and writers of other shards keep running throughout. The
+// shared gate excludes router retrains for the duration, so the table
+// cannot be swapped mid-walk; within each shard the write lock and the
+// seqlock bumps give optimistic readers the same overlap signal any
+// mutation does.
+func (s *ShardedIndex) Rebuild() {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for _, sh := range s.tab.Load().shards {
+		sh.mu.Lock()
+		sh.seq.Add(1) // odd: mutation in flight
+		sh.idx.Rebuild()
+		sh.seq.Add(1)
+		sh.mu.Unlock()
+	}
+}
+
 // NumShards returns the shard count.
 func (s *ShardedIndex) NumShards() int { return len(s.tab.Load().shards) }
 

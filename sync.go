@@ -330,6 +330,20 @@ func (s *SyncIndex) DataSizeBytes() int {
 	return s.idx.DataSizeBytes()
 }
 
+// Rebuild reconstructs the index from its current contents through the
+// cost-optimal planner (see Index.Rebuild) under the write lock.
+// Readers keep running: the optimistic paths detect the overlapping
+// sequence bump and retry, structures the rebuild unpublishes are
+// retired through the epoch manager, and the new tree is published
+// with the same atomic stores every split uses.
+func (s *SyncIndex) Rebuild() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq.Add(1) // odd: mutation in flight
+	defer s.seq.Add(1)
+	s.idx.Rebuild()
+}
+
 // Snapshot cuts a consistent point-in-time view of the index. The cut
 // holds the write lock only for the O(#leaves) sealing pass — no data
 // is copied — after which the returned snapshot reads lock-free
