@@ -5,7 +5,11 @@
 // -data-dir it becomes durable (alex.DurableIndex): every acknowledged
 // write is logged to a write-ahead log before it is applied, snapshots
 // checkpoint the log away, and a restart recovers exactly the
-// acknowledged writes. One command per line, space-separated:
+// acknowledged writes. When the storage stack fails underneath it (a
+// failed fsync, a full disk) the store degrades to read-only instead of
+// lying: mutations answer "ERR degraded", reads keep serving, and
+// HEALTH / WALSTATS report the state (see docs/failure-model.md).
+// One command per line, space-separated:
 //
 //	GET <key>            -> VALUE <v> | NOTFOUND
 //	SET <key> <value>    -> OK inserted|updated
@@ -19,7 +23,8 @@
 //	FLUSH                -> OK (acked writes fsynced to the WAL)
 //	SAVE                 -> OK (synchronous checkpoint; durable mode only)
 //	BGSAVE               -> OK scheduled (background checkpoint; durable mode only)
-//	WALSTATS             -> WAL <appends> <fsyncs> <bytes> <checkpoints> <replayed> <followers> <maxLagBytes>
+//	WALSTATS             -> WAL <appends> <fsyncs> <bytes> <checkpoints> <replayed> <followers> <maxLagBytes> <degraded>
+//	HEALTH               -> OK | OK read-only | DEGRADED <cause>
 //	REPLINFO             -> replication role/position/lag lines, then END
 //	SNAPSHOT             -> SNAPSHOT <bytes> <startSeg> + raw snapshot (replica bootstrap)
 //	REPLICATE <seg> <off> -> binary WAL record stream from that position (see internal/repl)

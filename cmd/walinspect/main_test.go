@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// buildWALDir writes a real two-segment log: records, a rotation, more
+// records.
+func buildWALDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := wal.OpenLog(dir, wal.SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(&wal.Record{Op: wal.OpInsert, Keys: []float64{float64(i)}, Payloads: []uint64{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(&wal.Record{Op: wal.OpDelete, Keys: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFaultWalinspectScan: clean segments scan clean with the right
+// counts; a torn tail is located at its exact offset.
+func TestFaultWalinspectScan(t *testing.T) {
+	dir := buildWALDir(t)
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("built %d segments, want 2", len(segs))
+	}
+	r0, err := scanSegment(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.torn || r0.records != 10 || r0.byOp[wal.OpInsert] != 10 || r0.cleanEnd != r0.size {
+		t.Fatalf("segment 0 scan: records=%d torn=%v cleanEnd=%d size=%d", r0.records, r0.torn, r0.cleanEnd, r0.size)
+	}
+
+	// Tear the tail of the LAST segment: scan must flag it and place
+	// clean-end exactly at the pre-tear size.
+	last := segs[1]
+	st, _ := os.Stat(last.Path)
+	f, err := os.OpenFile(last.Path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 1, 2}) // a 9-byte record's prefix, cut short
+	f.Close()
+	r1, err := scanSegment(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.torn || r1.records != 5 || r1.cleanEnd != st.Size() {
+		t.Fatalf("torn scan: torn=%v records=%d cleanEnd=%d want %d", r1.torn, r1.records, r1.cleanEnd, st.Size())
+	}
+
+	// Repair truncates exactly the torn bytes.
+	if err := repairAll([]*segReport{r0, r1}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := os.Stat(last.Path)
+	if st2.Size() != st.Size() {
+		t.Fatalf("repair left %d bytes, want %d", st2.Size(), st.Size())
+	}
+	r1b, _ := scanSegment(last)
+	if r1b.torn || r1b.records != 5 {
+		t.Fatalf("post-repair scan still dirty: torn=%v records=%d", r1b.torn, r1b.records)
+	}
+}
+
+// TestFaultWalinspectRepairRefusesMidHistoryTear: a tear in a segment
+// that is FOLLOWED by valid records is not a crash tail; repair must
+// refuse to destroy the evidence.
+func TestFaultWalinspectRepairRefusesMidHistoryTear(t *testing.T) {
+	dir := buildWALDir(t)
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segs[0].Path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{42, 0, 0, 0}) // torn frame in the OLD segment
+	f.Close()
+
+	var reports []*segReport
+	for _, s := range segs {
+		r, err := scanSegment(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	if !reports[0].torn {
+		t.Fatal("old-segment tear not detected")
+	}
+	err = repairAll(reports)
+	if err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("repairAll = %v, want a refusal", err)
+	}
+	// And the file is untouched.
+	r0, _ := scanSegment(segs[0])
+	if !r0.torn {
+		t.Fatal("refused repair still modified the segment")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/wal"
 )
 
@@ -47,10 +48,19 @@ import (
 //
 // The wrapped index is either a ShardedIndex (default) or a SyncIndex
 // (WithSyncBackend); all read methods delegate to it and are safe for
-// concurrent use, exactly as on the wrapped type. A WAL append failure
-// (disk full, I/O error) is unrecoverable by design: the mutation
-// cannot be acknowledged without durability, so the affected call
-// panics (fail-stop) and the process should restart and recover.
+// concurrent use, exactly as on the wrapped type.
+//
+// A WAL I/O failure (failed fsync, disk full, I/O error) poisons the
+// index into a degraded read-only state: the failing mutation is never
+// acknowledged, every later mutation is rejected with ErrDegraded, and
+// lock-free reads keep serving the last acknowledged state. Degraded
+// is terminal for the process — a failed fsync leaves the kernel's
+// dirty-page state unknowable, so retrying a sync and acking on its
+// success would ack data the disk may never have seen (the fsync-gate
+// rule). Restart the process; recovery replays exactly the acknowledged
+// prefix. The bool-returning mutators (the pre-degradation API) panic
+// with an error wrapping ErrDegraded; the Try variants return it. See
+// docs/failure-model.md.
 type DurableIndex struct {
 	backend Backend
 	log     *wal.Log
@@ -70,6 +80,11 @@ type DurableIndex struct {
 	replayed    int
 	torn        bool
 	ckptErr     atomic.Pointer[error]
+
+	// degradedErr is the first durability failure; non-nil means the
+	// index is poisoned read-only (see the type comment). First cause
+	// wins; never cleared.
+	degradedErr atomic.Pointer[error]
 
 	ckptCh chan struct{}
 	done   chan struct{}
@@ -165,6 +180,13 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 // ErrClosed is returned by lifecycle methods of a closed DurableIndex.
 var ErrClosed = errors.New("alex: durable index closed")
 
+// ErrDegraded reports that a durability failure (failed fsync, disk
+// full, WAL I/O error) has poisoned the index into read-only mode:
+// mutations are rejected, reads keep serving. Every rejection wraps
+// both ErrDegraded and the original cause; test with errors.Is. The
+// state is terminal until the process restarts and recovers.
+var ErrDegraded = errors.New("alex: durable index degraded (read-only)")
+
 type durableConfig struct {
 	policy          FsyncPolicy
 	interval        time.Duration
@@ -172,6 +194,7 @@ type durableConfig struct {
 	shards          int
 	syncBackend     bool
 	indexOpts       []Option
+	fsys            faultfs.FS
 }
 
 // DurableOption configures OpenDurable.
@@ -214,6 +237,14 @@ func WithIndexOptions(opts ...Option) DurableOption {
 	return func(c *durableConfig) { c.indexOpts = opts }
 }
 
+// WithFilesystem routes every file operation — WAL segments, snapshot
+// writes, directory syncs — through fsys (default faultfs.OS). Fault
+// injection tests pass a faultfs.Inject here; production never needs
+// this option.
+func WithFilesystem(fsys faultfs.FS) DurableOption {
+	return func(c *durableConfig) { c.fsys = fsys }
+}
+
 const (
 	snapshotName = "snapshot.alex"
 	snapshotTmp  = "snapshot.alex.tmp"
@@ -239,22 +270,25 @@ func OpenDurable(dir string, opts ...DurableOption) (*DurableIndex, error) {
 	if cfg.shards <= 0 {
 		cfg.shards = runtime.GOMAXPROCS(0)
 	}
+	if cfg.fsys == nil {
+		cfg.fsys = faultfs.OS
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	// A crash mid-checkpoint can leave a partial temp snapshot; the real
 	// snapshot (if any) is intact because the rename never happened.
-	os.Remove(filepath.Join(dir, snapshotTmp))
+	_ = cfg.fsys.Remove(filepath.Join(dir, snapshotTmp))
 
 	backend, err := openBackend(dir, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	replayed, torn, err := replayInto(dir, backend)
+	replayed, torn, err := replayInto(cfg.fsys, dir, backend)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.OpenLog(dir, cfg.policy.walPolicy(), cfg.interval)
+	log, err := wal.OpenLogFS(cfg.fsys, dir, cfg.policy.walPolicy(), cfg.interval)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +314,7 @@ func OpenDurable(dir string, opts ...DurableOption) (*DurableIndex, error) {
 // openBackend loads the snapshot into the configured backend kind, or
 // builds an empty one.
 func openBackend(dir string, cfg *durableConfig) (Backend, error) {
-	f, err := os.Open(filepath.Join(dir, snapshotName))
+	f, err := faultfs.Open(cfg.fsys, filepath.Join(dir, snapshotName))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			return nil, err
@@ -324,13 +358,13 @@ const rebuildMinMerged = 1 << 16
 // is rebuilt through the cost-optimal planner before the index opens.
 // Followers tailing a primary never take this path: they apply records
 // incrementally through their own Replayer and stay open throughout.
-func replayInto(dir string, b Backend) (int, bool, error) {
-	segs, err := wal.Segments(dir)
+func replayInto(fsys faultfs.FS, dir string, b Backend) (int, bool, error) {
+	segs, err := wal.SegmentsFS(fsys, dir)
 	if err != nil {
 		return 0, false, err
 	}
 	r := NewReplayer(b)
-	n, torn, err := wal.ReplaySegments(segs, r.Add)
+	n, torn, err := wal.ReplaySegmentsFS(fsys, segs, r.Add)
 	if err != nil {
 		return n, torn, err
 	}
@@ -343,28 +377,68 @@ func replayInto(dir string, b Backend) (int, bool, error) {
 	return n, torn, nil
 }
 
-// apply logs rec and then applies op to the backend, the write-ahead
-// ordering every acknowledged mutation follows. It panics on WAL I/O
-// failure (see the type comment) and on use after Close.
-func (d *DurableIndex) apply(rec *wal.Record, op Op) int {
+// degrade poisons the index with cause (first cause wins) and returns
+// the canonical degraded error — cause wrapped in ErrDegraded.
+func (d *DurableIndex) degrade(cause error) error {
+	werr := fmt.Errorf("%w: %w", ErrDegraded, cause)
+	d.degradedErr.CompareAndSwap(nil, &werr)
+	return *d.degradedErr.Load()
+}
+
+// Degraded returns nil while the index is healthy, or the error (first
+// durability failure, wrapped in ErrDegraded) that poisoned it into
+// read-only mode.
+func (d *DurableIndex) Degraded() error {
+	if p := d.degradedErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// applyErr logs rec and then applies op to the backend — the
+// write-ahead ordering every acknowledged mutation follows. A WAL
+// failure degrades the index (the record was never made durable, so
+// the backend is NOT touched — the in-memory state stays exactly the
+// acknowledged prefix) and returns an error wrapping ErrDegraded. Use
+// after Close panics.
+func (d *DurableIndex) applyErr(rec *wal.Record, op Op) (int, error) {
 	d.opGate.RLock()
 	defer d.opGate.RUnlock()
 	if d.closed {
 		panic("alex: DurableIndex used after Close")
 	}
+	if err := d.Degraded(); err != nil {
+		return 0, err
+	}
 	if err := d.log.Append(rec); err != nil {
-		panic(fmt.Sprintf("alex: WAL append failed: %v", err))
+		if errors.Is(err, wal.ErrClosed) {
+			return 0, ErrClosed
+		}
+		return 0, d.degrade(err)
 	}
 	n := d.backend.Apply(op)
 	d.noteRecords(1)
+	return n, nil
+}
+
+// apply is applyErr for the bool-returning mutator surface: errors
+// (including ErrDegraded rejections) panic with the error value, so
+// callers that want a recoverable rejection use the Try variants.
+func (d *DurableIndex) apply(rec *wal.Record, op Op) int {
+	n, err := d.applyErr(rec, op)
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
 
 // applyChunked logs and applies a batch, splitting batches beyond the
 // WAL's per-record element bound into several records; each chunk is
 // atomic on replay, and chunks apply in order so duplicate resolution
-// matches the unchunked batch.
-func (d *DurableIndex) applyChunked(kind OpKind, walOp wal.Op, keys []float64, payloads []uint64) int {
+// matches the unchunked batch. A mid-batch degradation leaves the
+// chunks already applied acknowledged (they are durable) and rejects
+// the rest.
+func (d *DurableIndex) applyChunked(kind OpKind, walOp wal.Op, keys []float64, payloads []uint64) (int, error) {
 	total := 0
 	for start := 0; start < len(keys); start += wal.MaxRecordPairs {
 		end := min(start+wal.MaxRecordPairs, len(keys))
@@ -374,45 +448,88 @@ func (d *DurableIndex) applyChunked(kind OpKind, walOp wal.Op, keys []float64, p
 			ps = payloads[start:end]
 		}
 		rec := wal.Record{Op: walOp, Keys: ks, Payloads: ps}
-		total += d.apply(&rec, Op{Kind: kind, Keys: ks, Payloads: ps})
+		n, err := d.applyErr(&rec, Op{Kind: kind, Keys: ks, Payloads: ps})
+		total += n
+		if err != nil {
+			return total, err
+		}
 	}
-	return total
+	return total, nil
 }
 
 // Insert adds key with payload; see Index.Insert. With FsyncAlways it
-// returns only once the mutation is on stable storage.
+// returns only once the mutation is on stable storage. On a degraded
+// index it panics with an error wrapping ErrDegraded; use TryInsert
+// for an error return.
 func (d *DurableIndex) Insert(key float64, payload uint64) bool {
-	k, p := [1]float64{key}, [1]uint64{payload}
-	rec := wal.Record{Op: wal.OpInsert, Keys: k[:], Payloads: p[:]}
-	return d.apply(&rec, Op{Kind: OpInsert, Keys: k[:], Payloads: p[:]}) > 0
+	ok, err := d.TryInsert(key, payload)
+	if err != nil {
+		panic(err)
+	}
+	return ok
 }
 
-// Delete removes key; see Index.Delete.
+// TryInsert is Insert with degradation as an error instead of a panic.
+func (d *DurableIndex) TryInsert(key float64, payload uint64) (bool, error) {
+	k, p := [1]float64{key}, [1]uint64{payload}
+	rec := wal.Record{Op: wal.OpInsert, Keys: k[:], Payloads: p[:]}
+	n, err := d.applyErr(&rec, Op{Kind: OpInsert, Keys: k[:], Payloads: p[:]})
+	return n > 0, err
+}
+
+// Delete removes key; see Index.Delete. Panics when degraded; use
+// TryDelete for an error return.
 func (d *DurableIndex) Delete(key float64) bool {
+	ok, err := d.TryDelete(key)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// TryDelete is Delete with degradation as an error instead of a panic.
+func (d *DurableIndex) TryDelete(key float64) (bool, error) {
 	k := [1]float64{key}
 	rec := wal.Record{Op: wal.OpDelete, Keys: k[:]}
-	return d.apply(&rec, Op{Kind: OpDelete, Keys: k[:]}) > 0
+	n, err := d.applyErr(&rec, Op{Kind: OpDelete, Keys: k[:]})
+	return n > 0, err
 }
 
 // Update overwrites the payload of an existing key. Like every
 // mutation it is logged before it is applied — as a dedicated
 // update-if-present record, which replay applies conditionally, so a
 // missing key is never resurrected. An update of an absent key logs a
-// record that replays as a no-op.
+// record that replays as a no-op. Panics when degraded; use TryUpdate
+// for an error return.
 func (d *DurableIndex) Update(key float64, payload uint64) bool {
+	ok, err := d.TryUpdate(key, payload)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// TryUpdate is Update with degradation as an error instead of a panic.
+func (d *DurableIndex) TryUpdate(key float64, payload uint64) (bool, error) {
 	d.opGate.RLock()
 	defer d.opGate.RUnlock()
 	if d.closed {
 		panic("alex: DurableIndex used after Close")
 	}
+	if err := d.Degraded(); err != nil {
+		return false, err
+	}
 	k, p := [1]float64{key}, [1]uint64{payload}
 	rec := wal.Record{Op: wal.OpUpdate, Keys: k[:], Payloads: p[:]}
 	if err := d.log.Append(&rec); err != nil {
-		panic(fmt.Sprintf("alex: WAL append failed: %v", err))
+		if errors.Is(err, wal.ErrClosed) {
+			return false, ErrClosed
+		}
+		return false, d.degrade(err)
 	}
 	ok := d.backend.Update(key, payload)
 	d.noteRecords(1)
-	return ok
+	return ok, nil
 }
 
 // InsertBatch adds many key/payload pairs, returning how many were new;
@@ -422,6 +539,17 @@ func (d *DurableIndex) Update(key float64, payload uint64) bool {
 // chunks: each chunk is atomic and chunks recover strictly in order, so
 // a crash can truncate a giant batch only at a chunk boundary.
 func (d *DurableIndex) InsertBatch(keys []float64, payloads []uint64) int {
+	n, err := d.TryInsertBatch(keys, payloads)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TryInsertBatch is InsertBatch with degradation as an error. The
+// count reports pairs applied before a mid-batch failure (whole chunks
+// of 2^20 pairs — all durable and acknowledged).
+func (d *DurableIndex) TryInsertBatch(keys []float64, payloads []uint64) (int, error) {
 	if len(payloads) != len(keys) {
 		panic("alex: len(payloads) != len(keys)")
 	}
@@ -429,15 +557,34 @@ func (d *DurableIndex) InsertBatch(keys []float64, payloads []uint64) int {
 }
 
 // DeleteBatch removes many keys, returning how many were present; see
-// Index.DeleteBatch. Logged as one record, like InsertBatch.
+// Index.DeleteBatch. Logged as one record, like InsertBatch. Panics
+// when degraded; use TryDeleteBatch for an error return.
 func (d *DurableIndex) DeleteBatch(keys []float64) int {
+	n, err := d.TryDeleteBatch(keys)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TryDeleteBatch is DeleteBatch with degradation as an error.
+func (d *DurableIndex) TryDeleteBatch(keys []float64) (int, error) {
 	return d.applyChunked(OpDelete, wal.OpDeleteBatch, keys, nil)
 }
 
 // Merge bulk-merges key/payload pairs, returning how many were new; see
 // Index.Merge. payloads may be nil. Logged as one record, like
-// InsertBatch.
+// InsertBatch. Panics when degraded; use TryMerge for an error return.
 func (d *DurableIndex) Merge(keys []float64, payloads []uint64) int {
+	n, err := d.TryMerge(keys, payloads)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TryMerge is Merge with degradation as an error.
+func (d *DurableIndex) TryMerge(keys []float64, payloads []uint64) (int, error) {
 	if payloads == nil {
 		payloads = make([]uint64, len(keys))
 	}
@@ -532,6 +679,10 @@ type WALStats struct {
 	// follower's committed-but-unshipped byte count (0 when none).
 	Followers           int
 	MaxFollowerLagBytes int64
+	// Degraded reports the poisoned read-only state: a durability
+	// failure occurred and mutations are being rejected (see
+	// DurableIndex.Degraded for the cause).
+	Degraded bool
 }
 
 // WALStats returns cumulative durability counters.
@@ -544,6 +695,7 @@ func (d *DurableIndex) WALStats() WALStats {
 		Checkpoints: d.checkpoints.Load(),
 		Replayed:    d.replayed,
 		TornTail:    d.torn,
+		Degraded:    d.Degraded() != nil,
 	}
 	for _, f := range d.Followers() {
 		ws.Followers++
@@ -553,13 +705,22 @@ func (d *DurableIndex) WALStats() WALStats {
 }
 
 // Flush blocks until every acknowledged mutation is on stable storage,
-// regardless of the fsync policy.
+// regardless of the fsync policy. A sync failure degrades the index
+// (the fsync-gate rule: a failed fsync is never retried over the same
+// dirty buffers); on an already-degraded index Flush returns the
+// poisoning error without touching the disk.
 func (d *DurableIndex) Flush() error {
+	if err := d.Degraded(); err != nil {
+		return err
+	}
 	err := d.log.Sync()
 	if errors.Is(err, wal.ErrClosed) {
 		return ErrClosed
 	}
-	return err
+	if err != nil {
+		return d.degrade(err)
+	}
+	return nil
 }
 
 // Checkpoint synchronously serializes the index to a fresh snapshot and
@@ -571,6 +732,14 @@ func (d *DurableIndex) Flush() error {
 func (d *DurableIndex) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	// A degraded index must not checkpoint: the snapshot would capture
+	// only the acknowledged prefix (the backend never applied the failed
+	// mutation), but truncating WAL segments on degraded storage risks
+	// deleting history while the snapshot's own durability is suspect.
+	// Reads still serve; recovery after restart is the way forward.
+	if err := d.Degraded(); err != nil {
+		return err
+	}
 	// Rotate under the exclusive gate: once no mutation is in flight,
 	// everything in the sealed segments is applied, so the snapshot cut
 	// after the rotation covers them all.
@@ -583,6 +752,16 @@ func (d *DurableIndex) Checkpoint() error {
 	err := d.log.Rotate()
 	d.opGate.Unlock()
 	if err != nil {
+		if errors.Is(err, wal.ErrSealFailed) {
+			// The rotated-out segment could not be flushed/fsynced:
+			// records acknowledged under a deferred-sync policy may be
+			// lost. That is a durability failure, not a transient
+			// checkpoint failure.
+			return d.degrade(err)
+		}
+		// Creating the next segment failed (e.g. disk full): nothing
+		// rotated, appends continue into the current segment, and the
+		// next trigger retries.
 		return err
 	}
 	if err := d.writeSnapshot(); err != nil {
@@ -605,10 +784,12 @@ func (d *DurableIndex) Checkpoint() error {
 }
 
 // writeSnapshot atomically replaces the snapshot file with the current
-// index state.
+// index state. Every failure path — create, write, fsync, rename, dir
+// sync — returns before the caller reaches WAL truncation, so a failed
+// checkpoint can never delete segments recovery still needs.
 func (d *DurableIndex) writeSnapshot() error {
 	tmp := filepath.Join(d.dir, snapshotTmp)
-	f, err := os.Create(tmp)
+	f, err := faultfs.Create(d.cfg.fsys, tmp)
 	if err != nil {
 		return err
 	}
@@ -632,26 +813,17 @@ func (d *DurableIndex) writeSnapshot() error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = d.cfg.fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotName)); err != nil {
+	if err := d.cfg.fsys.Rename(tmp, filepath.Join(d.dir, snapshotName)); err != nil {
 		return err
 	}
-	return syncDir(d.dir)
-}
-
-// syncDir fsyncs the directory so the snapshot rename and segment
-// creation are durable; best effort on platforms where directory fsync
-// is unsupported.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
-	_ = f.Sync()
-	return nil
+	// The rename must be durable before the WAL segments it supersedes
+	// are truncated; a swallowed error here could lose the snapshot AND
+	// the log. faultfs.OS already treats platform "can't fsync a dir"
+	// errnos as success, so every error left is real.
+	return d.cfg.fsys.SyncDir(d.dir)
 }
 
 // TriggerCheckpoint asks the background checkpointer for a checkpoint

@@ -1,0 +1,518 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the class of every scripted fault: any error an Inject
+// rule produces wraps it, so tests can distinguish injected failures
+// from real ones with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after the simulated crash
+// point. It wraps ErrInjected.
+var ErrCrashed = fmt.Errorf("%w: crashed", ErrInjected)
+
+// ErrNoSpace is the injected disk-full error. It wraps both ErrInjected
+// and syscall.ENOSPC, so callers see the same errno a real full disk
+// produces.
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+
+// OpKind classifies the operations rules can match.
+type OpKind uint8
+
+// Operation kinds, one per seam call.
+const (
+	OpAny OpKind = iota // matches every kind
+	OpOpen
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpTruncate
+	OpRename
+	OpRemove
+	OpReadDir
+	OpSyncDir
+)
+
+var opNames = [...]string{"any", "open", "read", "write", "sync", "close", "truncate", "rename", "remove", "readdir", "syncdir"}
+
+// String names the kind for schedule logs.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Rule is one scripted fault: when the Nth operation matching
+// (Kind, PathContains) runs, Action fires.
+type Rule struct {
+	// Kind restricts the rule to one operation kind; OpAny matches all.
+	Kind OpKind
+	// PathContains restricts the rule to paths containing the substring
+	// (base name or any part of the path); empty matches every path.
+	PathContains string
+	// Nth fires the rule on the n-th matching operation (1-based);
+	// 0 fires on every matching operation.
+	Nth int
+
+	// Err fails the operation with this error (wrapped in ErrInjected
+	// if it does not already wrap it). Writes with ShortBytes > 0 first
+	// write that prefix through to the real file — a short write.
+	Err error
+	// ShortBytes bounds how many bytes of the matched write reach the
+	// file before Err (0 with a non-nil Err fails the write entirely).
+	ShortBytes int
+	// Delay stalls the operation before it runs — per-op latency.
+	Delay time.Duration
+	// Crash transitions the filesystem to the crashed state after the
+	// rule fires: every subsequent operation fails with ErrCrashed and
+	// the crash losses (un-fsynced bytes, unsynced directory entries)
+	// are applied to the real files. Combined with ShortBytes on a
+	// write rule this is a torn-write-at-crash.
+	Crash bool
+
+	seen int // matching ops so far
+}
+
+// Inject wraps an inner FS and applies a deterministic scripted
+// schedule of faults to the operations flowing through it. The zero
+// schedule passes everything through.
+//
+// Crash simulation: files written through Inject are tracked so that a
+// scripted crash can re-create what power loss leaves behind — each
+// file is truncated back to its size at the last successful Sync (plus
+// the torn prefix of a crashing short write), and files created with
+// O_EXCL whose parent directory was never SyncDir'd are removed when
+// LoseDirEntries is set (the lost-directory-entry failure mode that
+// motivates fsyncing the WAL directory after rotation).
+//
+// Inject is safe for concurrent use.
+type Inject struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*Rule
+	budget  int64 // remaining write bytes before ENOSPC; <0 = unlimited
+	crashed bool
+	files   map[string]*fileState
+	pending map[string]map[string]bool // dir -> entries created but not dir-synced
+
+	// LoseDirEntries makes a crash remove files created (O_EXCL)
+	// through this FS whose directory entry was never made durable
+	// with SyncDir. Set before use.
+	LoseDirEntries bool
+}
+
+// fileState tracks one path's durability for crash simulation.
+type fileState struct {
+	size   int64 // bytes written through the seam (sequential high-water mark)
+	synced int64 // size at the last successful Sync
+}
+
+// New returns an injector over inner (usually OS) with an empty
+// schedule.
+func New(inner FS) *Inject {
+	return &Inject{
+		inner:   inner,
+		budget:  -1,
+		files:   make(map[string]*fileState),
+		pending: make(map[string]map[string]bool),
+	}
+}
+
+// AddRule appends one scripted fault.
+func (j *Inject) AddRule(r Rule) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.rules = append(j.rules, &r)
+}
+
+// FailNth fails the n-th operation of the given kind on paths
+// containing path with err.
+func (j *Inject) FailNth(kind OpKind, path string, n int, err error) {
+	j.AddRule(Rule{Kind: kind, PathContains: path, Nth: n, Err: err})
+}
+
+// ShortWriteNth makes the n-th matching write persist only the first
+// keep bytes, then fail.
+func (j *Inject) ShortWriteNth(path string, n, keep int, err error) {
+	j.AddRule(Rule{Kind: OpWrite, PathContains: path, Nth: n, ShortBytes: keep, Err: err})
+}
+
+// CrashAtWrite crashes the filesystem at the n-th write on paths
+// containing path, persisting only torn bytes of that write — the
+// torn-write-at-crash schedule.
+func (j *Inject) CrashAtWrite(path string, n, torn int) {
+	j.AddRule(Rule{Kind: OpWrite, PathContains: path, Nth: n, ShortBytes: torn, Err: ErrCrashed, Crash: true})
+}
+
+// DelayOps stalls every operation of the given kind by d.
+func (j *Inject) DelayOps(kind OpKind, d time.Duration) {
+	j.AddRule(Rule{Kind: kind, Delay: d})
+}
+
+// SetWriteBudget arms the disk-full simulation: after total bytes of
+// writes have gone through, further writes persist what fits and fail
+// with ErrNoSpace. Negative disarms.
+func (j *Inject) SetWriteBudget(total int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.budget = total
+}
+
+// CrashNow transitions to the crashed state immediately, applying the
+// crash losses (see the type comment).
+func (j *Inject) CrashNow() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crashLocked()
+}
+
+// Crashed reports whether the simulated crash point has been reached.
+func (j *Inject) Crashed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.crashed
+}
+
+// crashLocked applies crash losses. Caller holds j.mu.
+func (j *Inject) crashLocked() {
+	if j.crashed {
+		return
+	}
+	j.crashed = true
+	// Un-fsynced bytes are lost: truncate every tracked file back to
+	// its durable prefix, through the inner FS (the victim's handles
+	// may still be open; a separate handle can truncate regardless).
+	for path, st := range j.files {
+		if st.size > st.synced {
+			if f, err := j.inner.OpenFile(path, os.O_WRONLY, 0); err == nil {
+				_ = f.Truncate(st.synced)
+				f.Close()
+			}
+		}
+	}
+	// Directory entries never made durable are lost with the dir's
+	// journal: the files they named disappear.
+	if j.LoseDirEntries {
+		for dir, names := range j.pending {
+			for name := range names {
+				_ = j.inner.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+}
+
+// decide matches op (kind, path) against the schedule and returns the
+// action to apply: a delay, then either an error (with an optional
+// short-write byte bound) or pass-through. bytes is the write size for
+// budget accounting.
+func (j *Inject) decide(kind OpKind, path string, bytes int) (delay time.Duration, short int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed {
+		return 0, 0, ErrCrashed
+	}
+	short = -1
+	for _, r := range j.rules {
+		if r.Kind != OpAny && r.Kind != kind {
+			continue
+		}
+		if r.PathContains != "" && !contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.Nth != 0 && r.seen != r.Nth {
+			continue
+		}
+		delay += r.Delay
+		if r.Err != nil && err == nil {
+			err = r.Err
+			if !errors.Is(err, ErrInjected) {
+				err = fmt.Errorf("%w: %w", ErrInjected, err)
+			}
+			short = r.ShortBytes
+		}
+		if r.Crash {
+			if short >= 0 && short < bytes {
+				// The torn prefix of the crashing write must land
+				// before the losses are computed: account it as
+				// written but not synced.
+				j.noteWriteLocked(path, short)
+			}
+			j.crashLocked()
+		}
+	}
+	if err == nil && kind == OpWrite && j.budget >= 0 {
+		if int64(bytes) > j.budget {
+			short = int(j.budget)
+			j.budget = 0
+			err = ErrNoSpace
+		} else {
+			j.budget -= int64(bytes)
+		}
+	}
+	return delay, short, err
+}
+
+func contains(path, sub string) bool {
+	return sub == "" || (len(path) >= len(sub) && indexOf(path, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// noteWriteLocked advances path's written high-water mark.
+func (j *Inject) noteWriteLocked(path string, n int) {
+	st := j.files[path]
+	if st == nil {
+		st = &fileState{}
+		j.files[path] = st
+	}
+	st.size += int64(n)
+}
+
+// noteSynced marks path fully durable up to its written size.
+func (j *Inject) noteSynced(path string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if st := j.files[path]; st != nil {
+		st.synced = st.size
+	}
+}
+
+// notePending records a created-but-not-dir-synced entry.
+func (j *Inject) notePending(path string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dir, name := filepath.Split(path)
+	dir = filepath.Clean(dir)
+	if j.pending[dir] == nil {
+		j.pending[dir] = make(map[string]bool)
+	}
+	j.pending[dir][name] = true
+}
+
+// --- FS surface ----------------------------------------------------------
+
+// OpenFile opens name through the schedule. O_EXCL creations are
+// tracked for directory-entry crash loss until the parent is SyncDir'd.
+func (j *Inject) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if delay, _, err := j.decide(OpOpen, name, 0); err != nil {
+		sleep(delay)
+		return nil, err
+	} else {
+		sleep(delay)
+	}
+	f, err := j.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&os.O_CREATE != 0 {
+		j.mu.Lock()
+		if j.files[name] == nil || flag&os.O_TRUNC != 0 {
+			j.files[name] = &fileState{}
+		}
+		j.mu.Unlock()
+		if flag&os.O_EXCL != 0 {
+			j.notePending(name)
+		}
+	}
+	return &faultFile{j: j, f: f, name: name}, nil
+}
+
+// Rename renames through the schedule. The tracked durability state
+// moves with the file; the new entry is NOT marked pending (rename
+// atomicity on crash is filesystem-specific; Inject models the kept
+// outcome, which is legal).
+func (j *Inject) Rename(oldpath, newpath string) error {
+	delay, _, err := j.decide(OpRename, oldpath, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	if err := j.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if st := j.files[oldpath]; st != nil {
+		j.files[newpath] = st
+		delete(j.files, oldpath)
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Remove removes through the schedule.
+func (j *Inject) Remove(name string) error {
+	delay, _, err := j.decide(OpRemove, name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	if err := j.inner.Remove(name); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	delete(j.files, name)
+	j.mu.Unlock()
+	return nil
+}
+
+// ReadDir lists through the schedule.
+func (j *Inject) ReadDir(name string) ([]os.DirEntry, error) {
+	delay, _, err := j.decide(OpReadDir, name, 0)
+	sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	return j.inner.ReadDir(name)
+}
+
+// SyncDir syncs through the schedule; success makes the directory's
+// pending entries durable for crash simulation.
+func (j *Inject) SyncDir(name string) error {
+	delay, _, err := j.decide(OpSyncDir, name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	if err := j.inner.SyncDir(name); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	delete(j.pending, filepath.Clean(name))
+	j.mu.Unlock()
+	return nil
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// --- File surface --------------------------------------------------------
+
+// faultFile threads one file's operations through the schedule.
+type faultFile struct {
+	j    *Inject
+	f    File
+	name string
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	delay, _, err := ff.j.decide(OpRead, ff.name, 0)
+	sleep(delay)
+	if err != nil {
+		return 0, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	delay, _, err := ff.j.decide(OpRead, ff.name, 0)
+	sleep(delay)
+	if err != nil {
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+// Write applies short-write and disk-full scripting: when a rule (or
+// the write budget) bounds the write, the permitted prefix still
+// reaches the file — exactly what a real short write leaves behind.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	delay, short, err := ff.j.decide(OpWrite, ff.name, len(p))
+	sleep(delay)
+	if err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = ff.f.Write(p[:short])
+			ff.j.mu.Lock()
+			ff.j.noteWriteLocked(ff.name, n)
+			ff.j.mu.Unlock()
+		}
+		return n, err
+	}
+	n, werr := ff.f.Write(p)
+	ff.j.mu.Lock()
+	ff.j.noteWriteLocked(ff.name, n)
+	ff.j.mu.Unlock()
+	return n, werr
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	delay, short, err := ff.j.decide(OpWrite, ff.name, len(p))
+	sleep(delay)
+	if err != nil {
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ := ff.f.WriteAt(p[:short], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	delay, _, err := ff.j.decide(OpTruncate, ff.name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+// Sync flushes through the schedule; success marks everything written
+// so far crash-durable.
+func (ff *faultFile) Sync() error {
+	delay, _, err := ff.j.decide(OpSync, ff.name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	ff.j.noteSynced(ff.name)
+	return nil
+}
+
+// Close always closes the underlying file, even when the schedule
+// injects an error — a leaked descriptor would outlive the simulated
+// crash.
+func (ff *faultFile) Close() error {
+	delay, _, err := ff.j.decide(OpClose, ff.name, 0)
+	sleep(delay)
+	cerr := ff.f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) { return ff.f.Stat() }
+
+func (ff *faultFile) Name() string { return ff.name }

@@ -1,0 +1,108 @@
+// Package faultfs is the filesystem seam of the durability stack: every
+// file operation the WAL, the checkpointer and the page store perform
+// goes through the FS and File interfaces, with OS as the pass-through
+// production implementation and Inject (fault.go) as a deterministic
+// scripted fault injector for tests.
+//
+// The seam exists so that the failure classes a real deployment meets —
+// a failed fsync, a disk that fills mid-checkpoint, a short write, a
+// crash that tears the last write and loses un-fsynced data or
+// directory entries — can be reproduced exactly and asserted against,
+// instead of being reasoned about on the happy path only. See
+// docs/failure-model.md for the guarantees the stack makes under each
+// class.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the durability stack uses. Writers use
+// the sequential Write/Sync/Close triple; readers use ReadAt/Stat; the
+// page store adds WriteAt/Truncate.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close releases the file. Implementations close the underlying
+	// descriptor even when they report an (injected or real) error.
+	Close() error
+	// Stat returns file metadata.
+	Stat() (os.FileInfo, error)
+	// Name returns the name the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the durability stack needs. All paths
+// are interpreted exactly as the os package would.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename is os.Rename. Durability of the new directory entry
+	// requires a SyncDir of the parent.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making entry creation,
+	// rename and removal durable. Platforms that cannot fsync a
+	// directory report success (the rename/creat syscall ordering is
+	// the best available there).
+	SyncDir(name string) error
+}
+
+// Open opens name read-only on fsys.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create creates or truncates name read-write on fsys.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OS is the pass-through production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) SyncDir(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		// Some filesystems and platforms cannot fsync a directory
+		// handle; that is not a durability failure the caller can act
+		// on, so it is not reported as one.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

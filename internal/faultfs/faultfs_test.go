@@ -1,0 +1,273 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFaultPassthrough: an empty schedule must behave exactly like the
+// OS filesystem.
+func TestFaultPassthrough(t *testing.T) {
+	j := New(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	if err := j.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFailNthSync: the scripted sync fails wrapped in ErrInjected;
+// earlier and unrelated syncs pass.
+func TestFaultFailNthSync(t *testing.T) {
+	j := New(OS)
+	boom := errors.New("boom")
+	j.FailNth(OpSync, "wal", 2, boom)
+
+	path := filepath.Join(t.TempDir(), "wal-0001.log")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, boom) {
+		t.Fatalf("sync 2 = %v, want ErrInjected wrapping boom", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+// TestFaultShortWrite: the scripted write persists exactly the allowed
+// prefix before failing.
+func TestFaultShortWrite(t *testing.T) {
+	j := New(OS)
+	j.ShortWriteNth("f", 1, 3, io.ErrShortWrite)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("file holds %q after short write, want \"abc\"", b)
+	}
+}
+
+// TestFaultWriteBudget: writes past the budget fail with an error that
+// is both ErrInjected and ENOSPC, persisting what fit.
+func TestFaultWriteBudget(t *testing.T) {
+	j := New(OS)
+	j.SetWriteBudget(4)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("cdef"))
+	if n != 2 || !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("over-budget write = %d, %v", n, err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-budget write = %v, want ErrNoSpace", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "abcd" {
+		t.Fatalf("file holds %q, want \"abcd\"", b)
+	}
+}
+
+// TestFaultCrashLosesUnsynced: after a crash, every operation fails
+// with ErrCrashed and un-fsynced bytes are gone from the real file.
+func TestFaultCrashLosesUnsynced(t *testing.T) {
+	j := New(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" volatile")); err != nil {
+		t.Fatal(err)
+	}
+	j.CrashNow()
+	if !j.Crashed() {
+		t.Fatal("Crashed() = false after CrashNow")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v, want ErrCrashed", err)
+	}
+	if _, err := j.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v, want ErrCrashed", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "durable" {
+		t.Fatalf("file holds %q after crash, want only the synced prefix \"durable\"", b)
+	}
+}
+
+// TestFaultCrashAtWrite: the torn-write-at-crash schedule leaves the
+// synced prefix plus at most the torn bytes of the crashing write.
+func TestFaultCrashAtWrite(t *testing.T) {
+	j := New(OS)
+	j.CrashAtWrite("f", 2, 2)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("torn-record"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write = %d, %v, want ErrCrashed", n, err)
+	}
+	if !j.Crashed() {
+		t.Fatal("not crashed after CrashAtWrite fired")
+	}
+	b, _ := os.ReadFile(path)
+	if len(b) < 2 || string(b[:2]) != "ok" {
+		t.Fatalf("synced prefix lost: file holds %q", b)
+	}
+	if len(b) > 2+len("torn-record") {
+		t.Fatalf("file grew past the torn write: %q", b)
+	}
+}
+
+// TestFaultLoseDirEntries: a file created but never made durable with a
+// directory sync disappears at the crash; a dir-synced one survives.
+func TestFaultLoseDirEntries(t *testing.T) {
+	dir := t.TempDir()
+	j := New(OS)
+	j.LoseDirEntries = true
+
+	// O_EXCL creation is what the tracking keys off — it is how the WAL
+	// creates segments.
+	excl := os.O_CREATE | os.O_EXCL | os.O_WRONLY
+	durable := filepath.Join(dir, "synced")
+	f, err := j.OpenFile(durable, excl, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := j.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	lost := filepath.Join(dir, "pending")
+	f2, err := j.OpenFile(lost, excl, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+
+	j.CrashNow()
+	if _, err := os.Stat(durable); err != nil {
+		t.Fatalf("dir-synced file lost at crash: %v", err)
+	}
+	if _, err := os.Stat(lost); !os.IsNotExist(err) {
+		t.Fatalf("pending dir entry survived the crash: %v", err)
+	}
+}
+
+// TestFaultDelay: scripted latency stalls matching operations.
+func TestFaultDelay(t *testing.T) {
+	j := New(OS)
+	j.DelayOps(OpWrite, 15*time.Millisecond)
+	f, err := Create(j, filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	f.Write([]byte("a"))
+	f.Write([]byte("b"))
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("two delayed writes took %v, want >= 30ms of injected latency", d)
+	}
+}
+
+// TestFaultEveryNthZero: Nth 0 fires on every matching op.
+func TestFaultEveryNthZero(t *testing.T) {
+	j := New(OS)
+	boom := errors.New("always")
+	j.FailNth(OpSync, "", 0, boom)
+	f, err := Create(j, filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, boom) {
+			t.Fatalf("sync %d = %v, want boom", i, err)
+		}
+	}
+}
+
+// TestFaultCloseAlwaysCloses: an injected Close error must not leak the
+// descriptor — a second open of the same path with O_EXCL would
+// otherwise be the least of the problems.
+func TestFaultCloseAlwaysCloses(t *testing.T) {
+	j := New(OS)
+	boom := errors.New("close-fail")
+	j.FailNth(OpClose, "", 1, boom)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := Create(j, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close = %v, want boom", err)
+	}
+	// The fd is really closed: writing through it must fail at the OS.
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write through an injected-close file succeeded; fd leaked")
+	}
+}

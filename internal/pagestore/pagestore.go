@@ -8,8 +8,9 @@ package pagestore
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // PageID addresses a page within a store. Zero is a valid page.
@@ -95,17 +96,25 @@ func (s *MemStore) Close() error { return nil }
 
 // FileStore keeps pages in a file at page-aligned offsets.
 type FileStore struct {
-	f        *os.File
+	f        faultfs.File
 	pageSize int
 	n        int
 }
 
 // NewFileStore creates (truncating) a page file at path.
 func NewFileStore(path string, pageSize int) (*FileStore, error) {
+	return NewFileStoreFS(faultfs.OS, path, pageSize)
+}
+
+// NewFileStoreFS is NewFileStore opening through fsys, so the paged
+// backend participates in the same fault-injection seam as the WAL:
+// tests script page-write failures and latency without touching the
+// real filesystem semantics.
+func NewFileStoreFS(fsys faultfs.FS, path string, pageSize int) (*FileStore, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	f, err := os.Create(path)
+	f, err := faultfs.Create(fsys, path)
 	if err != nil {
 		return nil, err
 	}

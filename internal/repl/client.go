@@ -51,6 +51,29 @@ func WithReadYourWrites(maxWait time.Duration) ClientOption {
 	return func(c *Client) { c.ryw = true; c.rywWait = maxWait }
 }
 
+// WithTimeout bounds every request/response exchange (and the dial
+// that may precede it). A node that hangs past the deadline fails into
+// cooldown exactly like one that closed the connection — a hung
+// replica cannot stall reads forever. Default 5s; 0 disables.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.setTimeout(d) }
+}
+
+// WithDialer overrides the connection dialer on every node — the seam
+// network fault-injection tests wrap. nil keeps net.DialTimeout.
+func WithDialer(dial func(network, addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) {
+		c.primary.dial = dial
+		for _, n := range c.replicas {
+			n.dial = dial
+		}
+	}
+}
+
+// defaultExchangeTimeout bounds one exchange unless WithTimeout says
+// otherwise.
+const defaultExchangeTimeout = 5 * time.Second
+
 // NewClient returns a client over one primary and any number of read
 // replicas. Connections are dialed lazily.
 func NewClient(primary string, replicas []string, opts ...ClientOption) *Client {
@@ -58,16 +81,26 @@ func NewClient(primary string, replicas []string, opts ...ClientOption) *Client 
 	for _, a := range replicas {
 		c.replicas = append(c.replicas, &node{addr: a})
 	}
+	c.setTimeout(defaultExchangeTimeout)
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
+func (c *Client) setTimeout(d time.Duration) {
+	c.primary.timeout = d
+	for _, n := range c.replicas {
+		n.timeout = d
+	}
+}
+
 // node is one endpoint's lazily dialed, serialized connection with
 // failure cooldown.
 type node struct {
-	addr string
+	addr    string
+	timeout time.Duration
+	dial    func(network, addr string) (net.Conn, error)
 
 	mu        sync.Mutex
 	c         net.Conn
@@ -89,13 +122,27 @@ func (n *node) exchange(cmd string, parse func(br *bufio.Reader) error) error {
 		if time.Now().Before(n.downUntil) {
 			return errNodeDown
 		}
-		c, err := net.DialTimeout("tcp", n.addr, 2*time.Second)
+		dial := n.dial
+		if dial == nil {
+			dial = func(network, addr string) (net.Conn, error) {
+				return net.DialTimeout(network, addr, 2*time.Second)
+			}
+		}
+		c, err := dial("tcp", n.addr)
 		if err != nil {
 			n.fail()
 			return err
 		}
 		n.c = c
 		n.br = bufio.NewReaderSize(c, 1<<16)
+	}
+	// One deadline covers the whole exchange (request write + every
+	// reply read), so a node that stalls mid-reply still fails out.
+	if n.timeout > 0 {
+		if err := n.c.SetDeadline(time.Now().Add(n.timeout)); err != nil {
+			n.fail()
+			return err
+		}
 	}
 	if _, err := fmt.Fprintln(n.c, cmd); err != nil {
 		n.fail()

@@ -1,0 +1,275 @@
+package repl_test
+
+// Network fault-injection schedules: FaultConn-wrapped follower links
+// scripted to cut mid-frame, hang, sever during bootstrap, or add
+// latency. The invariant under every schedule is the replication
+// contract: the follower reconnects on its own and converges byte-exact
+// with the primary, never applying a torn or divergent record. Cut
+// points are randomized per run; each test logs its seed and honors
+// FAULT_SEED for deterministic replay.
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	alex "repro"
+	"repro/internal/repl"
+	"repro/server"
+)
+
+// replFaultSeed returns a fresh random seed (or the FAULT_SEED
+// override) and logs it for replay.
+func replFaultSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FAULT_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("fault schedule seed=%d (replay with FAULT_SEED=%d)", seed, seed)
+	return seed
+}
+
+// startPrimaryHB is startPrimary with a heartbeat interval override,
+// so fault tests can run deadlines tight without slowing the suite.
+func startPrimaryHB(t testing.TB, dir string, hb time.Duration) *primaryHarness {
+	t.Helper()
+	d, err := alex.OpenDurable(dir,
+		alex.WithFsyncPolicy(alex.FsyncNever),
+		alex.WithCheckpointEvery(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &primaryHarness{d: d, hb: hb}
+	h.serve(t)
+	t.Cleanup(func() {
+		h.stop()
+		d.Close()
+	})
+	return h
+}
+
+// A Follower must still satisfy the server surface with fault knobs set.
+var _ server.Store = (*repl.Follower)(nil)
+
+// faultDialer wraps every dialed conn in a FaultConn and hands it to
+// the schedule's arm hook, keyed by connection ordinal.
+type faultDialer struct {
+	mu    sync.Mutex
+	conns []*repl.FaultConn
+	arm   func(i int, fc *repl.FaultConn)
+}
+
+func (fd *faultDialer) dial(network, addr string) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	fc := repl.WrapConn(c)
+	fd.mu.Lock()
+	i := len(fd.conns)
+	fd.conns = append(fd.conns, fc)
+	arm := fd.arm
+	fd.mu.Unlock()
+	if arm != nil {
+		arm(i, fc)
+	}
+	return fc, nil
+}
+
+func (fd *faultDialer) count() int {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return len(fd.conns)
+}
+
+func (fd *faultDialer) last() *repl.FaultConn {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if len(fd.conns) == 0 {
+		return nil
+	}
+	return fd.conns[len(fd.conns)-1]
+}
+
+// startFaultFollower wires a follower to the primary through fd with
+// tight liveness deadlines.
+func startFaultFollower(t testing.TB, addr string, fd *faultDialer, idle time.Duration) *repl.Follower {
+	t.Helper()
+	f := repl.NewFollower(addr, 4)
+	f.Dial = fd.dial
+	if idle > 0 {
+		f.IdleTimeout = idle
+	}
+	f.Start()
+	t.Cleanup(f.Stop)
+	return f
+}
+
+// waitReconnect polls until the dialer has made more than n
+// connections — the follower noticed the fault and came back.
+func waitReconnect(t *testing.T, fd *faultDialer, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for fd.count() <= n {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reconnected (still %d conns)", fd.count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplFaultMidFrameCut severs the stream a few bytes into a frame:
+// the follower must drop the torn frame, reconnect, resume from its
+// applied position, and converge byte-exact.
+func TestReplFaultMidFrameCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(replFaultSeed(t)))
+	cutAfter := int64(1 + rng.Intn(30))
+	t.Logf("schedule: cut stream reads %d bytes into the next frame", cutAfter)
+
+	h := startPrimaryHB(t, t.TempDir(), 100*time.Millisecond)
+	fd := &faultDialer{}
+	f := startFaultFollower(t, h.addr, fd, 2*time.Second)
+
+	keys, vals := seqKeys(0, 2000)
+	h.d.Merge(keys, vals)
+	waitConverged(t, h.d, f, 10*time.Second)
+	conns := fd.count()
+
+	// Arm the cut on the live stream, then push a frame bigger than the
+	// remaining budget: the read tears mid-frame.
+	fd.last().CutReadsAfter(cutAfter)
+	keys2, vals2 := seqKeys(1e6, 1000)
+	h.d.Merge(keys2, vals2)
+
+	waitReconnect(t, fd, conns, 10*time.Second)
+	waitConverged(t, h.d, f, 10*time.Second)
+	assertIdentical(t, h.d, f)
+}
+
+// TestReplFaultHungPrimary stalls the link without closing it — the
+// pathological partition heartbeats exist for. The follower's idle
+// deadline must fire, tear the stream down, and reconnect.
+func TestReplFaultHungPrimary(t *testing.T) {
+	rng := rand.New(rand.NewSource(replFaultSeed(t)))
+	idle := time.Duration(300+rng.Intn(300)) * time.Millisecond
+	t.Logf("schedule: stall the live stream; idle deadline %v, heartbeat 50ms", idle)
+
+	h := startPrimaryHB(t, t.TempDir(), 50*time.Millisecond)
+	fd := &faultDialer{}
+	f := startFaultFollower(t, h.addr, fd, idle)
+
+	keys, vals := seqKeys(0, 1000)
+	h.d.Merge(keys, vals)
+	waitConverged(t, h.d, f, 10*time.Second)
+	conns := fd.count()
+
+	// Hang the link: heartbeats stop arriving, so the idle deadline is
+	// the only thing standing between the follower and waiting forever.
+	stalled := fd.last()
+	stalled.Stall()
+	start := time.Now()
+	waitReconnect(t, fd, conns, 10*time.Second)
+	if waited := time.Since(start); waited < idle/2 {
+		t.Fatalf("reconnected after %v, before the idle deadline could plausibly fire", waited)
+	}
+	stalled.Unstall()
+
+	keys2, vals2 := seqKeys(1e6, 500)
+	h.d.Merge(keys2, vals2)
+	waitConverged(t, h.d, f, 10*time.Second)
+	assertIdentical(t, h.d, f)
+}
+
+// TestReplFaultBootstrapCut severs the connection in the middle of the
+// snapshot download: the half-loaded bootstrap must be discarded and
+// retried, never served.
+func TestReplFaultBootstrapCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(replFaultSeed(t)))
+	cutAfter := int64(64 + rng.Intn(512))
+	t.Logf("schedule: cut the first connection %d bytes into the snapshot", cutAfter)
+
+	h := startPrimaryHB(t, t.TempDir(), 100*time.Millisecond)
+	keys, vals := seqKeys(0, 10000)
+	h.d.Merge(keys, vals)
+	if err := h.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	fd := &faultDialer{}
+	fd.arm = func(i int, fc *repl.FaultConn) {
+		if i == 0 {
+			fc.CutReadsAfter(cutAfter) // snapshot is ~100KB; this tears it
+		}
+	}
+	f := startFaultFollower(t, h.addr, fd, 2*time.Second)
+
+	waitConverged(t, h.d, f, 15*time.Second)
+	if fd.count() < 2 {
+		t.Fatalf("bootstrap succeeded through a cut connection (%d conns)", fd.count())
+	}
+	assertIdentical(t, h.d, f)
+	if _, ok := f.Get(keys[0]); !ok {
+		t.Fatal("snapshot data missing after bootstrap retry")
+	}
+}
+
+// TestReplFaultLinkLatency adds per-op latency to every connection: a
+// slow link changes throughput, never correctness.
+func TestReplFaultLinkLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(replFaultSeed(t)))
+	delay := time.Duration(1+rng.Intn(3)) * time.Millisecond
+	t.Logf("schedule: +%v per read/write on every follower connection", delay)
+
+	h := startPrimaryHB(t, t.TempDir(), 100*time.Millisecond)
+	fd := &faultDialer{}
+	fd.arm = func(i int, fc *repl.FaultConn) { fc.DelayEach(delay) }
+	f := startFaultFollower(t, h.addr, fd, 5*time.Second)
+
+	keys, vals := seqKeys(0, 3000)
+	h.d.Merge(keys, vals)
+	for i := 0; i < 50; i++ {
+		h.d.Insert(2e6+float64(i), uint64(i))
+	}
+	waitConverged(t, h.d, f, 20*time.Second)
+	assertIdentical(t, h.d, f)
+}
+
+// TestReplFaultHeartbeatKeepsIdleLinkAlive: with heartbeats well inside
+// the idle deadline, a quiet primary must NOT trip the deadline — the
+// link stays up through silence and resumes instantly.
+func TestReplFaultHeartbeatKeepsIdleLinkAlive(t *testing.T) {
+	h := startPrimaryHB(t, t.TempDir(), 50*time.Millisecond)
+	fd := &faultDialer{}
+	f := startFaultFollower(t, h.addr, fd, 300*time.Millisecond)
+
+	keys, vals := seqKeys(0, 500)
+	h.d.Merge(keys, vals)
+	waitConverged(t, h.d, f, 10*time.Second)
+	conns := fd.count()
+
+	// Several idle-deadline windows of pure silence from the workload;
+	// only heartbeats flow.
+	time.Sleep(1200 * time.Millisecond)
+	if got := fd.count(); got != conns {
+		t.Fatalf("idle link reconnected %d times despite heartbeats", got-conns)
+	}
+	if _, connected, lastErr, _, _ := f.Status(); !connected {
+		t.Fatalf("idle link dropped (lastErr=%v)", lastErr)
+	}
+
+	h.d.Insert(9e6, 42)
+	waitConverged(t, h.d, f, 10*time.Second)
+	if v, ok := f.Get(9e6); !ok || v != 42 {
+		t.Fatalf("post-idle write not applied: %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,228 @@
+package repl
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnCut is returned by a FaultConn once its scripted byte budget
+// is exhausted: the connection behaves as if the peer vanished
+// mid-stream (the underlying conn is closed, so the peer sees the
+// break too).
+var ErrConnCut = errors.New("repl: faultconn: connection cut")
+
+// FaultConn wraps a net.Conn with deterministic scripted network
+// faults — the transport-layer half of the fault-injection harness:
+//
+//   - CutReadsAfter / CutWritesAfter: sever the connection after
+//     exactly N more bytes in that direction. Cutting mid-frame is how
+//     the tests produce truncated replication frames.
+//   - Stall / Unstall: freeze both directions without closing anything
+//     — a hung (not dead) peer or an unhealed partition. A stalled
+//     read still honors the read deadline set via SetReadDeadline, so
+//     deadline-based liveness detection (the follower's idle timeout)
+//     can be exercised through a stall.
+//   - DelayEach: fixed added latency per Read/Write — a slow path.
+//
+// Wrap either end: the follower's Dial hook or the client's WithDialer
+// for the initiating side, or a listener shim for the serving side.
+// Safe for concurrent use.
+type FaultConn struct {
+	net.Conn
+
+	mu        sync.Mutex
+	readLeft  int64 // bytes until the read direction cuts; -1 unlimited
+	writeLeft int64
+	delay     time.Duration
+	stalled   chan struct{} // non-nil while stalled; closed to heal
+	readDL    time.Time     // mirrored read deadline, honored during stalls
+	closeCh   chan struct{}
+	closeOnce sync.Once
+}
+
+// WrapConn wraps c with no faults armed.
+func WrapConn(c net.Conn) *FaultConn {
+	return &FaultConn{Conn: c, readLeft: -1, writeLeft: -1, closeCh: make(chan struct{})}
+}
+
+// CutReadsAfter arms the read direction to sever after n more bytes.
+func (fc *FaultConn) CutReadsAfter(n int64) {
+	fc.mu.Lock()
+	fc.readLeft = n
+	fc.mu.Unlock()
+}
+
+// CutWritesAfter arms the write direction to sever after n more bytes.
+func (fc *FaultConn) CutWritesAfter(n int64) {
+	fc.mu.Lock()
+	fc.writeLeft = n
+	fc.mu.Unlock()
+}
+
+// DelayEach adds d of latency before every Read and Write.
+func (fc *FaultConn) DelayEach(d time.Duration) {
+	fc.mu.Lock()
+	fc.delay = d
+	fc.mu.Unlock()
+}
+
+// Stall freezes the connection: Reads and Writes block until Unstall,
+// Close, or (for reads) the read deadline. The peer sees silence, not
+// a break — a hung process or a partition.
+func (fc *FaultConn) Stall() {
+	fc.mu.Lock()
+	if fc.stalled == nil {
+		fc.stalled = make(chan struct{})
+	}
+	fc.mu.Unlock()
+}
+
+// Unstall heals a Stall; blocked operations resume.
+func (fc *FaultConn) Unstall() {
+	fc.mu.Lock()
+	if fc.stalled != nil {
+		close(fc.stalled)
+		fc.stalled = nil
+	}
+	fc.mu.Unlock()
+}
+
+// timeoutError satisfies net.Error the way a real deadline expiry does,
+// so deadline-handling code paths treat a stalled-past-deadline read
+// identically to an OS-level timeout.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultconn: i/o timeout (stalled past deadline)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// waitStall blocks while the connection is stalled. For reads it
+// returns a timeout error when the mirrored read deadline expires
+// mid-stall; ErrConnCut when the conn is closed under it.
+func (fc *FaultConn) waitStall(honorReadDL bool) error {
+	fc.mu.Lock()
+	ch := fc.stalled
+	dl := fc.readDL
+	fc.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	var dlC <-chan time.Time
+	if honorReadDL && !dl.IsZero() {
+		wait := time.Until(dl)
+		if wait <= 0 {
+			return timeoutError{}
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		dlC = t.C
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-fc.closeCh:
+		return ErrConnCut
+	case <-dlC:
+		return timeoutError{}
+	}
+}
+
+// cut severs the connection for both sides.
+func (fc *FaultConn) cut() error {
+	fc.closeOnce.Do(func() { close(fc.closeCh) })
+	fc.Conn.Close()
+	return ErrConnCut
+}
+
+// Read applies the scripted faults, then reads from the wrapped conn.
+// When the read budget covers only part of p, the short prefix is
+// returned with nil error and the NEXT read cuts — exactly how a
+// truncation lands at a byte boundary mid-frame.
+func (fc *FaultConn) Read(p []byte) (int, error) {
+	fc.mu.Lock()
+	d := fc.delay
+	fc.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if err := fc.waitStall(true); err != nil {
+		return 0, err
+	}
+	fc.mu.Lock()
+	left := fc.readLeft
+	fc.mu.Unlock()
+	if left == 0 {
+		return 0, fc.cut()
+	}
+	if left > 0 && int64(len(p)) > left {
+		p = p[:left]
+	}
+	n, err := fc.Conn.Read(p)
+	if left > 0 {
+		fc.mu.Lock()
+		fc.readLeft -= int64(n)
+		fc.mu.Unlock()
+	}
+	return n, err
+}
+
+// Write applies the scripted faults, then writes to the wrapped conn.
+// A budget-bounded write delivers the permitted prefix and cuts: the
+// peer receives a torn frame.
+func (fc *FaultConn) Write(p []byte) (int, error) {
+	fc.mu.Lock()
+	d := fc.delay
+	fc.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if err := fc.waitStall(false); err != nil {
+		return 0, err
+	}
+	fc.mu.Lock()
+	left := fc.writeLeft
+	fc.mu.Unlock()
+	if left == 0 {
+		return 0, fc.cut()
+	}
+	if left > 0 && int64(len(p)) > left {
+		n, _ := fc.Conn.Write(p[:left])
+		fc.mu.Lock()
+		fc.writeLeft -= int64(n)
+		fc.mu.Unlock()
+		fc.cut()
+		return n, ErrConnCut
+	}
+	n, err := fc.Conn.Write(p)
+	if left > 0 {
+		fc.mu.Lock()
+		fc.writeLeft -= int64(n)
+		fc.mu.Unlock()
+	}
+	return n, err
+}
+
+// SetReadDeadline mirrors the deadline (so stalled reads can honor it)
+// and forwards it to the wrapped conn.
+func (fc *FaultConn) SetReadDeadline(t time.Time) error {
+	fc.mu.Lock()
+	fc.readDL = t
+	fc.mu.Unlock()
+	return fc.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline mirrors the read half and forwards both.
+func (fc *FaultConn) SetDeadline(t time.Time) error {
+	fc.mu.Lock()
+	fc.readDL = t
+	fc.mu.Unlock()
+	return fc.Conn.SetDeadline(t)
+}
+
+// Close unblocks stalled operations and closes the wrapped conn.
+func (fc *FaultConn) Close() error {
+	fc.closeOnce.Do(func() { close(fc.closeCh) })
+	return fc.Conn.Close()
+}

@@ -33,6 +33,20 @@ type Follower struct {
 	primary string
 	shards  int
 
+	// DialTimeout bounds each connection attempt (default 2s): an
+	// unreachable primary fails into the backoff loop instead of
+	// blocking on the OS connect timeout.
+	DialTimeout time.Duration
+	// IdleTimeout is the stream read deadline, refreshed on every byte
+	// received (default 10s). The primary heartbeats an idle stream
+	// well inside it, so the deadline only fires when the primary is
+	// hung or the path is dead — triggering backoff-and-reconnect
+	// instead of blocking forever. Zero disables the deadline.
+	IdleTimeout time.Duration
+	// Dial overrides the stream dialer (nil = net.DialTimeout with
+	// DialTimeout). Fault-injection tests wrap the returned conn.
+	Dial func(network, addr string) (net.Conn, error)
+
 	// backend is swapped wholesale when a bootstrap loads a fresh
 	// snapshot; readers always see either the old consistent state or
 	// the new one, never a mix.
@@ -58,10 +72,12 @@ func NewFollower(addr string, shards int) *Follower {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	f := &Follower{
-		primary: addr,
-		shards:  shards,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		primary:     addr,
+		shards:      shards,
+		DialTimeout: 2 * time.Second,
+		IdleTimeout: 10 * time.Second,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	f.backend.Store(alex.NewSharded(shards))
 	return f
@@ -148,7 +164,13 @@ func (f *Follower) run() {
 // the requested history truncated), then the frame loop. ok reports
 // whether the handshake reached streaming (for backoff reset).
 func (f *Follower) stream() (ok bool, err error) {
-	c, err := net.Dial("tcp", f.primary)
+	dial := f.Dial
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, f.DialTimeout)
+		}
+	}
+	c, err := dial("tcp", f.primary)
 	if err != nil {
 		return false, err
 	}
@@ -163,7 +185,15 @@ func (f *Follower) stream() (ok bool, err error) {
 		case <-watchDone:
 		}
 	}()
-	br := bufio.NewReaderSize(c, 1<<16)
+	// Every read refreshes the idle deadline; with the primary
+	// heartbeating an otherwise-quiet stream, the deadline firing means
+	// the primary is hung or unreachable — surface it as a stream error
+	// and let the backoff loop reconnect.
+	var src io.Reader = c
+	if f.IdleTimeout > 0 {
+		src = &idleConn{c: c, idle: f.IdleTimeout}
+	}
+	br := bufio.NewReaderSize(src, 1<<16)
 
 	for {
 		if f.seg.Load() == 0 {
@@ -239,9 +269,14 @@ func (f *Follower) frameLoop(br *bufio.Reader) error {
 			f.seg.Store(pendSeg)
 			f.off.Store(pendOff)
 		}
-		seg, off, err := ReadFrameHeader(br)
+		seg, off, hb, err := ReadFrameHeader(br)
 		if err != nil {
 			return err
+		}
+		if hb {
+			// Liveness only: no record follows, and the position it
+			// carries is the primary's head, not something we applied.
+			continue
 		}
 		rec, s, err := wal.ReadFramed(br, scratch)
 		if err != nil {
@@ -253,6 +288,20 @@ func (f *Follower) frameLoop(br *bufio.Reader) error {
 		}
 		pendSeg, pendOff = seg, off
 	}
+}
+
+// idleConn refreshes c's read deadline before every Read, so the
+// deadline measures stream silence rather than total stream age.
+type idleConn struct {
+	c    net.Conn
+	idle time.Duration
+}
+
+func (ic *idleConn) Read(p []byte) (int, error) {
+	if err := ic.c.SetReadDeadline(time.Now().Add(ic.idle)); err != nil {
+		return 0, err
+	}
+	return ic.c.Read(p)
 }
 
 func readLine(br *bufio.Reader) (string, error) {

@@ -31,8 +31,11 @@
 //	  (marker 'R', little-endian u64 segment, u64 offset of the byte
 //	  *after* the record — the follower's resume position once the
 //	  record is applied) followed by the record in the WAL segment
-//	  wire format (length, CRC, payload). The stream ends only when
-//	  either side closes the connection.
+//	  wire format (length, CRC, payload). When the log is idle the
+//	  primary sends header-only heartbeat frames (marker 'H', same
+//	  layout, carrying its current position) so a follower can tell a
+//	  quiet primary from a hung one and arm a read deadline. The
+//	  stream ends only when either side closes the connection.
 package repl
 
 import (
@@ -48,25 +51,39 @@ const frameHeaderSize = 1 + 8 + 8
 // detected immediately instead of decoding garbage.
 const frameMarker = 'R'
 
+// heartbeatMarker tags a header-only liveness frame: no record follows.
+const heartbeatMarker = 'H'
+
 // AppendFrameHeader appends a frame header for a record ending at
 // (seg, off) to dst.
 func AppendFrameHeader(dst []byte, seg uint64, off int64) []byte {
+	return appendHeader(dst, frameMarker, seg, off)
+}
+
+// AppendHeartbeat appends a header-only heartbeat frame carrying the
+// primary's current position to dst.
+func AppendHeartbeat(dst []byte, seg uint64, off int64) []byte {
+	return appendHeader(dst, heartbeatMarker, seg, off)
+}
+
+func appendHeader(dst []byte, marker byte, seg uint64, off int64) []byte {
 	var h [frameHeaderSize]byte
-	h[0] = frameMarker
+	h[0] = marker
 	binary.LittleEndian.PutUint64(h[1:9], seg)
 	binary.LittleEndian.PutUint64(h[9:17], uint64(off))
 	return append(dst, h[:]...)
 }
 
 // ReadFrameHeader reads one frame header, returning the position after
-// the record that follows it.
-func ReadFrameHeader(r io.Reader) (seg uint64, off int64, err error) {
+// the record that follows it. hb reports a heartbeat frame: the header
+// carries the primary's live position but no record follows it.
+func ReadFrameHeader(r io.Reader) (seg uint64, off int64, hb bool, err error) {
 	var h [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	if h[0] != frameMarker {
-		return 0, 0, fmt.Errorf("repl: bad frame marker 0x%02x (stream desynchronized)", h[0])
+	if h[0] != frameMarker && h[0] != heartbeatMarker {
+		return 0, 0, false, fmt.Errorf("repl: bad frame marker 0x%02x (stream desynchronized)", h[0])
 	}
-	return binary.LittleEndian.Uint64(h[1:9]), int64(binary.LittleEndian.Uint64(h[9:17])), nil
+	return binary.LittleEndian.Uint64(h[1:9]), int64(binary.LittleEndian.Uint64(h[9:17])), h[0] == heartbeatMarker, nil
 }

@@ -26,6 +26,7 @@ type primaryHarness struct {
 	srv  *server.Server
 	ln   net.Listener
 	addr string
+	hb   time.Duration // heartbeat override for fault tests (0 = default)
 }
 
 func startPrimary(t testing.TB, dir string, opts ...alex.DurableOption) *primaryHarness {
@@ -61,6 +62,9 @@ func (h *primaryHarness) serve(t testing.TB) {
 	h.ln = ln
 	h.addr = ln.Addr().String()
 	h.srv = server.New(h.d)
+	if h.hb != 0 {
+		h.srv.HeartbeatEvery = h.hb
+	}
 	go h.srv.Serve(ln)
 }
 

@@ -1,13 +1,22 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultfs"
 )
+
+// ErrSealFailed reports that Rotate could not flush and fsync the
+// rotated-out segment. Records acknowledged into that segment under a
+// deferred-sync policy may not be durable — callers treat this as a
+// durability failure, not a transient one.
+var ErrSealFailed = errors.New("wal: seal rotated segment")
 
 // Segment names one on-disk log segment.
 type Segment struct {
@@ -23,7 +32,12 @@ func segmentPath(dir string, seq uint64) string {
 
 // Segments lists dir's log segments in ascending sequence order.
 func Segments(dir string) ([]Segment, error) {
-	ents, err := os.ReadDir(dir)
+	return SegmentsFS(faultfs.OS, dir)
+}
+
+// SegmentsFS is Segments on an explicit filesystem.
+func SegmentsFS(fsys faultfs.FS, dir string) ([]Segment, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -52,6 +66,7 @@ func Segments(dir string) ([]Segment, error) {
 // older), and counters aggregate across segments.
 type Log struct {
 	dir      string
+	fsys     faultfs.FS
 	policy   Policy
 	interval time.Duration
 	stats    counters
@@ -94,7 +109,13 @@ func (n *notifier) bump() {
 // segment numbered after the existing ones (old segments are replayed
 // by recovery and removed by the next checkpoint — never appended to).
 func OpenLog(dir string, policy Policy, interval time.Duration) (*Log, error) {
-	segs, err := Segments(dir)
+	return OpenLogFS(faultfs.OS, dir, policy, interval)
+}
+
+// OpenLogFS is OpenLog on an explicit filesystem — the seam fault
+// injection enters through.
+func OpenLogFS(fsys faultfs.FS, dir string, policy Policy, interval time.Duration) (*Log, error) {
+	segs, err := SegmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -102,10 +123,18 @@ func OpenLog(dir string, policy Policy, interval time.Duration) (*Log, error) {
 	if len(segs) > 0 {
 		next = segs[len(segs)-1].Seq + 1
 	}
-	l := &Log{dir: dir, policy: policy, interval: interval, curSeq: next}
-	l.cur, err = NewWriter(segmentPath(dir, next), policy, interval, &l.stats, l.tailers.bump)
+	l := &Log{dir: dir, fsys: fsys, policy: policy, interval: interval, curSeq: next}
+	l.cur, err = NewWriterFS(fsys, segmentPath(dir, next), policy, interval, &l.stats, l.tailers.bump)
 	if err != nil {
 		return nil, err
+	}
+	// Make the new segment's directory entry durable before any record
+	// is acknowledged from it: without this, a crash can lose the whole
+	// segment (the file's data is fsynced, its name is not).
+	if err := fsys.SyncDir(dir); err != nil {
+		l.cur.Close()
+		_ = fsys.Remove(segmentPath(dir, next))
+		return nil, fmt.Errorf("wal: sync dir after segment create: %w", err)
 	}
 	return l, nil
 }
@@ -140,14 +169,23 @@ func (l *Log) Rotate() error {
 	if l.closed {
 		return ErrClosed
 	}
-	next, err := NewWriter(segmentPath(l.dir, l.curSeq+1), l.policy, l.interval, &l.stats, l.tailers.bump)
+	next, err := NewWriterFS(l.fsys, segmentPath(l.dir, l.curSeq+1), l.policy, l.interval, &l.stats, l.tailers.bump)
 	if err != nil {
 		return err
+	}
+	// The new segment's directory entry must be durable before the old
+	// segment seals: otherwise a crash after rotation loses the entry —
+	// and with it every record acked into the new segment. Back out the
+	// new writer on failure so a retried Rotate does not trip O_EXCL.
+	if err := l.fsys.SyncDir(l.dir); err != nil {
+		next.Close()
+		_ = l.fsys.Remove(segmentPath(l.dir, l.curSeq+1))
+		return fmt.Errorf("wal: sync dir after rotate: %w", err)
 	}
 	old := l.cur
 	l.cur, l.curSeq = next, l.curSeq+1
 	if err := old.Close(); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrSealFailed, err)
 	}
 	// Wake tailers parked at the old segment's live tail: it is sealed
 	// now, so they advance into the new segment.
@@ -170,16 +208,27 @@ func (l *Log) RemoveObsolete() error {
 	l.mu.RLock()
 	cur := l.curSeq
 	l.mu.RUnlock()
-	segs, err := Segments(l.dir)
+	segs, err := SegmentsFS(l.fsys, l.dir)
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, seg := range segs {
 		if seg.Seq >= cur {
 			continue
 		}
-		if err := os.Remove(seg.Path); err != nil {
+		if err := l.fsys.Remove(seg.Path); err != nil {
 			return err
+		}
+		removed = true
+	}
+	if removed {
+		// Make the truncation durable: a crash that resurrects removed
+		// entries is harmless for correctness (their records are covered
+		// by the snapshot) but the dir sync bounds recovery work and
+		// keeps the on-disk state the code reasons about.
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: sync dir after truncate: %w", err)
 		}
 	}
 	return nil

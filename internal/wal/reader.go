@@ -7,7 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"repro/internal/faultfs"
 )
 
 // Reader iterates the records of one segment. Any invalid byte — a
@@ -82,8 +83,13 @@ func (rd *Reader) Next() (*Record, error) {
 // them after a second crash. fn errors and file-open errors abort the
 // replay.
 func ReplaySegments(segs []Segment, fn func(*Record) error) (n int, torn bool, err error) {
+	return ReplaySegmentsFS(faultfs.OS, segs, fn)
+}
+
+// ReplaySegmentsFS is ReplaySegments on an explicit filesystem.
+func ReplaySegmentsFS(fsys faultfs.FS, segs []Segment, fn func(*Record) error) (n int, torn bool, err error) {
 	for _, seg := range segs {
-		f, err := os.Open(seg.Path)
+		f, err := faultfs.Open(fsys, seg.Path)
 		if err != nil {
 			return n, torn, err
 		}

@@ -7,6 +7,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"repro/internal/faultfs"
 )
 
 // HeaderSize is the byte length of the segment magic — the file offset
@@ -23,6 +26,11 @@ var ErrTruncated = errors.New("wal: position truncated")
 // ErrStopped is returned by Tailer.Next when the caller's stop channel
 // fired while waiting at the live tail.
 var ErrStopped = errors.New("wal: tail stopped")
+
+// ErrIdle is returned by Tailer.NextTimeout when no record arrived
+// within the idle window. The tailer remains usable; callers typically
+// emit a heartbeat and wait again.
+var ErrIdle = errors.New("wal: tail idle")
 
 // ErrShortFrame reports that a byte buffer ends before the framed
 // record it starts does.
@@ -106,9 +114,10 @@ type Tailer struct {
 	log        *Log
 	seg        uint64
 	off        int64 // file offset of the next unread byte
-	f          *os.File
+	f          faultfs.File
 	sealedSize int64 // stat'd size once the segment is known sealed; -1 before
 	buf        []byte
+	idle       *time.Timer // NextTimeout's reusable idle timer
 }
 
 // NewTailer positions a tailer at (seg, off). seg 0 means "the start of
@@ -123,7 +132,7 @@ func (l *Log) NewTailer(seg uint64, off int64) (*Tailer, error) {
 		return nil, ErrClosed
 	}
 	if seg == 0 {
-		segs, err := Segments(l.dir)
+		segs, err := SegmentsFS(l.fsys, l.dir)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +158,7 @@ func (l *Log) NewTailer(seg uint64, off int64) (*Tailer, error) {
 
 // open opens the tailer's current segment file.
 func (t *Tailer) open() error {
-	f, err := os.Open(segmentPath(t.log.dir, t.seg))
+	f, err := faultfs.Open(t.log.fsys, segmentPath(t.log.dir, t.seg))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return fmt.Errorf("%w: segment %d", ErrTruncated, t.seg)
@@ -237,6 +246,34 @@ func (t *Tailer) fill(limit int64) (int, error) {
 // ErrCorrupt are real corruption inside the committed prefix of the
 // live segment and should end the stream.
 func (t *Tailer) Next(stop <-chan struct{}) (rec *Record, seg uint64, off int64, err error) {
+	return t.next(stop, nil)
+}
+
+// NextTimeout is Next with an idle bound: when no record becomes
+// available within idle, it returns ErrIdle instead of blocking on.
+// The tailer's position is unchanged by an idle return, so the caller
+// can send a heartbeat and call again. idle <= 0 means no bound.
+func (t *Tailer) NextTimeout(stop <-chan struct{}, idle time.Duration) (rec *Record, seg uint64, off int64, err error) {
+	if idle <= 0 {
+		return t.next(stop, nil)
+	}
+	if t.idle == nil {
+		t.idle = time.NewTimer(idle)
+	} else {
+		// The timer is never running here: every next() return path
+		// leaves it stopped and drained.
+		t.idle.Reset(idle)
+	}
+	rec, seg, off, err = t.next(stop, t.idle.C)
+	if !t.idle.Stop() && err != ErrIdle {
+		<-t.idle.C
+	}
+	return rec, seg, off, err
+}
+
+// next is the shared engine of Next and NextTimeout. idleC (may be
+// nil) aborts a live-tail wait with ErrIdle.
+func (t *Tailer) next(stop <-chan struct{}, idleC <-chan time.Time) (rec *Record, seg uint64, off int64, err error) {
 	for {
 		// Grab the wait channel before sampling state: a bump between
 		// the sample and the wait closes this channel, so no visible
@@ -290,6 +327,8 @@ func (t *Tailer) Next(stop <-chan struct{}) (rec *Record, seg uint64, off int64,
 			case <-waitCh:
 			case <-stop:
 				return nil, 0, 0, ErrStopped
+			case <-idleC:
+				return nil, 0, 0, ErrIdle
 			}
 			break // outer loop: re-sample state
 		}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Policy selects when appended records are fsynced.
@@ -58,7 +60,7 @@ type Writer struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	f       *os.File
+	f       faultfs.File
 	buf     *bufio.Writer
 	seq     uint64 // records appended
 	synced  uint64 // records known durable
@@ -85,7 +87,13 @@ type Writer struct {
 // notify (may be nil) is invoked whenever the visible tail watermark
 // advances, so tailing readers can wake without polling.
 func NewWriter(path string, policy Policy, interval time.Duration, stats *counters, notify func()) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	return NewWriterFS(faultfs.OS, path, policy, interval, stats, notify)
+}
+
+// NewWriterFS is NewWriter on an explicit filesystem — the seam fault
+// injection enters through.
+func NewWriterFS(fsys faultfs.FS, path string, policy Policy, interval time.Duration, stats *counters, notify func()) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package alex
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultfs"
 	"repro/internal/wal"
 )
 
@@ -125,8 +127,8 @@ func (d *DurableIndex) NewTailer(seg uint64, off int64) (*wal.Tailer, error) {
 // local recovery tolerates), never a gap. The pair (snapshot, replay
 // from startSeg) therefore reconstructs exactly what OpenDurable would
 // recover on the primary.
-func (d *DurableIndex) SnapshotForReplication() (rc *os.File, size int64, startSeg uint64, err error) {
-	segs, err := wal.Segments(d.dir)
+func (d *DurableIndex) SnapshotForReplication() (rc io.ReadCloser, size int64, startSeg uint64, err error) {
+	segs, err := wal.SegmentsFS(d.cfg.fsys, d.dir)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -135,7 +137,7 @@ func (d *DurableIndex) SnapshotForReplication() (rc *os.File, size int64, startS
 	} else {
 		startSeg = d.log.CurrentSeq()
 	}
-	f, err := os.Open(filepath.Join(d.dir, snapshotName))
+	f, err := faultfs.Open(d.cfg.fsys, filepath.Join(d.dir, snapshotName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, startSeg, nil

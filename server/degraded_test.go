@@ -1,0 +1,137 @@
+package server
+
+// Protocol surface of graceful degradation: a durable store whose WAL
+// fsync fails mid-session must turn into a read-only server — every
+// mutation answered with a typed in-band error, every read still
+// served, and the state visible to probes via HEALTH, WALSTATS and
+// REPLINFO.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	alex "repro"
+	"repro/internal/faultfs"
+)
+
+// startDegradableServer serves a durable index whose WAL fsyncs start
+// failing at the given count.
+func startDegradableServer(t *testing.T, failSyncAt int) string {
+	t.Helper()
+	inj := faultfs.New(faultfs.OS)
+	inj.FailNth(faultfs.OpSync, "wal-", failSyncAt, fmt.Errorf("scripted fsync failure"))
+	idx, err := alex.OpenDurable(t.TempDir(),
+		alex.WithFilesystem(inj),
+		alex.WithFsyncPolicy(alex.FsyncAlways),
+		alex.WithCheckpointEvery(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx)
+	ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); srv.Close(); idx.Close() })
+	return ln.Addr().String()
+}
+
+// TestDegradedServerRejectsWritesServesReads: the full protocol sweep
+// across the degradation edge.
+func TestDegradedServerRejectsWritesServesReads(t *testing.T) {
+	addr := startDegradableServer(t, 2)
+	cl := dial(t, addr)
+
+	if got := cl.roundTrip("HEALTH"); got != "OK" {
+		t.Fatalf("HEALTH before fault = %q", got)
+	}
+	if got := cl.roundTrip("SET 1 10"); got != "OK inserted" {
+		t.Fatalf("SET 1 = %q", got)
+	}
+	// This write needs the second fsync — the scripted failure. The
+	// reply must be the typed degraded error, not a dropped connection.
+	if got := cl.roundTrip("SET 2 20"); !strings.HasPrefix(got, "ERR degraded") {
+		t.Fatalf("SET across the fault = %q, want ERR degraded...", got)
+	}
+
+	// Every mutation now bounces, loudly and in-band.
+	for _, cmd := range []string{"SET 3 30", "DEL 1", "MSET 4 40 5 50", "MDEL 1 2"} {
+		if got := cl.roundTrip(cmd); !strings.HasPrefix(got, "ERR degraded") {
+			t.Fatalf("%s on degraded server = %q, want ERR degraded...", cmd, got)
+		}
+	}
+	// Reads keep serving the acknowledged prefix.
+	if got := cl.roundTrip("GET 1"); got != "VALUE 10" {
+		t.Fatalf("GET on degraded server = %q", got)
+	}
+	if got := cl.roundTrip("GET 2"); got != "NOTFOUND" {
+		t.Fatalf("unacked key visible after degradation: %q", got)
+	}
+	if got := cl.roundTrip("LEN"); got != "LEN 1" {
+		t.Fatalf("LEN on degraded server = %q", got)
+	}
+
+	// Probes see the state.
+	if got := cl.roundTrip("HEALTH"); !strings.HasPrefix(got, "DEGRADED") {
+		t.Fatalf("HEALTH after fault = %q, want DEGRADED...", got)
+	}
+	ws := cl.roundTrip("WALSTATS")
+	var a, s, b, c uint64
+	var replayed, followers int
+	var lag int64
+	var degraded int
+	if _, err := fmt.Sscanf(ws, "WAL %d %d %d %d %d %d %d %d", &a, &s, &b, &c, &replayed, &followers, &lag, &degraded); err != nil {
+		t.Fatalf("WALSTATS %q: %v", ws, err)
+	}
+	if degraded != 1 {
+		t.Fatalf("WALSTATS degraded field = %d, want 1 (%q)", degraded, ws)
+	}
+	cl.send("REPLINFO")
+	sawDegraded := false
+	for {
+		line := cl.recv()
+		if line == "END" {
+			break
+		}
+		if line == "DEGRADED true" {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("REPLINFO on a degraded primary carries no DEGRADED line")
+	}
+	// Durability commands refuse rather than pretend.
+	if got := cl.roundTrip("FLUSH"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("FLUSH on degraded server = %q, want ERR...", got)
+	}
+	if got := cl.roundTrip("SAVE"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("SAVE on degraded server = %q, want ERR...", got)
+	}
+}
+
+// TestHealthCommandVariants: HEALTH on a plain in-memory server (no
+// Degrader) and on a read-only one.
+func TestHealthCommandVariants(t *testing.T) {
+	addr, _ := startServer(t)
+	cl := dial(t, addr)
+	if got := cl.roundTrip("HEALTH"); got != "OK" {
+		t.Fatalf("HEALTH on in-memory server = %q", got)
+	}
+
+	ro := New(alex.NewSync(alex.WithSplitOnInsert()))
+	ro.ReadOnly = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ro.Serve(ln)
+	t.Cleanup(func() { ln.Close(); ro.Close() })
+	rcl := dial(t, ln.Addr().String())
+	if got := rcl.roundTrip("HEALTH"); got != "OK read-only" {
+		t.Fatalf("HEALTH on read-only server = %q", got)
+	}
+}

@@ -12,10 +12,10 @@ import (
 	"io"
 	"math"
 	"net"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	alex "repro"
 	"repro/internal/repl"
@@ -63,13 +63,22 @@ type WALStatser interface {
 	WALStats() alex.WALStats
 }
 
+// Degrader is the optional Store extension reporting the poisoned
+// read-only state behind HEALTH and the degraded write rejection;
+// *alex.DurableIndex implements it. A non-nil Degraded means a
+// durability failure occurred: the store rejects mutations (wrapping
+// alex.ErrDegraded) while reads keep serving.
+type Degrader interface {
+	Degraded() error
+}
+
 // Replicator is the optional Store extension behind the primary side
 // of WAL-shipping replication (REPLINFO, SNAPSHOT and REPLICATE);
 // *alex.DurableIndex implements it.
 type Replicator interface {
 	ReplicationPosition() (seg uint64, off int64)
 	NewTailer(seg uint64, off int64) (*wal.Tailer, error)
-	SnapshotForReplication() (rc *os.File, size int64, startSeg uint64, err error)
+	SnapshotForReplication() (rc io.ReadCloser, size int64, startSeg uint64, err error)
 	RegisterFollower(addr string, seg uint64, off int64) *alex.FollowerHandle
 	Followers() []alex.FollowerInfo
 	Checkpoints() uint64
@@ -90,6 +99,7 @@ var (
 	_ Checkpointer = (*alex.DurableIndex)(nil)
 	_ WALStatser   = (*alex.DurableIndex)(nil)
 	_ Replicator   = (*alex.DurableIndex)(nil)
+	_ Degrader     = (*alex.DurableIndex)(nil)
 )
 
 // Server handles connections speaking the alexkv protocol against one
@@ -101,6 +111,18 @@ type Server struct {
 	// replica"), the replica mode of a server fed by a repl.Follower.
 	// Set before Serve.
 	ReadOnly bool
+
+	// HeartbeatEvery is how often an idle REPLICATE stream sends a
+	// header-only heartbeat frame so followers can run a read deadline
+	// against a hung primary. 0 picks the 2s default; negative disables
+	// heartbeats. Set before Serve.
+	HeartbeatEvery time.Duration
+
+	// StreamWriteTimeout bounds each REPLICATE flush to the follower: a
+	// follower that stops reading (hung peer, full TCP window) ends the
+	// stream instead of pinning the handler forever. 0 picks the 30s
+	// default. Set before Serve.
+	StreamWriteTimeout time.Duration
 
 	stop chan struct{} // closed first in Close; ends REPLICATE streams
 
@@ -219,6 +241,18 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		}
 	}
 	switch cmd {
+	case "SET", "DEL", "MSET", "MDEL":
+		// Degraded fast path: a poisoned store rejects every write with
+		// the cause; reads below keep serving. A degradation that lands
+		// mid-command instead surfaces through writeGuarded.
+		if dg, ok := s.idx.(Degrader); ok {
+			if err := dg.Degraded(); err != nil {
+				fmt.Fprintf(w, "ERR degraded: %v\n", err)
+				return false
+			}
+		}
+	}
+	switch cmd {
 	case "GET":
 		key, err := wantKey(args, 1)
 		if err != nil {
@@ -245,22 +279,26 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			fmt.Fprintf(w, "ERR bad value: %v\n", err)
 			return false
 		}
-		if s.idx.Insert(key, val) {
-			fmt.Fprintln(w, "OK inserted")
-		} else {
-			fmt.Fprintln(w, "OK updated")
-		}
+		writeGuarded(w, func() {
+			if s.idx.Insert(key, val) {
+				fmt.Fprintln(w, "OK inserted")
+			} else {
+				fmt.Fprintln(w, "OK updated")
+			}
+		})
 	case "DEL":
 		key, err := wantKey(args, 1)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		if s.idx.Delete(key) {
-			fmt.Fprintln(w, "OK")
-		} else {
-			fmt.Fprintln(w, "NOTFOUND")
-		}
+		writeGuarded(w, func() {
+			if s.idx.Delete(key) {
+				fmt.Fprintln(w, "OK")
+			} else {
+				fmt.Fprintln(w, "NOTFOUND")
+			}
+		})
 	case "MGET":
 		sc := scratchPool.Get().(*batchScratch)
 		defer scratchPool.Put(sc)
@@ -301,14 +339,18 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			keys = append(keys, key)
 			vals = append(vals, val)
 		}
-		fmt.Fprintf(w, "OK %d\n", s.idx.InsertBatch(keys, vals))
+		writeGuarded(w, func() {
+			fmt.Fprintf(w, "OK %d\n", s.idx.InsertBatch(keys, vals))
+		})
 	case "MDEL":
 		keys, err := parseKeys(args, 1)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		fmt.Fprintf(w, "OK %d\n", s.idx.DeleteBatch(keys))
+		writeGuarded(w, func() {
+			fmt.Fprintf(w, "OK %d\n", s.idx.DeleteBatch(keys))
+		})
 	case "SCAN":
 		if len(args) != 2 {
 			fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
@@ -374,9 +416,24 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			return false
 		}
 		st := ws.WALStats()
-		fmt.Fprintf(w, "WAL %d %d %d %d %d %d %d\n",
+		fmt.Fprintf(w, "WAL %d %d %d %d %d %d %d %d\n",
 			st.Appends, st.Syncs, st.Bytes, st.Checkpoints, st.Replayed,
-			st.Followers, st.MaxFollowerLagBytes)
+			st.Followers, st.MaxFollowerLagBytes, boolInt(st.Degraded))
+	case "HEALTH":
+		// One line a probe can act on: OK (writable), OK read-only (a
+		// replica — healthy but not writable here), or DEGRADED with
+		// the poisoning cause.
+		if dg, ok := s.idx.(Degrader); ok {
+			if err := dg.Degraded(); err != nil {
+				fmt.Fprintf(w, "DEGRADED %v\n", err)
+				return false
+			}
+		}
+		if s.ReadOnly {
+			fmt.Fprintln(w, "OK read-only")
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
 	case "REPLINFO":
 		switch ix := s.idx.(type) {
 		case Replicator:
@@ -384,6 +441,9 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 			fmt.Fprintln(w, "ROLE primary")
 			fmt.Fprintf(w, "POSITION %d %d\n", seg, off)
 			fmt.Fprintf(w, "CHECKPOINTS %d\n", ix.Checkpoints())
+			if dg, ok := s.idx.(Degrader); ok && dg.Degraded() != nil {
+				fmt.Fprintln(w, "DEGRADED true")
+			}
 			for _, f := range ix.Followers() {
 				fmt.Fprintf(w, "FOLLOWER %s %d %d %d\n", f.Addr, f.Seg, f.Off, f.LagBytes)
 			}
@@ -496,9 +556,40 @@ func (s *Server) handleReplicate(rw io.ReadWriter, w *bufio.Writer, args []strin
 		close(stop)
 	}()
 
+	heartbeat := s.HeartbeatEvery
+	if heartbeat == 0 {
+		heartbeat = 2 * time.Second
+	}
+	writeTimeout := s.StreamWriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 30 * time.Second
+	}
+	conn, _ := rw.(net.Conn)
+	// armWrite bounds the next write burst: a follower that stops
+	// reading fails the flush at the deadline instead of pinning this
+	// handler (and its tailer's file handle) forever.
+	armWrite := func() {
+		if conn != nil {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+	}
+
 	var enc []byte
 	for {
-		rec, rseg, roff, err := tl.Next(stop)
+		rec, rseg, roff, err := tl.NextTimeout(stop, heartbeat)
+		if errors.Is(err, wal.ErrIdle) {
+			// Nothing to ship: prove liveness so the follower's idle
+			// deadline only fires on a genuinely hung or dead primary.
+			pseg, poff := rep.ReplicationPosition()
+			armWrite()
+			if _, err := w.Write(repl.AppendHeartbeat(enc[:0], pseg, poff)); err != nil {
+				return
+			}
+			if w.Flush() != nil {
+				return
+			}
+			continue
+		}
 		if err != nil {
 			return
 		}
@@ -506,6 +597,7 @@ func (s *Server) handleReplicate(rw io.ReadWriter, w *bufio.Writer, args []strin
 		if enc, err = wal.AppendRecord(enc, rec); err != nil {
 			return
 		}
+		armWrite()
 		if _, err := w.Write(enc); err != nil {
 			return
 		}
@@ -516,6 +608,31 @@ func (s *Server) handleReplicate(rw io.ReadWriter, w *bufio.Writer, args []strin
 			return
 		}
 	}
+}
+
+// writeGuarded runs one mutating command body, converting the
+// degradation panic of the Store's bool-returning mutators (an error
+// wrapping alex.ErrDegraded) into an in-band "ERR degraded" reply.
+// Anything else keeps panicking — only the defined degraded rejection
+// is a protocol-level outcome.
+func writeGuarded(w *bufio.Writer, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, alex.ErrDegraded) {
+				fmt.Fprintf(w, "ERR degraded: %v\n", e)
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func wantKey(args []string, n int) (float64, error) {
