@@ -1,0 +1,57 @@
+package main_test
+
+import (
+	"errors"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// run executes the doccheck CLI against a package pattern and returns
+// its combined output and exit code.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var exit *exec.ExitError
+	if errors.As(err, &exit) {
+		return string(out), exit.ExitCode()
+	}
+	t.Fatalf("go run . %v: %v\n%s", args, err, out)
+	return "", 0
+}
+
+// TestDoccheckAdvisoryByDefault: findings print but the exit stays 0,
+// so the repo-wide CI step never blocks a PR.
+func TestDoccheckAdvisoryByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	out, code := run(t, "./testdata/undocumented")
+	if code != 0 {
+		t.Fatalf("advisory run: exit %d, want 0\n%s", code, out)
+	}
+	for _, want := range []string{"package undocumented has no package comment", "Bare has no doc comment", "Exposed has no doc comment"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advisory run: output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Documented") {
+		t.Errorf("advisory run: documented declaration reported:\n%s", out)
+	}
+}
+
+// TestDoccheckStrictExitsNonZero: the same findings under -strict fail
+// the run — the blocking form CI uses on the documented packages.
+func TestDoccheckStrictExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	out, code := run(t, "-strict", "./testdata/undocumented")
+	if code != 1 {
+		t.Fatalf("strict run: exit %d, want 1\n%s", code, out)
+	}
+}

@@ -1,0 +1,8 @@
+package undocumented
+
+// Documented carries a doc comment and must not be reported.
+type Documented struct{}
+
+type Bare struct{}
+
+func Exposed() {}

@@ -273,11 +273,12 @@ func OpenDurable(dir string, opts ...DurableOption) (*DurableIndex, error) {
 	if cfg.fsys == nil {
 		cfg.fsys = faultfs.OS
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	// A crash mid-checkpoint can leave a partial temp snapshot; the real
 	// snapshot (if any) is intact because the rename never happened.
+	//alexvet:ignore best-effort cleanup of a crash leftover; the open itself does not depend on it
 	_ = cfg.fsys.Remove(filepath.Join(dir, snapshotTmp))
 
 	backend, err := openBackend(dir, &cfg)
@@ -775,6 +776,7 @@ func (d *DurableIndex) Checkpoint() error {
 	// while it was being written stay on the clock.
 	d.dirty.Add(-covered)
 	// Advisory marker noting the snapshot; replay skips it.
+	//alexvet:ignore the marker is advisory — recovery is correct without it; a real append failure resurfaces on the next mutation
 	_ = d.log.Append(&wal.Record{Op: wal.OpCheckpoint, Seq: d.log.CurrentSeq()})
 	if err := d.log.RemoveObsolete(); err != nil {
 		return err
@@ -813,6 +815,7 @@ func (d *DurableIndex) writeSnapshot() error {
 		err = cerr
 	}
 	if err != nil {
+		//alexvet:ignore best-effort backout of the temp file; the write error on the next line is the one that matters
 		_ = d.cfg.fsys.Remove(tmp)
 		return err
 	}

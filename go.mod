@@ -1,3 +1,9 @@
 module repro
 
+// Zero third-party requirements, deliberately: the build environment
+// is offline, so internal/lint + cmd/alexvet are built on the stdlib
+// go/parser + go/types source importer instead of pinning
+// golang.org/x/tools (whose go/analysis shapes internal/lint mirrors
+// for a future migration). See docs/static-analysis.md.
+
 go 1.23

@@ -40,9 +40,11 @@ const (
 	OpRemove
 	OpReadDir
 	OpSyncDir
+	OpMkdirAll
+	OpStat
 )
 
-var opNames = [...]string{"any", "open", "read", "write", "sync", "close", "truncate", "rename", "remove", "readdir", "syncdir"}
+var opNames = [...]string{"any", "open", "read", "write", "sync", "close", "truncate", "rename", "remove", "readdir", "syncdir", "mkdirall", "stat"}
 
 // String names the kind for schedule logs.
 func (k OpKind) String() string {
@@ -372,6 +374,28 @@ func (j *Inject) Remove(name string) error {
 	delete(j.files, name)
 	j.mu.Unlock()
 	return nil
+}
+
+// MkdirAll creates directories through the schedule. The new entries
+// are not tracked for crash loss (directory trees are created once at
+// open, before any data the crash model cares about exists).
+func (j *Inject) MkdirAll(name string, perm os.FileMode) error {
+	delay, _, err := j.decide(OpMkdirAll, name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return j.inner.MkdirAll(name, perm)
+}
+
+// Stat stats through the schedule.
+func (j *Inject) Stat(name string) (os.FileInfo, error) {
+	delay, _, err := j.decide(OpStat, name, 0)
+	sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	return j.inner.Stat(name)
 }
 
 // ReadDir lists through the schedule.

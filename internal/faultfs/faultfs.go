@@ -58,6 +58,11 @@ type FS interface {
 	// directory report success (the rename/creat syscall ordering is
 	// the best available there).
 	SyncDir(name string) error
+	// MkdirAll is os.MkdirAll. Durability of the new entries requires
+	// a SyncDir of each affected parent.
+	MkdirAll(name string, perm os.FileMode) error
+	// Stat is os.Stat.
+	Stat(name string) (os.FileInfo, error)
 }
 
 // Open opens name read-only on fsys.
@@ -88,6 +93,10 @@ func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, ne
 func (osFS) Remove(name string) error { return os.Remove(name) }
 
 func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
 
 func (osFS) SyncDir(name string) error {
 	f, err := os.Open(name)

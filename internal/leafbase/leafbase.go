@@ -104,7 +104,6 @@ type Base struct {
 	Payloads []uint64
 	Occ      *bitmapx.Bitmap
 	Model    linmodel.Model
-	HasModel bool
 	NumKeys  int
 	Stats    Stats
 
@@ -150,8 +149,14 @@ type Base struct {
 	// COW rebuilds assign whole Base values); the flag is only ever
 	// written under the index's writer exclusion, the atomics exist so
 	// the store in Seal and the load in Sealed are data-race-free when
-	// snapshot creation overlaps lock-free readers.
+	// snapshot creation overlaps lock-free readers. The annotation
+	// below makes alexvet enforce atomic-only access mechanically.
+	//alex:atomic
 	sealed uint32
+
+	// HasModel sits last so the bool packs into sealed's word instead
+	// of costing a padded slot of its own (fieldalign: 184 -> 176).
+	HasModel bool
 }
 
 // Init sets up an empty node with the given capacity.

@@ -33,5 +33,6 @@ func (b *Base) CloneInto(dst *Base) {
 	dst.Keys = append([]float64(nil), b.Keys...)
 	dst.Payloads = append([]uint64(nil), b.Payloads...)
 	dst.Occ = b.Occ.Clone()
+	//alexvet:ignore dst is a private replica no reader has seen yet; the plain store happens-before its publication
 	dst.sealed = 0
 }

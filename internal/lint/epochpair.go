@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// EpochPair checks that every epoch.Manager Pin is matched by an
+// Unpin on all return paths of the function that pinned. A leaked pin
+// holds every structure retired after it reachable forever — the
+// "no GC-pressure cliff" guarantee of internal/epoch dies silently —
+// so the pairing is enforced like lost-cancel vetting: the pin must be
+// released by a deferred Unpin, an Unpin before each return, or by
+// handing the unpin duty to a function literal (the snapshot-release
+// closure pattern IndexSnapshot uses).
+var EpochPair = &Analyzer{
+	Name: "epochpair",
+	Doc: "every epoch.Manager Pin must be matched by an Unpin on all return " +
+		"paths (deferred, flow-matched, or owned by an escaping closure)",
+	Run: runEpochPair,
+}
+
+func runEpochPair(pass *Pass) error {
+	funcBodies(pass.Files, func(name string, node ast.Node, body *ast.BlockStmt) {
+		// Collect the Pin calls belonging to THIS body (nested
+		// literals are analyzed as their own bodies).
+		var pins []*ast.CallExpr
+		walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isEpochCall(pass, call, "Pin") {
+				pins = append(pins, call)
+			}
+			return true
+		})
+		for _, pin := range pins {
+			checkPin(pass, body, pin)
+		}
+	})
+	return nil
+}
+
+// isEpochCall reports whether call invokes the named method on an
+// epoch.Manager.
+func isEpochCall(pass *Pass, call *ast.CallExpr, method string) bool {
+	recvPkg, recvType, name := methodOn(pass.Info, call)
+	if name != method || recvType != "Manager" {
+		return false
+	}
+	return recvPkg == "repro/internal/epoch" || recvPkg == "internal/epoch" ||
+		// Fixtures load the epoch package under its module-derived
+		// path; match on the trailing element to stay portable.
+		hasSuffixPath(recvPkg, "internal/epoch")
+}
+
+func hasSuffixPath(path, suffix string) bool {
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}
+
+// checkPin verifies one Pin call is released on every path out of
+// body. The analysis is statement-ordered, not a full CFG: it walks
+// the statements after the Pin in the Pin's own block, flagging any
+// return reachable before a release. A release is a plain Unpin call,
+// a deferred Unpin, or the creation of a function literal containing
+// an Unpin (ownership handed to the closure — the snapshot pattern).
+func checkPin(pass *Pass, body *ast.BlockStmt, pin *ast.CallExpr) {
+	// If no Unpin appears anywhere in the body (including closures),
+	// the pin leaks unconditionally.
+	if !containsCallNamed(body, "Unpin") {
+		pass.Reportf(pin.Pos(), "epoch.Pin without a matching Unpin in this function; the pin leaks and retired structures are held forever")
+		return
+	}
+	block, idx := enclosingStmt(body, pin)
+	if block == nil {
+		// Pin buried in an expression we cannot order statements
+		// around (e.g. an argument); the body-wide Unpin presence
+		// above is the best available check.
+		return
+	}
+	for _, stmt := range block.List[idx+1:] {
+		if releasesPin(stmt) {
+			return
+		}
+		flagReturnsIn(pass, stmt)
+	}
+	// Falling off the end of the block: either the block is the whole
+	// function body (implicit return) or control continues in the
+	// enclosing statement. Conservatively accept — the body-wide
+	// Unpin-presence check already ran, and over-reporting here would
+	// flag loops that release on a later iteration's branch.
+}
+
+// enclosingStmt finds the statement list containing the statement that
+// (transitively) contains the call, returning the block and index.
+func enclosingStmt(body *ast.BlockStmt, call *ast.CallExpr) (*ast.BlockStmt, int) {
+	var block *ast.BlockStmt
+	idx := -1
+	var walk func(b *ast.BlockStmt) bool
+	walk = func(b *ast.BlockStmt) bool {
+		for i, stmt := range b.List {
+			if !within(stmt, call) {
+				continue
+			}
+			// Prefer the innermost block: recurse into nested blocks
+			// of this statement first.
+			inner := innermostBlock(stmt, call)
+			if inner != nil {
+				if walk(inner) {
+					return true
+				}
+			}
+			block, idx = b, i
+			return true
+		}
+		return false
+	}
+	walk(body)
+	return block, idx
+}
+
+// within reports whether node's range covers target.
+func within(node ast.Node, target ast.Node) bool {
+	return node.Pos() <= target.Pos() && target.End() <= node.End()
+}
+
+// innermostBlock returns a block statement inside stmt containing the
+// call, or nil.
+func innermostBlock(stmt ast.Stmt, call *ast.CallExpr) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok && within(b, call) {
+			found = b
+		}
+		return true
+	})
+	return found
+}
+
+// releasesPin reports whether stmt releases the pin: an Unpin call in
+// statement position or deferred, or a function literal created here
+// that contains the Unpin (ownership transfer).
+func releasesPin(stmt ast.Stmt) bool {
+	release := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if release {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if containsCallNamed(x, "Unpin") {
+				release = true
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" {
+				release = true
+			}
+		}
+		return !release
+	})
+	return release
+}
+
+// flagReturnsIn reports every return statement nested in stmt that is
+// not preceded (within its own nested block, in source order) by a
+// release.
+func flagReturnsIn(pass *Pass, stmt ast.Stmt) {
+	if ret, ok := stmt.(*ast.ReturnStmt); ok {
+		reportLeakedReturn(pass, ret)
+		return
+	}
+	flagList := func(list []ast.Stmt) bool {
+		// Walk the statements in order, stopping at a release: returns
+		// after a release inside the same branch are fine.
+		for _, s := range list {
+			if releasesPin(s) {
+				return false
+			}
+			if ret, ok := s.(*ast.ReturnStmt); ok {
+				reportLeakedReturn(pass, ret)
+			}
+		}
+		return true
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			return flagList(x.List)
+		case *ast.CaseClause:
+			return flagList(x.Body)
+		case *ast.CommClause:
+			return flagList(x.Body)
+		}
+		return true
+	})
+}
+
+func reportLeakedReturn(pass *Pass, ret *ast.ReturnStmt) {
+	pass.Reportf(ret.Pos(), "return leaks the epoch pin taken above; Unpin (or defer it) before returning")
+}

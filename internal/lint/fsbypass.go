@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fsBypassBanned are the package-level os functions that perform file
+// or directory operations the faultfs seam models. Predicates
+// (IsNotExist), constants (O_CREATE), and types (FileMode, FileInfo,
+// DirEntry) stay allowed — they carry no I/O.
+var fsBypassBanned = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "ReadFile": true, "WriteFile": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Chtimes": true,
+	"Link": true, "Symlink": true, "NewFile": true,
+}
+
+// FSBypass forbids direct os file operations — and any (*os.File)
+// method call — inside the durability stack. Every file op there must
+// go through internal/faultfs (the FS/File seam): a bypassed op is an
+// op the fault-torture matrix can never exercise, so its failure
+// handling is untested by construction. docs/failure-model.md states
+// the seam contract; this analyzer enforces it.
+var FSBypass = &Analyzer{
+	Name: "fsbypass",
+	Doc: "forbid direct os.* file operations and (*os.File) method calls in the " +
+		"durability stack; all file I/O must go through the internal/faultfs seam",
+	Scopes: []Scope{
+		{Pkg: "internal/wal"},
+		{Pkg: "internal/pagestore"},
+		// In the root package only the durability files are in scope;
+		// the whole package is still analyzed (cross-file type facts),
+		// but only findings inside these files are reported.
+		{Pkg: "", Files: []string{"durable.go", "snapshot.go", "replication.go"}},
+	},
+	Run: runFSBypass,
+}
+
+func runFSBypass(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := usedPackageFunc(pass.Info, call); pkg == "os" && fsBypassBanned[name] {
+				pass.Reportf(call.Pos(),
+					"os.%s bypasses the faultfs seam; route it through faultfs.FS so the fault-torture matrix can exercise its failure path", name)
+				return true
+			}
+			if recvPkg, recvType, name := methodOn(pass.Info, call); recvPkg == "os" && recvType == "File" {
+				pass.Reportf(call.Pos(),
+					"(*os.File).%s bypasses the faultfs seam; hold a faultfs.File instead", name)
+			}
+			return true
+		})
+	}
+	// A declared *os.File anywhere in the package is the escape hatch
+	// that makes the method-call check evadable (assign the file to a
+	// variable, call through it elsewhere); ban holding the concrete
+	// type at all.
+	for id, obj := range pass.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			continue
+		}
+		if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" {
+			pass.Reportf(id.Pos(),
+				"%s holds a *os.File, bypassing the faultfs seam; hold a faultfs.File instead", id.Name)
+		}
+	}
+	return nil
+}

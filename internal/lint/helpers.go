@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses the AST under root, invoking fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Returning false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// usedPackageFunc resolves a call's callee to a package-level function
+// and returns its package path and name ("", "" when the callee is
+// anything else — a method, a local, a conversion, or untyped).
+func usedPackageFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	obj, ok := info.Uses[id]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// methodOn resolves a call's callee to a method and returns the
+// defining package path and receiver type name of the method's
+// receiver, plus the method name. Pointerness is stripped.
+func methodOn(info *types.Info, call *ast.CallExpr) (recvPkg, recvType, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", "", ""
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), sel.Sel.Name
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exprString renders an expression compactly for a finding message.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "<expr>"
+	}
+	s := sb.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// funcBodies yields every function body in the package files: each
+// FuncDecl and each FuncLit, with its display name. Nested literals
+// are yielded separately AND remain part of the enclosing body's
+// subtree; analyzers that must not double-count prune FuncLits while
+// walking a body.
+func funcBodies(files []*ast.File, fn func(name string, node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(funcDisplayName(d), d, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", d, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// funcDisplayName renders "Name" or "(Recv).Name" for findings and
+// whitelists.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + recvTypeName(d.Recv.List[0].Type) + ")." + d.Name.Name
+}
+
+func recvTypeName(t ast.Expr) string {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return "?"
+		}
+	}
+}
+
+// containsCallNamed reports whether the subtree under n (including
+// nested function literals) contains a call whose callee's final
+// identifier is name.
+func containsCallNamed(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			found = found || fun.Name == name
+		case *ast.SelectorExpr:
+			found = found || fun.Sel.Name == name
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Name  string
+	// Path is the module-qualified import path; Dir the directory.
+	Path string
+	Dir  string
+	// Types and Info are the type-check results. TypeErrors collects
+	// soft errors: analysis proceeds on a partially-typed package (an
+	// analyzer sees fewer facts, never wrong ones), and the caller
+	// decides whether type errors are fatal for its purpose.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet
+// and a source importer across every Load call, so a dependency
+// type-checked for one package is reused by the next.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader backed by the stdlib source importer
+// (imports are type-checked from source; no export data or network
+// needed — the same constraint that rules out golang.org/x/tools).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the package in dir. Test files and files
+// excluded by build constraints (notably the `race` tag: the loader
+// models a production, non-race build) are skipped.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(abs, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !buildSelected(f) {
+			continue
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	pkgName := files[0].Name.Name
+	for i, f := range files {
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s (file %s)", dir, pkgName, f.Name.Name, names[i])
+		}
+	}
+	importPath := importPathFor(abs)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	return &Package{
+		Fset:       l.fset,
+		Files:      files,
+		Name:       pkgName,
+		Path:       importPath,
+		Dir:        abs,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// buildSelected evaluates f's build constraint for the loader's model
+// build: current GOOS/GOARCH, gc, any go1.x release — and never the
+// `race` tag, so of an optimistic.go / optimistic_race.go pair exactly
+// the production file is selected (optparity reads the other itself).
+func buildSelected(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(buildTagOK)
+		}
+	}
+	return true
+}
+
+func buildTagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// importPathFor derives the module-qualified import path for dir by
+// locating the enclosing go.mod. Outside a module (fixtures parsed in
+// isolation) the directory base name is used.
+func importPathFor(dir string) string {
+	d := dir
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			if mod := modulePath(data); mod != "" {
+				rel, err := filepath.Rel(d, dir)
+				if err != nil || rel == "." {
+					return mod
+				}
+				return mod + "/" + filepath.ToSlash(rel)
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return filepath.Base(dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// ExpandPatterns resolves package patterns to directories: a plain
+// directory stands for itself, and a trailing "/..." walks it
+// recursively, skipping testdata, hidden directories, and directories
+// with no buildable Go files — the same shape `go list` would select.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if root == "" || root == "." && pat == "..." {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(pat))
+			continue
+		}
+		err := filepath.WalkDir(filepath.Clean(root), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if base == "testdata" || (len(base) > 1 && (base[0] == '.' || base[0] == '_')) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

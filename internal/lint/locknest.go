@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockNest enforces the shard lock-order rule of docs/concurrency.md:
+// the hierarchy orders *different* lock levels (gate before shard.mu,
+// ckptMu before opGate), so taking a lower-level lock while holding a
+// higher one is legal. What the hierarchy cannot order is two *peer*
+// locks — the same field on two different receivers, e.g. shard A's
+// .mu while holding shard B's .mu — because two goroutines can take
+// them in opposite orders; deadlock by lock-order inversion needs
+// exactly that shape. LockNest flags peer acquisitions, and loops that
+// accumulate locks across iterations (the cross-shard nesting shape),
+// outside the whitelisted consistent-cut functions (lockAllRead,
+// retrainLocked), which acquire every shard in one canonical order
+// behind the exclusive gate.
+var LockNest = &Analyzer{
+	Name: "locknest",
+	Doc: "no mutex acquired while a peer (same field, different receiver) is held, " +
+		"and no loop accumulating locks across iterations, outside the whitelisted " +
+		"canonical-order functions",
+	Run: runLockNest,
+}
+
+// lockNestWhitelist names functions allowed to hold many peer locks at
+// once: they take the exclusive gate first, so every multi-lock
+// acquisition in the program follows one canonical order.
+var lockNestWhitelist = map[string]bool{
+	"lockAllRead":   true,
+	"retrainLocked": true,
+}
+
+func runLockNest(pass *Pass) error {
+	funcBodies(pass.Files, func(name string, node ast.Node, body *ast.BlockStmt) {
+		if d, ok := node.(*ast.FuncDecl); ok && lockNestWhitelist[d.Name.Name] {
+			return
+		}
+		checkLockNest(pass, body)
+	})
+	return nil
+}
+
+// lockEvent is one mutex acquisition or release in token order.
+type lockEvent struct {
+	call *ast.CallExpr
+	recv string // receiver expression text, e.g. "sh.mu"
+	op   string // Lock, RLock, Unlock, RUnlock
+	def  bool   // deferred (release runs at function exit)
+}
+
+// checkLockNest scans one function body in token order, tracking which
+// mutex receivers are held. The scan is an approximation of flow —
+// token order, not CFG order — which matches the codebase's straight
+// lock...unlock shapes; lockAllRead-style accumulation is whitelisted
+// by name.
+func checkLockNest(pass *Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are scanned as their own bodies
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, op := mutexCall(pass, call)
+		if op == "" {
+			return true
+		}
+		ev := lockEvent{call: call, recv: recv, op: op}
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.DeferStmt); ok {
+				ev.def = true
+			}
+		}
+		events = append(events, ev)
+		return true
+	})
+	held := map[string]bool{}
+	for _, ev := range events {
+		switch ev.op {
+		case "Lock", "RLock":
+			for other := range held {
+				if other != ev.recv && lockField(other) == lockField(ev.recv) {
+					pass.Reportf(ev.call.Pos(),
+						"%s.%s acquired while holding peer lock %s; two goroutines can take them in opposite orders — release first or whitelist a canonical-order cut like lockAllRead",
+						ev.recv, ev.op, other)
+					break
+				}
+			}
+			held[ev.recv] = true
+		case "Unlock", "RUnlock":
+			if !ev.def {
+				delete(held, ev.recv)
+			}
+			// A deferred unlock keeps the receiver held until return:
+			// later acquisitions of a *different* mutex still nest.
+		}
+	}
+	checkLockLoops(pass, body)
+}
+
+// checkLockLoops flags for/range bodies that acquire a mutex without
+// releasing it in the same body: each iteration stacks one more held
+// lock (the cross-shard accumulation shape).
+func checkLockLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		acquired := map[string]*ast.CallExpr{}
+		released := map[string]bool{}
+		walkStack(loopBody, func(m ast.Node, stack []ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, op := mutexCall(pass, call)
+			switch op {
+			case "Lock", "RLock":
+				if _, dup := acquired[recv]; !dup {
+					acquired[recv] = call
+				}
+			case "Unlock", "RUnlock":
+				released[recv] = true
+			}
+			return true
+		})
+		for recv, call := range acquired {
+			if !released[recv] {
+				pass.Reportf(call.Pos(),
+					"loop acquires %s without releasing it in the same iteration; locks accumulate across shards — whitelist a canonical-order cut or release per iteration", recv)
+			}
+		}
+		return true
+	})
+}
+
+// lockField returns the final selector segment of a lock receiver's
+// source text ("sh.mu" -> "mu"): peer locks are instances of the same
+// field on different receivers, so they share this name while the
+// hierarchy's distinct levels (gate, ckptMu, opGate) do not.
+func lockField(recv string) string {
+	if i := strings.LastIndexByte(recv, '.'); i >= 0 {
+		return recv[i+1:]
+	}
+	return recv
+}
+
+// mutexCall resolves call to a sync.Mutex/RWMutex Lock/RLock/Unlock/
+// RUnlock method call and returns the receiver's source text and the
+// operation ("" when call is something else).
+func mutexCall(pass *Pass, call *ast.CallExpr) (recv, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", ""
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return exprString(pass.Fset, sel.X), name
+	}
+	return "", ""
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OptParity checks that the `race` / `!race` build-tag file pair
+// (optimistic.go / optimistic_race.go and any future pair) declares an
+// identical set of top-level names with identical function signatures.
+// The two files compile into two different worlds — the production
+// binary and every -race test binary — so a declaration present in
+// one and missing or re-signed in the other compiles cleanly in one
+// world and breaks (or silently diverges) in the other, exactly the
+// drift CI's race gate cannot see until it is the broken world.
+var OptParity = &Analyzer{
+	Name: "optparity",
+	Doc: "race/!race build-tag file pairs must declare identical surfaces: " +
+		"same top-level names, same kinds, same function signatures",
+	Run: runOptParity,
+}
+
+// optDecl is one top-level declaration's identity for comparison.
+type optDecl struct {
+	kind string // "func", "const", "var", "type"
+	sig  string // printed signature for funcs, "" otherwise
+}
+
+func runOptParity(pass *Pass) error {
+	// The loader build-selects files (the race file is excluded), so
+	// re-read the directory raw and partition by race constraint.
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(pass.Dir)
+	if err != nil {
+		return err
+	}
+	race := map[string]optDecl{}   // declarations under `race`
+	norace := map[string]optDecl{} // declarations under `!race`
+	var raceFiles, noraceFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pass.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		expr := goBuildExpr(f)
+		if expr == nil {
+			continue
+		}
+		withRace := expr.Eval(func(tag string) bool { return tag == "race" || buildTagOK(tag) })
+		withoutRace := expr.Eval(buildTagOK)
+		switch {
+		case withRace && !withoutRace:
+			raceFiles = append(raceFiles, name)
+			collectDecls(fset, f, race)
+		case withoutRace && !withRace:
+			noraceFiles = append(noraceFiles, name)
+			collectDecls(fset, f, norace)
+		}
+	}
+	if len(raceFiles) == 0 && len(noraceFiles) == 0 {
+		return nil
+	}
+	if len(raceFiles) == 0 || len(noraceFiles) == 0 {
+		// One half of the pair is missing entirely; every declaration
+		// is a parity hole.
+		side, files := "race", noraceFiles
+		if len(noraceFiles) == 0 {
+			side, files = "!race", raceFiles
+		}
+		pos := pass.Files[0].Package
+		pass.Reportf(pos, "build-tag files %s have no %s counterpart; the %s world lacks their declarations",
+			strings.Join(files, ", "), side, side)
+		return nil
+	}
+	reportMissing := func(from, to map[string]optDecl, world string) {
+		names := make([]string, 0, len(from))
+		for n := range from {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			d := from[n]
+			if _, ok := to[n]; !ok {
+				pass.Reportf(declPos(pass), "%s %s is missing from the %s build; the two worlds have drifted (files: %s / %s)",
+					d.kind, n, world, strings.Join(noraceFiles, ","), strings.Join(raceFiles, ","))
+			}
+		}
+	}
+	reportMissing(norace, race, "race")
+	reportMissing(race, norace, "!race")
+	names := make([]string, 0, len(norace))
+	for n := range norace {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a, b := norace[n], race[n]
+		if b.sig == "" && b.kind == "" {
+			continue // missing; reported above
+		}
+		if a.kind != b.kind {
+			pass.Reportf(declPos(pass), "%s is a %s in the !race build but a %s in the race build", n, a.kind, b.kind)
+			continue
+		}
+		if a.kind == "func" && a.sig != b.sig {
+			pass.Reportf(declPos(pass), "func %s signature differs between build worlds: !race has %s, race has %s", n, a.sig, b.sig)
+		}
+	}
+	return nil
+}
+
+// declPos anchors optparity findings: the pair files live partly
+// outside the build (their positions are in a private FileSet), so
+// findings anchor at the package clause of the first in-build file and
+// carry the real identity in the message.
+func declPos(pass *Pass) token.Pos {
+	return pass.Files[0].Package
+}
+
+// goBuildExpr returns the file's //go:build expression, or nil.
+func goBuildExpr(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectDecls records every top-level declaration of f into out.
+func collectDecls(fset *token.FileSet, f *ast.File, out map[string]optDecl) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			key := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				key = recvTypeName(d.Recv.List[0].Type) + "." + key
+			}
+			out[key] = optDecl{kind: "func", sig: funcSig(fset, d)}
+		case *ast.GenDecl:
+			kind := d.Tok.String()
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					out[s.Name.Name] = optDecl{kind: "type"}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						out[name.Name] = optDecl{kind: kind}
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcSig renders a function's receiver+signature without its body.
+func funcSig(fset *token.FileSet, d *ast.FuncDecl) string {
+	shallow := *d
+	shallow.Body = nil
+	shallow.Doc = nil
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, &shallow); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.TrimPrefix(strings.TrimSpace(sb.String()), "func ")
+}

@@ -1,0 +1,55 @@
+// Package epochpair is an alexvet fixture: epoch pins that leak on
+// some or all return paths, next to the release shapes the analyzer
+// must accept (deferred, flow-matched, closure-owned).
+package epochpair
+
+import (
+	"errors"
+
+	"repro/internal/lint/testdata/src/epochpair/internal/epoch"
+)
+
+var errFixture = errors.New("fixture")
+
+func leak(m *epoch.Manager) {
+	m.Pin() // want `Pin without a matching Unpin`
+}
+
+func leakOnEarlyReturn(m *epoch.Manager, bad bool) error {
+	e := m.Pin()
+	if bad {
+		return errFixture // want `return leaks the epoch pin`
+	}
+	m.Unpin(e)
+	return nil
+}
+
+func leakInSwitch(m *epoch.Manager, n int) int {
+	e := m.Pin()
+	switch n {
+	case 0:
+		return 0 // want `return leaks the epoch pin`
+	}
+	m.Unpin(e)
+	return n
+}
+
+func deferred(m *epoch.Manager) {
+	e := m.Pin()
+	defer m.Unpin(e)
+}
+
+func closureOwner(m *epoch.Manager) func() {
+	e := m.Pin()
+	return func() { m.Unpin(e) }
+}
+
+func flowMatched(m *epoch.Manager, n int) int {
+	e := m.Pin()
+	if n > 0 {
+		m.Unpin(e)
+		return n
+	}
+	m.Unpin(e)
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package epoch is a minimal stand-in for repro/internal/epoch so the
+// epochpair fixture exercises the real matcher: the receiver type is
+// named Manager and the package path ends in internal/epoch.
+package epoch
+
+// Manager is the stand-in epoch manager.
+type Manager struct{ pinned uint64 }
+
+// Pin enters an epoch.
+func (m *Manager) Pin() uint64 { m.pinned++; return m.pinned }
+
+// Unpin leaves the epoch entered by Pin.
+func (m *Manager) Unpin(e uint64) { _ = e }

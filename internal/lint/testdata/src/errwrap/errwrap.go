@@ -1,0 +1,57 @@
+// Package errwrap is an alexvet fixture: durability errors discarded
+// with a blank assign, swallowed by an err != nil branch that returns
+// nil, or flattened by fmt.Errorf without %w — next to the handled,
+// wrapped, and benign-classifier shapes the analyzer must accept.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errSeam = errors.New("seam")
+
+type file struct{}
+
+func (file) Sync() error { return errSeam }
+
+func discard(f file) {
+	_ = f.Sync() // want `discarded with`
+}
+
+func swallow(f file) error {
+	err := f.Sync()
+	if err != nil {
+		return nil // want `the failure is swallowed`
+	}
+	return nil
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("sync failed: %v", err) // want `without %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("sync failed: %w", err)
+}
+
+func handled(f file) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	return nil
+}
+
+// classified is the benign-classifier idiom: the error branch first
+// gives real failures an escape path, so the later nil return is a
+// classified benign case, not a swallow.
+func classified(name string) error {
+	if _, err := os.Stat(name); err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	return nil
+}

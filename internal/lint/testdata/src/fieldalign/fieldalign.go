@@ -1,0 +1,17 @@
+// Package fieldalign is an alexvet fixture: a struct whose field
+// order wastes padding next to its packed equivalent.
+package fieldalign
+
+type padded struct { // want `bytes of padding per value`
+	a bool
+	b float64
+	c bool
+}
+
+type packed struct {
+	b float64
+	a bool
+	c bool
+}
+
+func use() (padded, packed) { return padded{}, packed{} }

@@ -1,0 +1,39 @@
+// Package fsbypass is an alexvet fixture: direct os file operations
+// and *os.File handles that bypass the faultfs seam, next to the os
+// predicates and constants the analyzer must keep allowing.
+package fsbypass
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+func open(name string) error {
+	f, err := os.Open(name) // want `os.Open bypasses the faultfs seam` `f holds a \*os.File`
+	if err != nil {
+		return err
+	}
+	return f.Close() // want `\(\*os.File\).Close bypasses the faultfs seam`
+}
+
+func mkdir(dir string) error {
+	return os.MkdirAll(dir, 0o755) // want `os.MkdirAll bypasses the faultfs seam`
+}
+
+func handle(f *os.File) error { // want `f holds a \*os.File`
+	return f.Sync() // want `\(\*os.File\).Sync bypasses the faultfs seam`
+}
+
+func classify(err error) bool {
+	return os.IsNotExist(err) || errors.Is(err, os.ErrNotExist)
+}
+
+func flags() int { return os.O_CREATE | os.O_RDWR }
+
+func mode() os.FileMode { return 0o644 }
+
+func viaSeam(w io.Writer) error {
+	_, err := w.Write([]byte("through the interface"))
+	return err
+}

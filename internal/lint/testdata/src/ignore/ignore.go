@@ -1,0 +1,24 @@
+// Package ignore is an alexvet fixture for the suppression directive:
+// a reasoned //alexvet:ignore suppresses findings on its line or the
+// line below, and a bare directive (no reason) is itself a finding.
+package ignore
+
+import "errors"
+
+var errSeam = errors.New("seam")
+
+type file struct{}
+
+func (file) Sync() error { return errSeam }
+
+func suppressedSameLine(f file) {
+	_ = f.Sync() //alexvet:ignore fixture: same-line directives suppress the finding here
+}
+
+func suppressedLineAbove(f file) {
+	//alexvet:ignore fixture: directives on the line above also apply
+	_ = f.Sync()
+}
+
+//alexvet:ignore
+func bare() {}

@@ -1,0 +1,78 @@
+// Package locknest is an alexvet fixture: peer-lock nesting (the same
+// field on two different receivers) and lock-accumulating loops, next
+// to the hierarchy, sequential, per-iteration, and whitelisted shapes
+// the analyzer must accept.
+package locknest
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type tree struct {
+	gate   sync.RWMutex
+	shards []*shard
+}
+
+func peerNest(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquired while holding peer lock`
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func peerNestDeferred(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquired while holding peer lock`
+	b.n++
+	b.mu.Unlock()
+}
+
+func accumulate(t *tree) {
+	t.gate.Lock()
+	for _, s := range t.shards {
+		s.mu.Lock() // want `loop acquires`
+	}
+	t.gate.Unlock()
+}
+
+// hierarchy is legal: gate and shard mutex are different levels of the
+// documented lock order, not peers.
+func hierarchy(t *tree, s *shard) {
+	t.gate.RLock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	t.gate.RUnlock()
+}
+
+func sequential(a, b *shard) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func perIteration(t *tree) {
+	for _, s := range t.shards {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// lockAllRead is the whitelisted consistent-cut shape: every shard in
+// one canonical order behind the exclusive gate.
+func lockAllRead(t *tree) {
+	t.gate.Lock()
+	for _, s := range t.shards {
+		s.mu.Lock()
+	}
+	t.gate.Unlock()
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package optparity is an alexvet fixture: a race/!race file pair
+// whose declared surfaces have drifted (a decl missing from each
+// world and a signature that differs between them).
+package optparity // want `func onlyProd is missing from the race build` `func onlyRace is missing from the !race build` `func fast signature differs`
+
+func fast(x int) int { return x }
+
+func onlyProd() {}

@@ -1,0 +1,7 @@
+//go:build race
+
+package optparity
+
+func fast(x, y int) int { return x + y }
+
+func onlyRace() {}

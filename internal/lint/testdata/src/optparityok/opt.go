@@ -1,0 +1,13 @@
+//go:build !race
+
+// Package optparityok is an alexvet fixture: a race/!race file pair
+// whose surfaces match exactly — optparity must stay silent.
+package optparityok
+
+const tuning = 1
+
+type guard struct{}
+
+func fast(x int) int { return x + tuning }
+
+func (guard) check() {}

@@ -1,0 +1,11 @@
+//go:build race
+
+package optparityok
+
+const tuning = 1
+
+type guard struct{}
+
+func fast(x int) int { return x + tuning + 0 }
+
+func (guard) check() {}

@@ -133,6 +133,7 @@ func OpenLogFS(fsys faultfs.FS, dir string, policy Policy, interval time.Duratio
 	// segment (the file's data is fsynced, its name is not).
 	if err := fsys.SyncDir(dir); err != nil {
 		l.cur.Close()
+		//alexvet:ignore best-effort backout of the half-born segment; the SyncDir error below is the durability failure being reported
 		_ = fsys.Remove(segmentPath(dir, next))
 		return nil, fmt.Errorf("wal: sync dir after segment create: %w", err)
 	}
@@ -179,6 +180,7 @@ func (l *Log) Rotate() error {
 	// new writer on failure so a retried Rotate does not trip O_EXCL.
 	if err := l.fsys.SyncDir(l.dir); err != nil {
 		next.Close()
+		//alexvet:ignore best-effort backout so a retried Rotate does not trip O_EXCL; the SyncDir error below is the reported failure
 		_ = l.fsys.Remove(segmentPath(l.dir, l.curSeq+1))
 		return fmt.Errorf("wal: sync dir after rotate: %w", err)
 	}

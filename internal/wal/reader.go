@@ -32,6 +32,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		// Treat a truncated header as an empty segment, not an error:
 		// the process may have died between creating the file and
 		// writing the magic.
+		//alexvet:ignore torn header means crash-before-magic; an empty segment is the defined recovery, not a swallowed failure
 		return &Reader{r: bufio.NewReader(emptyReader{})}, nil
 	}
 	if string(m[:]) != Magic {

@@ -231,6 +231,7 @@ func (w *Writer) syncLoop() {
 			return
 		case <-t.C:
 			// Errors stick in w.err and surface on the next Append.
+			//alexvet:ignore interval sync is advisory; Sync latches its error in w.err and every later Append returns it
 			_ = w.Sync()
 		}
 	}

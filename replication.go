@@ -211,7 +211,7 @@ func (d *DurableIndex) Followers() []FollowerInfo {
 		return nil
 	}
 	pseg, poff := d.log.Position()
-	segs, _ := wal.Segments(d.dir) // best effort: sizes for cross-segment lag
+	segs, _ := wal.SegmentsFS(d.cfg.fsys, d.dir) // best effort: sizes for cross-segment lag
 	infos := make([]FollowerInfo, 0, len(hs))
 	for _, h := range hs {
 		fseg, foff := h.seg.Load(), h.off.Load()
@@ -219,7 +219,7 @@ func (d *DurableIndex) Followers() []FollowerInfo {
 			Addr:     h.addr,
 			Seg:      fseg,
 			Off:      foff,
-			LagBytes: lagBytes(segs, pseg, poff, fseg, foff),
+			LagBytes: lagBytes(d.cfg.fsys, segs, pseg, poff, fseg, foff),
 		})
 	}
 	return infos
@@ -230,7 +230,7 @@ func (d *DurableIndex) Followers() []FollowerInfo {
 // follower's segment, the full bodies of the segments between, and the
 // committed prefix of the head segment. Segments already truncated
 // contribute nothing (the follower is about to re-bootstrap anyway).
-func lagBytes(segs []wal.Segment, pseg uint64, poff int64, fseg uint64, foff int64) int64 {
+func lagBytes(fsys faultfs.FS, segs []wal.Segment, pseg uint64, poff int64, fseg uint64, foff int64) int64 {
 	if fseg > pseg || (fseg == pseg && foff >= poff) {
 		return 0
 	}
@@ -242,7 +242,7 @@ func lagBytes(segs []wal.Segment, pseg uint64, poff int64, fseg uint64, foff int
 		if s.Seq < fseg || s.Seq >= pseg {
 			continue
 		}
-		st, err := os.Stat(s.Path)
+		st, err := fsys.Stat(s.Path)
 		if err != nil {
 			continue
 		}
